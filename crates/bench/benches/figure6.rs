@@ -1,0 +1,36 @@
+//! Bench: regenerating Figure 6 — the MC × rank grid (a) and the
+//! row-buffer-cache sweep (b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use stacksim::experiments::{figure6a, figure6b};
+use stacksim_bench::bench_run;
+use stacksim_workload::Mix;
+
+fn bench_figure6(c: &mut Criterion) {
+    let run = bench_run();
+    // 6(a)/(b) sweep many configurations; bench over the stream mixes that
+    // define their headline numbers.
+    let mixes: Vec<&'static Mix> =
+        ["VH1", "VH2"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mut group = c.benchmark_group("figure6");
+    group.sample_size(10);
+    group.bench_function("a_mcs_and_ranks", |b| {
+        b.iter(|| {
+            let r = figure6a(&run, &mixes).expect("valid configuration");
+            assert_eq!(r.grid.len(), 6);
+            r
+        })
+    });
+    group.bench_function("b_row_buffers", |b| {
+        b.iter(|| {
+            let r = figure6b(&run, &mixes).expect("valid configuration");
+            assert_eq!(r.cells.len(), 8);
+            r
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure6);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Bench: regenerating Figure 9 — the scalable L2 MHA (ideal CAM vs VBF,
+//! with and without dynamic capacity tuning).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stacksim::configs;
+use stacksim::experiments::figure9;
+use stacksim_bench::bench_run;
+use stacksim_workload::Mix;
+
+fn bench_figure9(c: &mut Criterion) {
+    let run = bench_run();
+    let mixes: Vec<&'static Mix> =
+        ["VH2", "H1"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mut group = c.benchmark_group("figure9");
+    group.sample_size(10);
+    for (label, base) in [("dual_mc", configs::cfg_dual_mc()), ("quad_mc", configs::cfg_quad_mc())]
+    {
+        group.bench_with_input(BenchmarkId::new("scalable_mha", label), &base, |b, base| {
+            b.iter(|| {
+                let r = figure9(base, &run, &mixes).expect("valid configuration");
+                assert!(r.vbf_probes_per_access >= 1.0);
+                r
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure9);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench: the headline cumulative-speedup chain (abstract / §4.2 / §5.2).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use stacksim::experiments::headline;
+use stacksim_bench::bench_run;
+use stacksim_workload::Mix;
+
+fn bench_headline(c: &mut Criterion) {
+    let run = bench_run();
+    let mixes: Vec<&'static Mix> =
+        ["VH1", "H1"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mut group = c.benchmark_group("headline");
+    group.sample_size(10);
+    group.bench_function("cumulative_speedups", |b| {
+        b.iter(|| {
+            let h = headline(&run, &mixes).expect("valid configuration");
+            assert!(h.total_over_2d > 1.0);
+            h
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_headline);
+criterion_main!(benches);

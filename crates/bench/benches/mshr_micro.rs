@@ -1,0 +1,57 @@
+//! Microbench: raw operation throughput of the MSHR organizations — the
+//! structures §5.2 compares. The interesting relation is how the VBF's cost
+//! scales with capacity versus plain linear probing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stacksim_mshr::{
+    CamMshr, DirectMappedMshr, HierarchicalMshr, MissHandler, MissKind, MissTarget, ProbeScheme,
+    VbfMshr,
+};
+use stacksim_types::{CoreId, Cycle, LineAddr};
+
+/// Allocate/lookup/deallocate churn at ~75 % occupancy.
+fn churn<M: MissHandler>(mshr: &mut M, lines: &[u64]) -> u64 {
+    let mut probes = 0u64;
+    for (i, &line) in lines.iter().enumerate() {
+        let target = MissTarget::demand(CoreId::new(0), i as u64);
+        if let Ok(out) = mshr.allocate(LineAddr::new(line), target, MissKind::Read, Cycle::ZERO) {
+            probes += out.probes() as u64;
+        }
+        probes += mshr.lookup(LineAddr::new(line ^ 0x55)).probes as u64;
+        if i % 4 == 3 {
+            if let Some((_, p)) = mshr.deallocate(LineAddr::new(lines[i - 2])) {
+                probes += p as u64;
+            }
+        }
+    }
+    probes
+}
+
+fn bench_mshr_micro(c: &mut Criterion) {
+    // A pseudo-random but deterministic line stream with collisions.
+    let lines: Vec<u64> = (0..1024u64).map(|i| (i.wrapping_mul(2654435761)) >> 16).collect();
+    let mut group = c.benchmark_group("mshr_micro");
+    for capacity in [8usize, 32] {
+        group.bench_with_input(BenchmarkId::new("cam", capacity), &capacity, |b, &cap| {
+            b.iter(|| churn(&mut CamMshr::new(cap), &lines))
+        });
+        group.bench_with_input(BenchmarkId::new("vbf", capacity), &capacity, |b, &cap| {
+            b.iter(|| churn(&mut VbfMshr::new(cap), &lines))
+        });
+        group.bench_with_input(
+            BenchmarkId::new("direct_linear", capacity),
+            &capacity,
+            |b, &cap| b.iter(|| churn(&mut DirectMappedMshr::new(cap, ProbeScheme::Linear), &lines)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("hierarchical", capacity),
+            &capacity,
+            |b, &cap| b.iter(|| churn(&mut HierarchicalMshr::new(4, cap / 8 + 1, cap / 2), &lines)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mshr_micro);
+criterion_main!(benches);

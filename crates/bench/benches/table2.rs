@@ -1,0 +1,40 @@
+//! Bench: regenerating Table 2 — the stand-alone MPKI characterization
+//! (2a) and the mix HMIPC baseline (2b).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use stacksim::experiments::{table2a, table2b};
+use stacksim_bench::{bench_mixes, bench_run};
+use stacksim_workload::Benchmark;
+
+fn bench_table2(c: &mut Criterion) {
+    let run = bench_run();
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+
+    // One benchmark of each personality class.
+    let benchmarks: Vec<&'static Benchmark> = ["S.copy", "libquantum", "mcf", "namd"]
+        .iter()
+        .map(|n| Benchmark::by_name(n).expect("known benchmark"))
+        .collect();
+    group.bench_function("2a_characterization", |b| {
+        b.iter(|| {
+            let rows = table2a(&run, &benchmarks).expect("valid configuration");
+            assert_eq!(rows.len(), benchmarks.len());
+            rows
+        })
+    });
+
+    let mixes = bench_mixes();
+    group.bench_function("2b_mix_baseline", |b| {
+        b.iter(|| {
+            let rows = table2b(&run, &mixes).expect("valid configuration");
+            assert!(rows.iter().all(|r| r.measured_hmipc > 0.0));
+            rows
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,21 @@
+//! Bench: the §2.4 thermal check (steady-state RC solve of the 9-layer
+//! stack).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use stacksim::experiments::thermal_check;
+
+fn bench_thermal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thermal");
+    group.bench_function("nine_layer_steady_state", |b| {
+        b.iter(|| {
+            let check = thermal_check(65.0, 8);
+            assert!(check.within_limit);
+            check
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_thermal);
+criterion_main!(benches);

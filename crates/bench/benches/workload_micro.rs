@@ -1,0 +1,29 @@
+//! Microbench: synthetic workload generation throughput — the per-cycle
+//! cost every simulation pays four times over.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stacksim_workload::{Benchmark, SyntheticWorkload, TraceGenerator};
+
+fn bench_workload_micro(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workload_micro");
+    for name in ["S.copy", "mcf", "soplex", "namd"] {
+        let spec = Benchmark::by_name(name).expect("known benchmark");
+        group.bench_with_input(BenchmarkId::new("generate_100k", name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut generator = SyntheticWorkload::new(spec, 7, 0);
+                let mut mem_ops = 0u64;
+                for _ in 0..100_000 {
+                    if generator.next_instr().is_mem() {
+                        mem_ops += 1;
+                    }
+                }
+                mem_ops
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_workload_micro);
+criterion_main!(benches);

@@ -1,0 +1,90 @@
+//! The full reproduction pass: regenerates every table and figure of the
+//! paper's evaluation over all twelve mixes at publication windows and
+//! prints them in order. `EXPERIMENTS.md` records one run of this binary.
+//!
+//! ```sh
+//! cargo run -p stacksim-bench --release --bin reproduce
+//! ```
+
+use std::time::Instant;
+
+use stacksim::experiments::{
+    ablation_cwf, ablation_energy, ablation_interleave, ablation_probing, ablation_scheduler,
+    ablation_page_policy, ablation_smart_refresh, energy_table, figure4, figure6a, figure6b, figure7, figure9, headline,
+    probing_table, table2a, table2a_table, table2b, table2b_table, thermal_check,
+};
+use stacksim::configs;
+use stacksim_bench::full_run;
+use stacksim_workload::{Benchmark, Mix};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let run = full_run();
+    let mixes: Vec<&'static Mix> = Mix::all().iter().collect();
+    let hv: Vec<&'static Mix> = Mix::memory_intensive().collect();
+
+    println!("=== stacksim full reproduction (seed {:#x}, {} + {} cycles/run) ===\n",
+        run.seed, run.warmup_cycles, run.measure_cycles);
+
+    // Table 2(a): stand-alone MPKI characterization.
+    let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+    println!("{}", table2a_table(&table2a(&run, &benchmarks)?));
+
+    // Table 2(b): the mixes on the 2D baseline.
+    println!("{}", table2b_table(&table2b(&run, &mixes)?));
+
+    // Figure 4: simple 3D stacking.
+    let f4 = figure4(&run, &mixes)?;
+    println!("{}", f4.table());
+
+    // Figure 6(a): MCs x ranks, plus extra-L2 alternatives.
+    println!("{}", figure6a(&run, &mixes)?.table());
+
+    // Figure 6(b): row-buffer cache sweep.
+    println!("{}", figure6b(&run, &mixes)?.table());
+
+    // Figures 7(a)/(b): MSHR capacity scaling.
+    for base in [configs::cfg_dual_mc(), configs::cfg_quad_mc()] {
+        println!("{}", figure7(&base, &run, &mixes)?.table());
+    }
+
+    // Figures 9(a)/(b): the scalable MHA.
+    for base in [configs::cfg_dual_mc(), configs::cfg_quad_mc()] {
+        println!("{}", figure9(&base, &run, &mixes)?.table());
+    }
+
+    // Headline cumulative speedups.
+    println!("{}", headline(&run, &hv)?.table());
+
+    // Thermal check (§2.4).
+    println!("{}", thermal_check(65.0, 8).table());
+
+    // Ablations.
+    println!(
+        "Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {:.3}x",
+        ablation_scheduler(&run, &hv)?
+    );
+    println!(
+        "Ablation: page over line L2 interleave (quad-MC, GM H/VH): {:.3}x",
+        ablation_interleave(&run, &hv)?
+    );
+    println!(
+        "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {:.3}x",
+        ablation_cwf(&run, &hv)?
+    );
+    println!(
+        "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {:.3}x",
+        ablation_page_policy(&run, &hv)?
+    );
+    let (sr_speedup, sr_plain, sr_smart) =
+        ablation_smart_refresh(&run, Mix::by_name("VH1").expect("known mix"))?;
+    println!(
+        "Ablation: Smart Refresh on VH1 (quad-MC): {:.3}x speedup, refreshes {:.0} -> {:.0}\n",
+        sr_speedup, sr_plain, sr_smart
+    );
+    println!("{}", probing_table(&ablation_probing(&run, &hv)?));
+    println!("{}", energy_table(&ablation_energy(&run, Mix::by_name("H2").expect("known mix"))?));
+
+    println!("total wall time: {:.1?} ", t0.elapsed());
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! Shared plumbing for the `stacksim` benchmark harness.
+//!
+//! The harness has two faces:
+//!
+//! * `cargo bench -p stacksim-bench` — Criterion benches, one per paper
+//!   table/figure plus microbenches of the hot substrates, each regenerating
+//!!  its rows at bench-friendly windows;
+//! * `cargo run -p stacksim-bench --release --bin reproduce` — the full
+//!   reproduction pass over all twelve mixes at publication windows,
+//!   printing every table the paper reports (the source of
+//!   `EXPERIMENTS.md`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use stacksim::runner::RunConfig;
+use stacksim_workload::Mix;
+
+/// The window used by Criterion benches: long enough to be past warmup
+/// transients, short enough for iterated measurement.
+pub fn bench_run() -> RunConfig {
+    RunConfig { warmup_cycles: 5_000, measure_cycles: 25_000, seed: 0xBE7C }
+}
+
+/// The window used by the full reproduction binary.
+pub fn full_run() -> RunConfig {
+    RunConfig { warmup_cycles: 30_000, measure_cycles: 250_000, seed: 0xC0FFEE }
+}
+
+/// A small representative mix subset for iterated benches: one of each
+/// class.
+pub fn bench_mixes() -> Vec<&'static Mix> {
+    ["VH2", "H1", "HM2", "M1"]
+        .iter()
+        .map(|n| Mix::by_name(n).expect("known mix"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_mixes_cover_all_classes() {
+        use stacksim_workload::MixClass;
+        let classes: Vec<MixClass> = bench_mixes().iter().map(|m| m.class).collect();
+        assert!(classes.contains(&MixClass::VeryHigh));
+        assert!(classes.contains(&MixClass::High));
+        assert!(classes.contains(&MixClass::HighModerate));
+        assert!(classes.contains(&MixClass::Moderate));
+    }
+
+    #[test]
+    fn windows_are_ordered() {
+        assert!(bench_run().measure_cycles < full_run().measure_cycles);
+    }
+}

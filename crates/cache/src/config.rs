@@ -1,0 +1,88 @@
+//! Cache geometry configuration.
+
+use stacksim_types::LINE_BYTES;
+
+/// Geometry of one cache (or one bank of a banked cache).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u64,
+    /// Set associativity.
+    pub associativity: usize,
+}
+
+impl CacheConfig {
+    /// The paper's per-core DL1: 24 KB, 12-way, 64-byte lines (Table 1).
+    pub fn dl1_penryn() -> CacheConfig {
+        CacheConfig { size_bytes: 24 << 10, associativity: 12 }
+    }
+
+    /// The paper's shared L2: 12 MB, 24-way, 64-byte lines (Table 1).
+    /// Banking (16 banks) is applied by [`BankedCache`](crate::BankedCache).
+    pub fn dl2_penryn() -> CacheConfig {
+        CacheConfig { size_bytes: 12 << 20, associativity: 24 }
+    }
+
+    /// The 6 MB L2 used for the stand-alone MPKI characterization of
+    /// Table 2(a).
+    pub fn dl2_6mb() -> CacheConfig {
+        CacheConfig { size_bytes: 6 << 20, associativity: 24 }
+    }
+
+    /// Returns this configuration grown by `extra_bytes` (the paper's
+    /// +512 KB / +1 MB L2 rows in Figure 6(a)).
+    pub fn grown_by(self, extra_bytes: u64) -> CacheConfig {
+        CacheConfig { size_bytes: self.size_bytes + extra_bytes, ..self }
+    }
+
+    /// Number of cache lines.
+    pub fn lines(&self) -> usize {
+        (self.size_bytes / LINE_BYTES) as usize
+    }
+
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is not an exact multiple of
+    /// `associativity × 64 B`.
+    pub fn sets(&self) -> usize {
+        assert!(self.size_bytes % LINE_BYTES == 0, "capacity must be a whole number of lines");
+        let lines = self.lines();
+        assert!(
+            lines % self.associativity == 0 && lines > 0,
+            "capacity must be a whole number of sets"
+        );
+        lines / self.associativity
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn penryn_geometries() {
+        let l1 = CacheConfig::dl1_penryn();
+        assert_eq!(l1.lines(), 384);
+        assert_eq!(l1.sets(), 32);
+        let l2 = CacheConfig::dl2_penryn();
+        assert_eq!(l2.lines(), 196_608);
+        assert_eq!(l2.sets(), 8192);
+        assert_eq!(CacheConfig::dl2_6mb().sets(), 4096);
+    }
+
+    #[test]
+    fn grown_by_adds_capacity() {
+        let g = CacheConfig::dl2_penryn().grown_by(512 << 10);
+        assert_eq!(g.size_bytes, (12 << 20) + (512 << 10));
+        assert_eq!(g.associativity, 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "whole number of sets")]
+    fn ragged_capacity_panics() {
+        let c = CacheConfig { size_bytes: 10 * 64, associativity: 3 };
+        let _ = c.sets();
+    }
+}

@@ -1,0 +1,37 @@
+//! Cache models for the `stacksim` simulator.
+//!
+//! Provides the set-associative caches of the paper's Table 1 machine — the
+//! per-core 24 KB / 12-way DL1s and the shared 12 MB / 24-way / 16-bank L2 —
+//! plus the two hardware prefetchers the baseline uses (next-line and
+//! IP-based stride, after Intel's Smart Memory Access).
+//!
+//! The timing of cache accesses lives in the system model; this crate is the
+//! *state*: tags, LRU, dirty bits, banking, and prefetch address generation.
+//! The L2's banking granularity is a first-class knob because the paper's
+//! §4.1 streamlined floorplan re-banks the L2 on 4 KB page boundaries so
+//! every bank talks to exactly one memory controller.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_cache::{AccessOutcome, CacheConfig, SetAssocCache};
+//! use stacksim_types::LineAddr;
+//!
+//! let mut l1 = SetAssocCache::new(CacheConfig::dl1_penryn());
+//! assert_eq!(l1.access(LineAddr::new(0), false), AccessOutcome::Miss);
+//! l1.fill(LineAddr::new(0), false);
+//! assert_eq!(l1.access(LineAddr::new(0), false), AccessOutcome::Hit);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod banked;
+mod config;
+mod prefetch;
+mod set_assoc;
+
+pub use banked::BankedCache;
+pub use config::CacheConfig;
+pub use prefetch::{NextLinePrefetcher, Prefetcher, StridePrefetcher};
+pub use set_assoc::{AccessOutcome, SetAssocCache, Victim};

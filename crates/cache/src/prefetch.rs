@@ -1,0 +1,209 @@
+//! Hardware prefetchers (Table 1: next-line everywhere, IP-based stride at
+//! the DL1 and L2, after Intel's Smart Memory Access).
+
+use stacksim_types::LineAddr;
+
+/// A hardware prefetcher observing the demand-access stream.
+pub trait Prefetcher {
+    /// Observes one demand access (`pc` of the memory µop and the accessed
+    /// line) and returns the lines to prefetch, if any.
+    fn observe(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr>;
+
+    /// Prefetch candidates issued so far.
+    fn issued(&self) -> u64;
+}
+
+/// Prefetches the next sequential line on every demand access.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_cache::{NextLinePrefetcher, Prefetcher};
+/// use stacksim_types::LineAddr;
+///
+/// let mut pf = NextLinePrefetcher::new(1);
+/// assert_eq!(pf.observe(0, LineAddr::new(10)), vec![LineAddr::new(11)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct NextLinePrefetcher {
+    degree: usize,
+    issued: u64,
+}
+
+impl NextLinePrefetcher {
+    /// Creates a next-line prefetcher fetching `degree` lines ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `degree` is zero.
+    pub fn new(degree: usize) -> Self {
+        assert!(degree > 0, "prefetch degree must be non-zero");
+        NextLinePrefetcher { degree, issued: 0 }
+    }
+}
+
+impl Prefetcher for NextLinePrefetcher {
+    fn observe(&mut self, _pc: u64, line: LineAddr) -> Vec<LineAddr> {
+        let out: Vec<LineAddr> = (1..=self.degree as i64).map(|d| line.offset(d)).collect();
+        self.issued += out.len() as u64;
+        out
+    }
+
+    fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct StrideEntry {
+    pc: u64,
+    valid: bool,
+    last_line: u64,
+    stride: i64,
+    confidence: u8,
+}
+
+/// An IP-indexed stride prefetcher.
+///
+/// Tracks, per instruction pointer, the stride between successive accesses;
+/// once the same stride repeats enough times (2-bit confidence), it
+/// prefetches `degree` strides ahead.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_cache::{Prefetcher, StridePrefetcher};
+/// use stacksim_types::LineAddr;
+///
+/// let mut pf = StridePrefetcher::new(64, 1);
+/// for i in 0..3 {
+///     pf.observe(0x400, LineAddr::new(i * 4));
+/// }
+/// // Stride 4 established: the next access triggers a prefetch of +4.
+/// let out = pf.observe(0x400, LineAddr::new(12));
+/// assert_eq!(out, vec![LineAddr::new(16)]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct StridePrefetcher {
+    table: Vec<StrideEntry>,
+    degree: usize,
+    issued: u64,
+}
+
+impl StridePrefetcher {
+    /// Confidence threshold at which prefetches fire.
+    const THRESHOLD: u8 = 2;
+    /// Saturation value of the confidence counter.
+    const MAX_CONFIDENCE: u8 = 3;
+
+    /// Creates a stride prefetcher with `entries` table slots, fetching
+    /// `degree` strides ahead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` or `degree` is zero.
+    pub fn new(entries: usize, degree: usize) -> Self {
+        assert!(entries > 0 && degree > 0, "entries and degree must be non-zero");
+        StridePrefetcher { table: vec![StrideEntry::default(); entries], degree, issued: 0 }
+    }
+}
+
+impl Prefetcher for StridePrefetcher {
+    fn observe(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr> {
+        let idx = (pc % self.table.len() as u64) as usize;
+        let entry = &mut self.table[idx];
+        if !entry.valid || entry.pc != pc {
+            *entry = StrideEntry { pc, valid: true, last_line: line.index(), stride: 0, confidence: 0 };
+            return Vec::new();
+        }
+        let delta = line.index() as i64 - entry.last_line as i64;
+        entry.last_line = line.index();
+        if delta == 0 {
+            // Same line again (different word): no stride information.
+            return Vec::new();
+        }
+        if delta == entry.stride {
+            entry.confidence = (entry.confidence + 1).min(Self::MAX_CONFIDENCE);
+        } else {
+            entry.stride = delta;
+            entry.confidence = 0;
+            return Vec::new();
+        }
+        if entry.confidence < Self::THRESHOLD {
+            return Vec::new();
+        }
+        let stride = entry.stride;
+        let out: Vec<LineAddr> =
+            (1..=self.degree as i64).map(|d| line.offset(stride * d)).collect();
+        self.issued += out.len() as u64;
+        out
+    }
+
+    fn issued(&self) -> u64 {
+        self.issued
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn next_line_multi_degree() {
+        let mut pf = NextLinePrefetcher::new(2);
+        let out = pf.observe(0, LineAddr::new(100));
+        assert_eq!(out, vec![LineAddr::new(101), LineAddr::new(102)]);
+        assert_eq!(pf.issued(), 2);
+    }
+
+    #[test]
+    fn stride_needs_confidence() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        assert!(pf.observe(1, LineAddr::new(0)).is_empty()); // learn entry
+        assert!(pf.observe(1, LineAddr::new(3)).is_empty()); // stride=3, conf=0
+        assert!(pf.observe(1, LineAddr::new(6)).is_empty()); // conf=1
+        let out = pf.observe(1, LineAddr::new(9)); // conf=2 -> fire
+        assert_eq!(out, vec![LineAddr::new(12)]);
+    }
+
+    #[test]
+    fn stride_handles_negative_strides() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        for i in (0..5).rev() {
+            pf.observe(2, LineAddr::new(100 + i * 2));
+        }
+        let out = pf.observe(2, LineAddr::new(98));
+        assert_eq!(out, vec![LineAddr::new(96)]);
+    }
+
+    #[test]
+    fn changed_stride_resets_confidence() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        for i in 0..4 {
+            pf.observe(3, LineAddr::new(i * 4));
+        }
+        assert!(!pf.observe(3, LineAddr::new(100)).is_empty() == false); // stride broke
+        assert!(pf.observe(3, LineAddr::new(104)).is_empty()); // conf 0 -> building
+        assert!(pf.observe(3, LineAddr::new(108)).is_empty()); // conf 1
+        assert_eq!(pf.observe(3, LineAddr::new(112)), vec![LineAddr::new(116)]);
+    }
+
+    #[test]
+    fn pc_aliasing_replaces_entry() {
+        let mut pf = StridePrefetcher::new(1, 1);
+        pf.observe(1, LineAddr::new(0));
+        pf.observe(1, LineAddr::new(4));
+        // A different pc maps to the same slot and steals it.
+        pf.observe(2, LineAddr::new(0));
+        assert!(pf.observe(1, LineAddr::new(8)).is_empty(), "entry was replaced");
+    }
+
+    #[test]
+    fn repeated_same_line_is_ignored() {
+        let mut pf = StridePrefetcher::new(16, 1);
+        pf.observe(4, LineAddr::new(7));
+        for _ in 0..10 {
+            assert!(pf.observe(4, LineAddr::new(7)).is_empty());
+        }
+    }
+}

@@ -1,0 +1,307 @@
+//! A set-associative, write-back, write-allocate cache with true LRU.
+
+use stacksim_stats::StatRecord;
+use stacksim_types::LineAddr;
+
+use crate::config::CacheConfig;
+
+/// Result of probing a cache for a line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AccessOutcome {
+    /// The line is present; LRU updated (and dirty bit on writes).
+    Hit,
+    /// The line is absent. The caller must obtain it (MSHR + memory) and
+    /// later call [`SetAssocCache::fill`].
+    Miss,
+}
+
+/// A line evicted by a fill.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Victim {
+    /// The evicted line.
+    pub line: LineAddr,
+    /// Whether it must be written back to the next level.
+    pub dirty: bool,
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct Way {
+    tag: u64,
+    valid: bool,
+    dirty: bool,
+    last_use: u64,
+}
+
+/// A set-associative cache holding tags and metadata only (no data bytes —
+/// the simulator tracks timing and movement, not values).
+///
+/// Misses do **not** allocate; the owner allocates an MSHR, fetches the
+/// line, and then calls [`fill`](SetAssocCache::fill). This mirrors the
+/// lockup-free pipeline of the simulated machine and keeps "in flight" state
+/// in the MSHRs where the paper's §5 analysis needs it.
+#[derive(Clone, Debug)]
+pub struct SetAssocCache {
+    config: CacheConfig,
+    sets: Vec<Vec<Way>>,
+    clock: u64,
+    hits: u64,
+    misses: u64,
+    writebacks: u64,
+    fills: u64,
+}
+
+impl SetAssocCache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not describe a whole number of sets.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        SetAssocCache {
+            config,
+            sets: vec![vec![Way::default(); config.associativity]; sets],
+            clock: 0,
+            hits: 0,
+            misses: 0,
+            writebacks: 0,
+            fills: 0,
+        }
+    }
+
+    /// The geometry.
+    pub const fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    #[inline]
+    fn set_of(&self, line: LineAddr) -> usize {
+        (line.index() % self.sets.len() as u64) as usize
+    }
+
+    /// Probes for `line`; on a hit updates recency and, for writes, the
+    /// dirty bit.
+    pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessOutcome {
+        self.clock += 1;
+        let set = self.set_of(line);
+        let tag = line.index();
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.last_use = self.clock;
+                way.dirty |= is_write;
+                self.hits += 1;
+                return AccessOutcome::Hit;
+            }
+        }
+        self.misses += 1;
+        AccessOutcome::Miss
+    }
+
+    /// Probes without updating any state (for inclusive-hierarchy checks).
+    pub fn contains(&self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let tag = line.index();
+        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+    }
+
+    /// Installs `line`, evicting the LRU way of its set if necessary.
+    /// Returns the victim if one was evicted; dirty victims must be written
+    /// back by the caller.
+    pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Victim> {
+        self.clock += 1;
+        self.fills += 1;
+        let set = self.set_of(line);
+        let tag = line.index();
+        // Refresh in place if the line raced in already.
+        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
+            way.last_use = self.clock;
+            way.dirty |= dirty;
+            return None;
+        }
+        let clock = self.clock;
+        let victim_way = if let Some(invalid) = self.sets[set].iter_mut().find(|w| !w.valid) {
+            invalid
+        } else {
+            self.sets[set]
+                .iter_mut()
+                .min_by_key(|w| w.last_use)
+                .expect("associativity is non-zero")
+        };
+        let victim = victim_way.valid.then(|| Victim {
+            line: LineAddr::new(victim_way.tag),
+            dirty: victim_way.dirty,
+        });
+        if victim.as_ref().is_some_and(|v| v.dirty) {
+            self.writebacks += 1;
+        }
+        *victim_way = Way { tag, valid: true, dirty, last_use: clock };
+        victim
+    }
+
+    /// Removes `line` if present, returning whether it was dirty.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
+        let set = self.set_of(line);
+        let tag = line.index();
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.valid = false;
+                return Some(way.dirty);
+            }
+        }
+        None
+    }
+
+    /// Marks `line` dirty if present (write to an already-resident line
+    /// discovered through another path).
+    pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
+        let set = self.set_of(line);
+        let tag = line.index();
+        for way in &mut self.sets[set] {
+            if way.valid && way.tag == tag {
+                way.dirty = true;
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Number of valid lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets.iter().flatten().filter(|w| w.valid).count()
+    }
+
+    /// Demand hits observed.
+    pub const fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Demand misses observed.
+    pub const fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Dirty evictions produced.
+    pub const fn writebacks(&self) -> u64 {
+        self.writebacks
+    }
+
+    /// Exports statistics.
+    pub fn stats(&self) -> StatRecord {
+        let mut r = StatRecord::new("cache");
+        r.set("hits", self.hits as f64);
+        r.set("misses", self.misses as f64);
+        r.set("fills", self.fills as f64);
+        r.set("writebacks", self.writebacks as f64);
+        let total = (self.hits + self.misses) as f64;
+        if total > 0.0 {
+            r.set("miss_rate", self.misses as f64 / total);
+        }
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SetAssocCache {
+        // 2 sets x 2 ways.
+        SetAssocCache::new(CacheConfig { size_bytes: 4 * 64, associativity: 2 })
+    }
+
+    #[test]
+    fn miss_then_fill_then_hit() {
+        let mut c = tiny();
+        let line = LineAddr::new(4);
+        assert_eq!(c.access(line, false), AccessOutcome::Miss);
+        assert_eq!(c.fill(line, false), None);
+        assert_eq!(c.access(line, false), AccessOutcome::Hit);
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c = tiny();
+        // Set 0 holds even line indices (mod 2 sets): lines 0, 2, 4.
+        c.fill(LineAddr::new(0), false);
+        c.fill(LineAddr::new(2), false);
+        // Touch 0 so 2 becomes LRU.
+        assert_eq!(c.access(LineAddr::new(0), false), AccessOutcome::Hit);
+        let victim = c.fill(LineAddr::new(4), false).unwrap();
+        assert_eq!(victim.line, LineAddr::new(2));
+        assert!(!victim.dirty);
+        assert!(c.contains(LineAddr::new(0)));
+    }
+
+    #[test]
+    fn dirty_eviction_reports_writeback() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), false);
+        assert_eq!(c.access(LineAddr::new(0), true), AccessOutcome::Hit); // dirty now
+        c.fill(LineAddr::new(2), false);
+        let victim = c.fill(LineAddr::new(4), false).unwrap();
+        assert_eq!(victim.line, LineAddr::new(0));
+        assert!(victim.dirty);
+        assert_eq!(c.writebacks(), 1);
+    }
+
+    #[test]
+    fn fill_of_resident_line_merges() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), false);
+        assert_eq!(c.fill(LineAddr::new(0), true), None);
+        // Line is now dirty: evicting it reports a writeback.
+        c.fill(LineAddr::new(2), false);
+        c.access(LineAddr::new(2), false);
+        let victim = c.fill(LineAddr::new(4), false).unwrap();
+        assert!(victim.dirty);
+    }
+
+    #[test]
+    fn invalidate_removes() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), true);
+        assert_eq!(c.invalidate(LineAddr::new(0)), Some(true));
+        assert_eq!(c.invalidate(LineAddr::new(0)), None);
+        assert!(!c.contains(LineAddr::new(0)));
+        assert_eq!(c.occupancy(), 0);
+    }
+
+    #[test]
+    fn mark_dirty_only_if_present() {
+        let mut c = tiny();
+        c.fill(LineAddr::new(0), false);
+        assert!(c.mark_dirty(LineAddr::new(0)));
+        assert!(!c.mark_dirty(LineAddr::new(2)));
+    }
+
+    #[test]
+    fn distinct_sets_do_not_conflict() {
+        let mut c = tiny();
+        // Lines 0,2 -> set 0; lines 1,3 -> set 1.
+        for l in 0..4 {
+            assert!(c.fill(LineAddr::new(l), false).is_none());
+        }
+        assert_eq!(c.occupancy(), 4);
+    }
+
+    #[test]
+    fn stats_miss_rate() {
+        let mut c = tiny();
+        c.access(LineAddr::new(0), false);
+        c.fill(LineAddr::new(0), false);
+        c.access(LineAddr::new(0), false);
+        let s = c.stats();
+        assert_eq!(s.get("miss_rate"), Some(0.5));
+    }
+
+    #[test]
+    fn realistic_l2_geometry_works() {
+        let mut c = SetAssocCache::new(CacheConfig::dl2_penryn());
+        for l in 0..10_000u64 {
+            c.fill(LineAddr::new(l), false);
+        }
+        assert_eq!(c.occupancy(), 10_000);
+    }
+}

@@ -1,0 +1,186 @@
+//! The named machine configurations of the paper's evaluation.
+//!
+//! Figure 4's progression: [`cfg_2d`] → [`cfg_3d`] → [`cfg_3d_wide`] →
+//! [`cfg_3d_fast`]; Figures 6–9 build on [`cfg_aggressive`].
+
+use stacksim_cache::CacheConfig;
+use stacksim_cpu::CoreConfig;
+use stacksim_memctrl::SchedulerPolicy;
+use stacksim_mshr::MshrKind;
+use stacksim_types::{
+    Cycles, DramTiming, InterleaveGranularity, MemoryKind, RefreshConfig,
+};
+use stacksim_vm::TlbConfig;
+
+use crate::config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
+
+/// Core clock of the Table 1 machine, Hz.
+pub const CORE_HZ: f64 = 3.333e9;
+
+/// One-way package/PCB latency to off-chip memory, beyond the DRAM arrays
+/// themselves (pin crossing, board trace, FSB protocol). One of the three
+/// overheads 3D stacking removes (§3).
+const OFF_CHIP_PATH_NS: f64 = 12.0;
+
+fn baseline_memory() -> MemorySystemConfig {
+    MemorySystemConfig {
+        kind: MemoryKind::OffChip2D,
+        total_bytes: 8 << 30,
+        ranks: 8,
+        banks_per_rank: 8,
+        mcs: 1,
+        row_buffer_entries: 1,
+        timing: DramTiming::COMMODITY_2D,
+        refresh: RefreshConfig::OFF_CHIP,
+        smart_refresh: false,
+        page_policy: stacksim_dram::PagePolicy::Open,
+        bus_width_bytes: 8,
+        bus_clock_divisor: 2, // 64-bit FSB at 1.66 GT/s vs 3.333 GHz core
+        mc_clock_divisor: 4,  // MC clocked at the 833 MHz FSB
+        path_latency: Cycles::from_ns(OFF_CHIP_PATH_NS, CORE_HZ),
+        critical_word_first: true,
+        mrq_total: 32,
+        policy: SchedulerPolicy::FrFcfs,
+    }
+}
+
+fn baseline_system(memory: MemorySystemConfig) -> SystemConfig {
+    SystemConfig {
+        cores: 4,
+        core: CoreConfig::penryn(),
+        core_hz: CORE_HZ,
+        l2: CacheConfig::dl2_penryn(),
+        l2_banks: 16,
+        l2_latency: Cycles::new(9),
+        l2_interleave: InterleaveGranularity::Line,
+        l2_prefetch: true,
+        mshr: MshrSystemConfig { kind: MshrKind::Cam, total_entries: 8, dynamic: None },
+        vm: Some(TlbConfig::dtlb_penryn()),
+        memory,
+    }
+}
+
+/// The conventional baseline: off-chip commodity DDR2 behind a 64-bit FSB,
+/// a single 833 MHz memory controller, one row buffer per bank.
+pub fn cfg_2d() -> SystemConfig {
+    baseline_system(baseline_memory())
+}
+
+/// Simple 3D stacking (prior work's configuration): the same commodity
+/// DRAM moved on-stack — wire delay to memory disappears and the MC and bus
+/// run at core speed, but array timing, bus width and topology are
+/// unchanged.
+pub fn cfg_3d() -> SystemConfig {
+    let mut memory = baseline_memory();
+    memory.kind = MemoryKind::Stacked3D;
+    memory.refresh = RefreshConfig::ON_STACK;
+    memory.bus_clock_divisor = 1;
+    memory.mc_clock_divisor = 1;
+    memory.path_latency = Cycles::ZERO;
+    baseline_system(memory)
+}
+
+/// [`cfg_3d`] with the on-stack data bus widened to a full 64-byte cache
+/// line per transfer (TSV bundles make this nearly free, §2.2).
+pub fn cfg_3d_wide() -> SystemConfig {
+    let mut cfg = cfg_3d();
+    cfg.memory.bus_width_bytes = 64;
+    cfg
+}
+
+/// "True" 3D: [`cfg_3d_wide`] with the DRAM arrays themselves folded across
+/// layers over a dedicated logic layer, cutting array timing by 32.5 %
+/// (Tezzaron's measurements; Table 1's true-3D row). This is the baseline
+/// all of §4's gains are measured against.
+pub fn cfg_3d_fast() -> SystemConfig {
+    let mut cfg = cfg_3d_wide();
+    cfg.memory.kind = MemoryKind::True3DSplit;
+    cfg.memory.timing = DramTiming::TRUE_3D;
+    cfg
+}
+
+/// The paper's aggressive §4 organizations on top of [`cfg_3d_fast`]:
+/// `mcs` banked memory controllers over `ranks` ranks with
+/// `row_buffer_entries` row buffers per bank, the L2 re-banked at page
+/// granularity so each L2 bank feeds exactly one MC, and the L2 MSHRs
+/// banked alongside (Figure 5).
+///
+/// # Panics
+///
+/// Panics if the resulting configuration is inconsistent (e.g. `ranks` not
+/// divisible by `mcs`).
+pub fn cfg_aggressive(mcs: u16, ranks: u16, row_buffer_entries: usize) -> SystemConfig {
+    let mut cfg = cfg_3d_fast();
+    cfg.memory.mcs = mcs;
+    cfg.memory.ranks = ranks;
+    cfg.memory.row_buffer_entries = row_buffer_entries;
+    cfg.l2_interleave = InterleaveGranularity::Page;
+    // Keep the aggregate MSHR capacity of the baseline; it is banked across
+    // MCs. Section 5 then scales it.
+    if cfg.mshr.total_entries % mcs as usize != 0 {
+        cfg.mshr.total_entries = mcs as usize * cfg.mshr.total_entries.div_ceil(mcs as usize);
+    }
+    cfg.validate().expect("aggressive configuration must be consistent");
+    cfg
+}
+
+/// The dual-MC configuration highlighted in Figures 6(b), 7(a) and 9(a):
+/// 2 MCs, 8 ranks, 4 row buffers per bank.
+pub fn cfg_dual_mc() -> SystemConfig {
+    cfg_aggressive(2, 8, 4)
+}
+
+/// The quad-MC configuration highlighted in Figures 6(b), 7(b) and 9(b):
+/// 4 MCs, 16 ranks, 4 row buffers per bank.
+pub fn cfg_quad_mc() -> SystemConfig {
+    cfg_aggressive(4, 16, 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure4_progression_changes_one_axis_at_a_time() {
+        let d2 = cfg_2d();
+        let d3 = cfg_3d();
+        let wide = cfg_3d_wide();
+        let fast = cfg_3d_fast();
+        // 2D -> 3D: clocking and locality change, arrays do not.
+        assert_eq!(d2.memory.timing, d3.memory.timing);
+        assert_eq!(d2.memory.bus_width_bytes, d3.memory.bus_width_bytes);
+        assert!(d3.memory.path_latency < d2.memory.path_latency);
+        assert_eq!(d3.memory.mc_clock_divisor, 1);
+        // 3D -> wide: only the bus widens.
+        assert_eq!(wide.memory.bus_width_bytes, 64);
+        assert_eq!(wide.memory.timing, d3.memory.timing);
+        // wide -> fast: only the array timing accelerates.
+        assert_eq!(fast.memory.bus_width_bytes, 64);
+        assert_eq!(fast.memory.timing, DramTiming::TRUE_3D);
+    }
+
+    #[test]
+    fn stacked_refresh_is_faster() {
+        assert_eq!(cfg_2d().memory.refresh, RefreshConfig::OFF_CHIP);
+        assert_eq!(cfg_3d().memory.refresh, RefreshConfig::ON_STACK);
+    }
+
+    #[test]
+    fn aggressive_configs_use_page_interleave() {
+        let cfg = cfg_quad_mc();
+        assert_eq!(cfg.l2_interleave, InterleaveGranularity::Page);
+        assert_eq!(cfg.memory.mcs, 4);
+        assert_eq!(cfg.memory.ranks, 16);
+        assert_eq!(cfg.memory.row_buffer_entries, 4);
+        // The baseline keeps the commodity line interleave.
+        assert_eq!(cfg_3d_fast().l2_interleave, InterleaveGranularity::Line);
+    }
+
+    #[test]
+    fn highlighted_configs_match_figure6b() {
+        let dual = cfg_dual_mc();
+        assert_eq!((dual.memory.mcs, dual.memory.ranks), (2, 8));
+        let quad = cfg_quad_mc();
+        assert_eq!((quad.memory.mcs, quad.memory.ranks), (4, 16));
+    }
+}

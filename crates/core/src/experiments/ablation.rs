@@ -1,0 +1,302 @@
+//! Ablation studies for the design choices DESIGN.md calls out: memory
+//! scheduling policy, L2 bank interleaving granularity, MSHR probing
+//! scheme, and the energy side of the row-buffer cache.
+
+use stacksim_dram::EnergyModel;
+use stacksim_memctrl::SchedulerPolicy;
+use stacksim_mshr::MshrKind;
+use stacksim_stats::{geometric_mean, Table};
+use stacksim_types::{ConfigError, InterleaveGranularity};
+use stacksim_workload::Mix;
+
+use crate::config::SystemConfig;
+use crate::configs;
+use crate::runner::{run_mix, RunConfig};
+use crate::system::System;
+
+/// GM speedup of `cfg` over `base` across `mixes`.
+fn gm_speedup(
+    cfg: &SystemConfig,
+    base: &SystemConfig,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<f64, ConfigError> {
+    let mut vals = Vec::with_capacity(mixes.len());
+    for &mix in mixes {
+        let b = run_mix(base, mix, run)?;
+        let c = run_mix(cfg, mix, run)?;
+        vals.push(c.speedup_over(&b));
+    }
+    Ok(geometric_mean(&vals).expect("speedups are positive"))
+}
+
+/// FR-FCFS versus FIFO scheduling (the paper assumes Rixner-style
+/// row-hit-first scheduling, §2.4). Returns the GM speedup of FR-FCFS over
+/// FIFO on the quad-MC machine.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_scheduler(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
+    let frfcfs = configs::cfg_quad_mc();
+    let mut fifo = frfcfs.clone();
+    fifo.memory.policy = SchedulerPolicy::Fifo;
+    gm_speedup(&frfcfs, &fifo, run, mixes)
+}
+
+/// Critical-word-first on versus off, measured on the *narrow-bus* 3D
+/// machine where it matters most (§3's debate with Liu et al.: CWF hides
+/// most of a narrow bus's latency for a single core, but not its
+/// contention). Returns the GM speedup of CWF over full-line delivery.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_cwf(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
+    let cwf = configs::cfg_3d(); // 8-byte on-stack bus
+    let mut full_line = cwf.clone();
+    full_line.memory.critical_word_first = false;
+    gm_speedup(&cwf, &full_line, run, mixes)
+}
+
+/// Page- versus line-granularity L2 bank interleaving on the quad-MC
+/// machine (§4.1's streamlined floorplan). Returns the GM speedup of page
+/// interleaving over line interleaving.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_interleave(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
+    let page = configs::cfg_quad_mc();
+    let mut line = page.clone();
+    line.l2_interleave = InterleaveGranularity::Line;
+    gm_speedup(&page, &line, run, mixes)
+}
+
+/// One row of the probing-scheme comparison (paper footnote 2).
+#[derive(Clone, Debug)]
+pub struct ProbingRow {
+    /// MSHR organization.
+    pub kind: MshrKind,
+    /// GM speedup over the plain direct-mapped linear-probing MSHR.
+    pub speedup_vs_linear: f64,
+    /// Mean probes per MSHR access.
+    pub probes_per_access: f64,
+}
+
+/// Compares MSHR organizations at 8× capacity on the quad-MC machine:
+/// direct-mapped linear probing (the baseline the VBF accelerates),
+/// quadratic probing, the VBF, and the ideal CAM.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_probing(
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<Vec<ProbingRow>, ConfigError> {
+    let base = configs::cfg_quad_mc().with_mshr_scale(8);
+    let linear = base.with_mshr_kind(MshrKind::DirectLinear);
+    let mut rows = Vec::new();
+    for kind in [MshrKind::DirectLinear, MshrKind::DirectQuadratic, MshrKind::Vbf, MshrKind::Cam] {
+        let cfg = base.with_mshr_kind(kind);
+        let mut probe_sum = 0.0;
+        let mut vals = Vec::with_capacity(mixes.len());
+        for &mix in mixes {
+            let b = run_mix(&linear, mix, run)?;
+            let c = run_mix(&cfg, mix, run)?;
+            vals.push(c.speedup_over(&b));
+            probe_sum += c.stats.get("mshr_probes_per_access").unwrap_or(1.0);
+        }
+        rows.push(ProbingRow {
+            kind,
+            speedup_vs_linear: geometric_mean(&vals).expect("speedups are positive"),
+            probes_per_access: probe_sum / mixes.len().max(1) as f64,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the probing comparison.
+pub fn probing_table(rows: &[ProbingRow]) -> Table {
+    let mut t = Table::new(vec![
+        "organization".into(),
+        "speedup vs linear".into(),
+        "probes/access".into(),
+    ]);
+    t.title("Ablation: MSHR probing schemes at 8x capacity (quad-MC)");
+    t.numeric();
+    for r in rows {
+        t.row(vec![
+            r.kind.to_string(),
+            format!("{:.3}", r.speedup_vs_linear),
+            format!("{:.2}", r.probes_per_access),
+        ]);
+    }
+    t
+}
+
+/// Open- versus closed-page row management on the quad-MC machine. The
+/// paper's whole §4 rests on exploiting open rows (FR-FCFS + row-buffer
+/// caches); this quantifies what closing the page after every access would
+/// forfeit. Returns the GM speedup of open over closed.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_page_policy(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
+    let open = configs::cfg_quad_mc();
+    let mut closed = open.clone();
+    closed.memory.page_policy = stacksim_dram::PagePolicy::Closed;
+    gm_speedup(&open, &closed, run, mixes)
+}
+
+/// Smart Refresh on versus off, on the quad-MC stacked machine (32 ms
+/// refresh — the hotter stack refreshes twice as often, which is exactly
+/// where refresh-skipping pays). Returns `(gm_speedup, refreshes_plain,
+/// refreshes_smart)` over one memory-intensive mix.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_smart_refresh(
+    run: &RunConfig,
+    mix: &'static Mix,
+) -> Result<(f64, f64, f64), ConfigError> {
+    let plain = configs::cfg_quad_mc();
+    let mut smart = plain.clone();
+    smart.memory.smart_refresh = true;
+    let refreshes_of = |cfg: &SystemConfig| -> Result<(f64, f64), ConfigError> {
+        let mut sys = System::for_mix(cfg, mix, run.seed)?;
+        sys.run_cycles(run.warmup_cycles + run.measure_cycles);
+        let stats = sys.stats();
+        let refreshes: f64 = (0..cfg.memory.mcs as usize)
+            .map(|i| stats.get(&format!("mc{i}.ranks.refreshes")).unwrap_or(0.0))
+            .sum();
+        Ok((sys.total_committed() as f64, refreshes))
+    };
+    let (committed_plain, refreshes_plain) = refreshes_of(&plain)?;
+    let (committed_smart, refreshes_smart) = refreshes_of(&smart)?;
+    Ok((committed_smart / committed_plain.max(1.0), refreshes_plain, refreshes_smart))
+}
+
+/// One row of the row-buffer-cache energy study.
+#[derive(Clone, Copy, Debug)]
+pub struct EnergyRow {
+    /// Row-buffer entries per bank.
+    pub row_buffers: usize,
+    /// DRAM row-buffer hit rate achieved.
+    pub row_hit_rate: f64,
+    /// DRAM energy per committed kilo-instruction, nanojoules.
+    pub nj_per_kilo_instruction: f64,
+}
+
+/// §4.2's energy argument: "each row buffer cache hit avoids the power
+/// needed to perform a full array access". Sweeps row-buffer entries on the
+/// quad-MC machine and reports hit rate and DRAM energy per work done.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn ablation_energy(run: &RunConfig, mix: &'static Mix) -> Result<Vec<EnergyRow>, ConfigError> {
+    let model = EnergyModel::DDR2;
+    let mut rows = Vec::new();
+    for row_buffers in 1..=4usize {
+        let cfg = configs::cfg_aggressive(4, 16, row_buffers);
+        let mut sys = System::for_mix(&cfg, mix, run.seed)?;
+        sys.run_cycles(run.warmup_cycles + run.measure_cycles);
+        let stats = sys.stats();
+        let energy = sys.dram_energy(&model);
+        let committed = sys.total_committed().max(1) as f64;
+        let hits: f64 = (0..4).map(|i| stats.get(&format!("mc{i}.ranks.row_hits")).unwrap_or(0.0)).sum();
+        let misses: f64 =
+            (0..4).map(|i| stats.get(&format!("mc{i}.ranks.row_misses")).unwrap_or(0.0)).sum();
+        rows.push(EnergyRow {
+            row_buffers,
+            row_hit_rate: hits / (hits + misses).max(1.0),
+            nj_per_kilo_instruction: energy.total_nj() / committed * 1000.0,
+        });
+    }
+    Ok(rows)
+}
+
+/// Renders the energy sweep.
+pub fn energy_table(rows: &[EnergyRow]) -> Table {
+    let mut t = Table::new(vec![
+        "row buffers".into(),
+        "row hit rate".into(),
+        "nJ / kilo-instruction".into(),
+    ]);
+    t.title("Ablation: row-buffer cache size vs DRAM energy (quad-MC)");
+    t.numeric();
+    for r in rows {
+        t.row(vec![
+            r.row_buffers.to_string(),
+            format!("{:.3}", r.row_hit_rate),
+            format!("{:.1}", r.nj_per_kilo_instruction),
+        ]);
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> RunConfig {
+        RunConfig { warmup_cycles: 8_000, measure_cycles: 50_000, seed: 3 }
+    }
+
+    #[test]
+    fn frfcfs_beats_fifo_on_streams() {
+        let mixes = [Mix::by_name("VH2").unwrap()];
+        let s = ablation_scheduler(&quick(), &mixes).unwrap();
+        assert!(s > 0.95, "FR-FCFS {s:.3} should not lose badly to FIFO");
+    }
+
+    #[test]
+    fn critical_word_first_helps_narrow_buses() {
+        let mixes = [Mix::by_name("H1").unwrap()];
+        let s = ablation_cwf(&quick(), &mixes).unwrap();
+        assert!(s > 1.0, "CWF must help on an 8-byte bus: {s:.3}");
+    }
+
+    #[test]
+    fn probing_schemes_ordered_by_probes() {
+        let mixes = [Mix::by_name("VH1").unwrap()];
+        let rows = ablation_probing(&quick(), &mixes).unwrap();
+        let probe_of = |k: MshrKind| rows.iter().find(|r| r.kind == k).unwrap().probes_per_access;
+        assert!(probe_of(MshrKind::Cam) <= probe_of(MshrKind::Vbf));
+        assert!(probe_of(MshrKind::Vbf) < probe_of(MshrKind::DirectLinear));
+        let t = probing_table(&rows).to_string();
+        assert!(t.contains("vbf"));
+    }
+
+    #[test]
+    fn open_page_beats_closed_on_streams() {
+        let mixes = [Mix::by_name("VH2").unwrap()];
+        let s = ablation_page_policy(&quick(), &mixes).unwrap();
+        assert!(s > 1.0, "open-page must win on row-friendly streams: {s:.3}");
+    }
+
+    #[test]
+    fn smart_refresh_reduces_refresh_count_without_hurting() {
+        let (speedup, plain, smart) =
+            ablation_smart_refresh(&quick(), Mix::by_name("VH1").unwrap()).unwrap();
+        assert!(smart < plain, "smart {smart} must refresh less than plain {plain}");
+        assert!(speedup > 0.97, "smart refresh must not slow the machine: {speedup:.3}");
+    }
+
+    #[test]
+    fn bigger_row_buffer_cache_raises_hit_rate() {
+        let rows = ablation_energy(&quick(), Mix::by_name("H2").unwrap()).unwrap();
+        assert_eq!(rows.len(), 4);
+        assert!(
+            rows[3].row_hit_rate >= rows[0].row_hit_rate,
+            "rb4 hit rate {:.3} vs rb1 {:.3}",
+            rows[3].row_hit_rate,
+            rows[0].row_hit_rate
+        );
+        assert!(energy_table(&rows).to_string().contains("row hit rate"));
+    }
+}

@@ -1,0 +1,166 @@
+//! Figure 4: speedups of the simple 3D-stacked organizations over off-chip
+//! 2D memory.
+
+use stacksim_stats::Table;
+use stacksim_types::ConfigError;
+use stacksim_workload::Mix;
+
+use crate::configs;
+use crate::runner::{run_mix, RunConfig};
+
+use super::{gm_all, gm_memory_intensive};
+
+/// Per-mix speedups of the three stacked organizations over 2D.
+#[derive(Clone, Debug)]
+pub struct Figure4Row {
+    /// The workload mix.
+    pub mix: &'static Mix,
+    /// Baseline HMIPC (2D) — the reference everything divides by.
+    pub hmipc_2d: f64,
+    /// 3D (on-stack commodity DRAM) speedup.
+    pub speedup_3d: f64,
+    /// 3D-wide (64-byte bus) speedup.
+    pub speedup_wide: f64,
+    /// 3D-fast (true-3D arrays) speedup.
+    pub speedup_fast: f64,
+}
+
+/// The full figure.
+#[derive(Clone, Debug)]
+pub struct Figure4Result {
+    /// One row per mix, in the paper's order.
+    pub rows: Vec<Figure4Row>,
+    /// GM(H,VH) of `[3D, 3D-wide, 3D-fast]`, when H/VH mixes were run.
+    pub gm_hvh: Option<[f64; 3]>,
+    /// GM(all) of `[3D, 3D-wide, 3D-fast]`.
+    pub gm_all: [f64; 3],
+}
+
+impl Figure4Result {
+    /// Renders the figure as the paper's bar-chart data.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec![
+            "mix".into(),
+            "2D".into(),
+            "3D".into(),
+            "+wide bus".into(),
+            "+true 3D".into(),
+        ]);
+        t.title("Figure 4: speedup over off-chip (2D) memory");
+        t.numeric();
+        for row in &self.rows {
+            t.row(vec![
+                row.mix.name.into(),
+                "1.000".into(),
+                format!("{:.3}", row.speedup_3d),
+                format!("{:.3}", row.speedup_wide),
+                format!("{:.3}", row.speedup_fast),
+            ]);
+        }
+        if let Some(gm) = self.gm_hvh {
+            t.row(vec![
+                "GM(H,VH)".into(),
+                "1.000".into(),
+                format!("{:.3}", gm[0]),
+                format!("{:.3}", gm[1]),
+                format!("{:.3}", gm[2]),
+            ]);
+        }
+        t.row(vec![
+            "GM(all)".into(),
+            "1.000".into(),
+            format!("{:.3}", self.gm_all[0]),
+            format!("{:.3}", self.gm_all[1]),
+            format!("{:.3}", self.gm_all[2]),
+        ]);
+        t
+    }
+}
+
+/// Runs the Figure 4 experiment over `mixes` (pass [`Mix::all`] for the
+/// full figure).
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if a configuration fails validation.
+pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result, ConfigError> {
+    let cfg_2d = configs::cfg_2d();
+    let cfg_3d = configs::cfg_3d();
+    let cfg_wide = configs::cfg_3d_wide();
+    let cfg_fast = configs::cfg_3d_fast();
+    let mut rows = Vec::with_capacity(mixes.len());
+    for &mix in mixes {
+        let base = run_mix(&cfg_2d, mix, run)?;
+        let d3 = run_mix(&cfg_3d, mix, run)?;
+        let wide = run_mix(&cfg_wide, mix, run)?;
+        let fast = run_mix(&cfg_fast, mix, run)?;
+        rows.push(Figure4Row {
+            mix,
+            hmipc_2d: base.hmipc,
+            speedup_3d: d3.speedup_over(&base),
+            speedup_wide: wide.speedup_over(&base),
+            speedup_fast: fast.speedup_over(&base),
+        });
+    }
+    let columns = |f: fn(&Figure4Row) -> f64| -> Vec<(&'static Mix, f64)> {
+        rows.iter().map(|r| (r.mix, f(r))).collect()
+    };
+    let col3d = columns(|r| r.speedup_3d);
+    let colwide = columns(|r| r.speedup_wide);
+    let colfast = columns(|r| r.speedup_fast);
+    let has_hvh = mixes.iter().any(|m| {
+        matches!(m.class, stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh)
+    });
+    let gm_hvh = has_hvh.then(|| {
+        [
+            gm_memory_intensive(&col3d),
+            gm_memory_intensive(&colwide),
+            gm_memory_intensive(&colfast),
+        ]
+    });
+    Ok(Figure4Result {
+        gm_hvh,
+        gm_all: [gm_all(&col3d), gm_all(&colwide), gm_all(&colfast)],
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stacking_progression_holds_on_stream_mix() {
+        let mixes = [Mix::by_name("VH1").unwrap()];
+        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let row = &r.rows[0];
+        // The paper's headline shape: each step helps, in order.
+        assert!(row.speedup_3d > 1.05, "3D {:.3}", row.speedup_3d);
+        assert!(row.speedup_wide > row.speedup_3d, "wide {:.3}", row.speedup_wide);
+        assert!(row.speedup_fast > row.speedup_wide, "fast {:.3}", row.speedup_fast);
+        assert!((r.gm_hvh.unwrap()[2] - row.speedup_fast).abs() < 1e-9);
+    }
+
+    #[test]
+    fn moderate_mix_benefits_less() {
+        let mixes = [Mix::by_name("VH1").unwrap(), Mix::by_name("M3").unwrap()];
+        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let vh = &r.rows[0];
+        let m = &r.rows[1];
+        assert!(
+            vh.speedup_fast > m.speedup_fast,
+            "memory-bound {} must gain more than moderate {}",
+            vh.speedup_fast,
+            m.speedup_fast
+        );
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let mixes = [Mix::by_name("VH1").unwrap()];
+        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let t = r.table();
+        let s = t.to_string();
+        assert!(s.contains("VH1") && s.contains("GM(all)"));
+    }
+}

@@ -1,0 +1,72 @@
+//! The §2.4 thermal check: the DRAM-on-CPU stack stays within the SDRAM
+//! thermal limit.
+
+use stacksim_stats::Table;
+use stacksim_thermal::{StackConfig, ThermalGrid, ThermalReport, DRAM_THERMAL_LIMIT_C};
+
+/// The thermal-analysis outcome.
+#[derive(Clone, Debug)]
+pub struct ThermalCheck {
+    /// The solved stack report.
+    pub report: ThermalReport,
+    /// Number of DRAM layers analysed.
+    pub dram_layers: usize,
+    /// Whether the stack stays within the SDRAM limit (the paper's
+    /// conclusion).
+    pub within_limit: bool,
+}
+
+impl ThermalCheck {
+    /// Renders the per-layer temperatures.
+    pub fn table(&self) -> Table {
+        let mut t = Table::new(vec!["layer".into(), "max temp (C)".into()]);
+        t.title(format!(
+            "Thermal check: {} DRAM layers on CPU (limit {DRAM_THERMAL_LIMIT_C} C)",
+            self.dram_layers
+        ));
+        t.numeric();
+        for (i, temp) in self.report.layer_max_c.iter().enumerate() {
+            let name = if i == 0 { "cpu".to_string() } else { format!("dram{}", i - 1) };
+            t.row(vec![name, format!("{temp:.1}")]);
+        }
+        t.row(vec![
+            "within DRAM limit".into(),
+            if self.within_limit { "yes" } else { "NO" }.into(),
+        ]);
+        t
+    }
+}
+
+/// Solves the steady-state thermal state of the paper's 8-layer (plus CPU)
+/// stack, with per-core hotspots on the processor die.
+pub fn thermal_check(cpu_power_w: f64, dram_layers: usize) -> ThermalCheck {
+    let cfg = StackConfig::dram_on_cpu(cpu_power_w, dram_layers, 0.6);
+    let mut grid = ThermalGrid::new(cfg);
+    // Four core hotspots on the CPU die, one per quadrant (each core
+    // concentrates a few watts beyond the uniform background).
+    for (x, y) in [(2, 2), (2, 5), (5, 2), (5, 5)] {
+        grid.add_hotspot(0, x, y, 3.0);
+    }
+    let report = grid.solve_steady_state();
+    ThermalCheck { within_limit: report.within_dram_limit(), dram_layers, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_stack_is_within_limit() {
+        let check = thermal_check(65.0, 8);
+        assert!(check.within_limit, "paper's conclusion must reproduce: {:?}", check.report);
+        assert_eq!(check.report.layer_max_c.len(), 9);
+        assert!(check.table().to_string().contains("yes"));
+    }
+
+    #[test]
+    fn absurd_power_violates_limit() {
+        let check = thermal_check(400.0, 8);
+        assert!(!check.within_limit);
+        assert!(check.table().to_string().contains("NO"));
+    }
+}

@@ -1,0 +1,44 @@
+//! `stacksim` — a cycle-level simulator reproducing Gabriel Loh's ISCA 2008
+//! paper *"3D-Stacked Memory Architectures for Multi-Core Processors"*.
+//!
+//! The crate assembles the workspace's substrates — trace-driven cores
+//! (`stacksim-cpu`), a banked shared L2 (`stacksim-cache`), scalable L2 miss
+//! handling including the Vector Bloom Filter (`stacksim-mshr`), banked
+//! memory controllers (`stacksim-memctrl`) and a DRAM device model
+//! (`stacksim-dram`) — into the paper's quad-core machine, and provides:
+//!
+//! * [`SystemConfig`] plus the named paper configurations in [`configs`]
+//!   (2D → 3D → 3D-wide → 3D-fast → aggressive rank/MC/row-buffer
+//!   organizations);
+//! * [`System`], the cycle-driven machine model;
+//! * [`runner`], the warmup + measure harness producing per-core IPC and
+//!   HMIPC exactly as the paper's methodology prescribes (§2.4);
+//! * [`experiments`], one driver per table/figure of the evaluation
+//!   (Table 2, Figures 4, 6(a), 6(b), 7, 9, the §5.2 headline numbers and
+//!   the §2.4 thermal check).
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use stacksim::configs;
+//! use stacksim::runner::{run_mix, RunConfig};
+//! use stacksim_workload::Mix;
+//!
+//! let cfg = configs::cfg_3d_fast();
+//! let mix = Mix::by_name("H1").unwrap();
+//! let result = run_mix(&cfg, mix, &RunConfig::default()).unwrap();
+//! println!("H1 on 3D-fast: HMIPC {:.3}", result.hmipc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod configs;
+pub mod experiments;
+pub mod report;
+pub mod runner;
+mod system;
+
+pub use config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
+pub use system::System;

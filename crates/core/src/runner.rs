@@ -1,0 +1,145 @@
+//! The measurement harness: warmup, fixed measurement window, HMIPC.
+//!
+//! The paper warms the caches, then simulates a fixed instruction budget per
+//! program, freezing each program's statistics when its budget is reached
+//! while execution continues so the mix keeps competing for shared
+//! resources (§2.4). For steady-state synthetic programs an equivalent and
+//! simpler scheme is a fixed measurement *window*: warm up for
+//! `warmup_cycles`, snapshot per-core committed counts, run
+//! `measure_cycles`, and report each core's ∆committed / window as its IPC.
+//! Multi-programmed throughput is the harmonic mean of the four per-core
+//! IPCs (HMIPC, Table 2(b)).
+
+use stacksim_stats::{harmonic_mean, StatRecord};
+use stacksim_types::ConfigError;
+use stacksim_workload::Mix;
+
+use crate::config::SystemConfig;
+use crate::system::System;
+
+/// Length and seeding of one simulation run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RunConfig {
+    /// Cache/branch warmup cycles before measurement starts.
+    pub warmup_cycles: u64,
+    /// Measured window length in cycles.
+    pub measure_cycles: u64,
+    /// Seed for the workload generators.
+    pub seed: u64,
+}
+
+impl RunConfig {
+    /// A short window for unit tests (fast, still past the warmup knee).
+    pub fn quick() -> RunConfig {
+        RunConfig { warmup_cycles: 10_000, measure_cycles: 60_000, seed: 0xC0FFEE }
+    }
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { warmup_cycles: 30_000, measure_cycles: 250_000, seed: 0xC0FFEE }
+    }
+}
+
+/// The outcome of one mix × configuration run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The mix that ran.
+    pub mix: &'static str,
+    /// Per-core IPC over the measured window.
+    pub per_core_ipc: Vec<f64>,
+    /// Harmonic-mean IPC across the mix's programs.
+    pub hmipc: f64,
+    /// µops committed per core during the window.
+    pub committed: Vec<u64>,
+    /// Full machine statistics at the end of the run.
+    pub stats: StatRecord,
+}
+
+impl RunResult {
+    /// Speedup of this run over a baseline run of the same mix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runs are for different mixes.
+    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
+        assert_eq!(self.mix, baseline.mix, "speedup across different mixes");
+        self.hmipc / baseline.hmipc
+    }
+}
+
+/// Runs one mix on one configuration.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is inconsistent.
+pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResult, ConfigError> {
+    let mut system = System::for_mix(cfg, mix, run.seed)?;
+    system.run_cycles(run.warmup_cycles);
+    let before: Vec<u64> = (0..cfg.cores).map(|i| system.core_committed(i)).collect();
+    system.run_cycles(run.measure_cycles);
+    let committed: Vec<u64> = (0..cfg.cores)
+        .map(|i| system.core_committed(i) - before[i])
+        .collect();
+    let per_core_ipc: Vec<f64> = committed
+        .iter()
+        .map(|&c| (c.max(1)) as f64 / run.measure_cycles as f64)
+        .collect();
+    let hmipc = harmonic_mean(&per_core_ipc).expect("ipc values are positive");
+    Ok(RunResult {
+        mix: mix.name,
+        per_core_ipc,
+        hmipc,
+        committed,
+        stats: system.stats(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs;
+
+    #[test]
+    fn moderate_mix_outruns_stream_mix() {
+        let cfg = configs::cfg_2d();
+        let run = RunConfig::quick();
+        let m1 = run_mix(&cfg, Mix::by_name("M1").unwrap(), &run).unwrap();
+        let vh1 = run_mix(&cfg, Mix::by_name("VH1").unwrap(), &run).unwrap();
+        assert!(
+            m1.hmipc > 3.0 * vh1.hmipc,
+            "moderate {} vs stream {}",
+            m1.hmipc,
+            vh1.hmipc
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let cfg = configs::cfg_3d_fast();
+        let run = RunConfig::quick();
+        let a = run_mix(&cfg, Mix::by_name("H2").unwrap(), &run).unwrap();
+        let b = run_mix(&cfg, Mix::by_name("H2").unwrap(), &run).unwrap();
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.hmipc, b.hmipc);
+    }
+
+    #[test]
+    fn speedup_over_baseline() {
+        let run = RunConfig::quick();
+        let mix = Mix::by_name("VH2").unwrap();
+        let base = run_mix(&configs::cfg_2d(), mix, &run).unwrap();
+        let fast = run_mix(&configs::cfg_3d_fast(), mix, &run).unwrap();
+        let s = fast.speedup_over(&base);
+        assert!(s > 1.2, "3D-fast should clearly beat 2D on streams: {s}");
+    }
+
+    #[test]
+    #[should_panic(expected = "different mixes")]
+    fn speedup_requires_same_mix() {
+        let run = RunConfig::quick();
+        let a = run_mix(&configs::cfg_2d(), Mix::by_name("M1").unwrap(), &run).unwrap();
+        let b = run_mix(&configs::cfg_2d(), Mix::by_name("M2").unwrap(), &run).unwrap();
+        let _ = a.speedup_over(&b);
+    }
+}

@@ -1,0 +1,324 @@
+//! The TAGE branch predictor (Table 1: "TAGE (4KB, 5 tables)", after
+//! Seznec & Michaud).
+//!
+//! A base bimodal table backs a set of tagged tables indexed by
+//! geometrically growing global-history lengths; the longest-history
+//! tagged hit provides the prediction, and allocation on mispredictions
+//! migrates hard branches to longer histories.
+
+use stacksim_stats::StatRecord;
+
+/// Geometry of the TAGE predictor.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TageConfig {
+    /// Entries in the base bimodal table.
+    pub base_entries: usize,
+    /// Per tagged table: `(history_bits, entries, tag_bits)`.
+    pub tagged: Vec<(u32, usize, u32)>,
+    /// Pipeline refill penalty on a misprediction, in cycles (Table 1:
+    /// 14-stage minimum).
+    pub mispredict_penalty: u64,
+}
+
+impl TageConfig {
+    /// The paper's 4 KB, 5-table configuration: a 2-bit bimodal base plus
+    /// four tagged tables on a geometric history series (5, 15, 44, 130),
+    /// sized to ~4 KB of state total.
+    pub fn penryn_4kb() -> TageConfig {
+        TageConfig {
+            base_entries: 4096,                       // 4096 x 2b = 1 KB
+            tagged: vec![
+                (5, 1024, 8),                         // ~1.4 KB across the
+                (15, 512, 9),                         //  four tagged tables
+                (44, 512, 10),
+                (130, 256, 11),
+            ],
+            mispredict_penalty: 14,
+        }
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any table is empty, not a power of two, or history lengths
+    /// are not strictly increasing.
+    pub fn validate(&self) {
+        assert!(self.base_entries.is_power_of_two() && self.base_entries > 0, "base table size");
+        let mut prev = 0;
+        for &(hist, entries, tag) in &self.tagged {
+            assert!(hist > prev, "history lengths must strictly increase");
+            assert!(entries.is_power_of_two() && entries > 0, "tagged table size");
+            assert!(tag > 0 && tag <= 16, "tag width");
+            prev = hist;
+        }
+    }
+}
+
+impl Default for TageConfig {
+    fn default() -> Self {
+        TageConfig::penryn_4kb()
+    }
+}
+
+#[derive(Clone, Copy, Debug, Default)]
+struct TaggedEntry {
+    tag: u16,
+    /// 3-bit signed counter, taken when >= 0 is encoded as value >= 4.
+    counter: u8,
+    useful: u8,
+}
+
+/// The predictor state.
+#[derive(Clone, Debug)]
+pub struct Tage {
+    config: TageConfig,
+    base: Vec<u8>,
+    tables: Vec<Vec<TaggedEntry>>,
+    history: u128,
+    // Statistics.
+    predictions: u64,
+    mispredictions: u64,
+}
+
+/// Which component provided a prediction (needed for the update).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Prediction {
+    /// The predicted direction.
+    pub taken: bool,
+    /// Index of the providing tagged table, or `None` for the base table.
+    provider: Option<usize>,
+}
+
+impl Tage {
+    /// Creates a predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid (see [`TageConfig::validate`]).
+    pub fn new(config: TageConfig) -> Self {
+        config.validate();
+        Tage {
+            base: vec![1; config.base_entries], // weakly not-taken
+            tables: config.tagged.iter().map(|&(_, n, _)| vec![TaggedEntry::default(); n]).collect(),
+            config,
+            history: 0,
+            predictions: 0,
+            mispredictions: 0,
+        }
+    }
+
+    fn fold_history(&self, bits: u32, out_bits: u32) -> u64 {
+        // Fold `bits` of global history down to `out_bits` by XOR.
+        let mut h = self.history & ((1u128 << bits.min(127)) - 1);
+        let mut folded: u64 = 0;
+        while h != 0 {
+            folded ^= (h as u64) & ((1u64 << out_bits) - 1);
+            h >>= out_bits;
+        }
+        folded
+    }
+
+    fn tagged_index(&self, table: usize, pc: u64) -> (usize, u16) {
+        let (hist, entries, tag_bits) = self.config.tagged[table];
+        let bits = entries.trailing_zeros();
+        let folded = self.fold_history(hist, bits.max(1));
+        let index = ((pc >> 2) ^ (pc >> 7) ^ folded) as usize & (entries - 1);
+        let tag_fold = self.fold_history(hist, tag_bits.max(1));
+        let tag = (((pc >> 2) ^ (pc >> 11) ^ (tag_fold << 1)) & ((1 << tag_bits) - 1)) as u16;
+        (index, tag)
+    }
+
+    fn base_index(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.config.base_entries - 1)
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> Prediction {
+        self.predictions += 1;
+        // Longest matching tagged table wins.
+        for table in (0..self.tables.len()).rev() {
+            let (index, tag) = self.tagged_index(table, pc);
+            let e = &self.tables[table][index];
+            if e.tag == tag && e.useful != u8::MAX {
+                return Prediction { taken: e.counter >= 4, provider: Some(table) };
+            }
+        }
+        Prediction { taken: self.base[self.base_index(pc)] >= 2, provider: None }
+    }
+
+    /// Updates the predictor with the resolved outcome. Returns whether the
+    /// earlier prediction was wrong.
+    pub fn update(&mut self, pc: u64, prediction: Prediction, taken: bool) -> bool {
+        let mispredicted = prediction.taken != taken;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        match prediction.provider {
+            Some(table) => {
+                let (index, tag) = self.tagged_index(table, pc);
+                let e = &mut self.tables[table][index];
+                if e.tag == tag {
+                    e.counter = bump3(e.counter, taken);
+                    if !mispredicted {
+                        e.useful = e.useful.saturating_add(1).min(3);
+                    } else if e.useful > 0 {
+                        e.useful -= 1;
+                    }
+                }
+            }
+            None => {
+                let i = self.base_index(pc);
+                self.base[i] = bump2(self.base[i], taken);
+            }
+        }
+        // On a misprediction, allocate in a longer-history table so the
+        // branch can be captured with more context.
+        if mispredicted {
+            let start = prediction.provider.map_or(0, |t| t + 1);
+            for table in start..self.tables.len() {
+                let (index, tag) = self.tagged_index(table, pc);
+                let e = &mut self.tables[table][index];
+                if e.useful == 0 {
+                    *e = TaggedEntry { tag, counter: if taken { 4 } else { 3 }, useful: 0 };
+                    break;
+                }
+                // Age the blocker so allocation eventually succeeds.
+                e.useful -= 1;
+            }
+        }
+        self.history = (self.history << 1) | u128::from(taken);
+        mispredicted
+    }
+
+    /// Refill penalty charged per misprediction.
+    pub const fn penalty(&self) -> u64 {
+        self.config.mispredict_penalty
+    }
+
+    /// Mispredictions per kilo-prediction so far.
+    pub fn mpki(&self) -> Option<f64> {
+        (self.predictions > 0)
+            .then(|| self.mispredictions as f64 / self.predictions as f64 * 1000.0)
+    }
+
+    /// Exports statistics.
+    pub fn stats(&self) -> StatRecord {
+        let mut r = StatRecord::new("tage");
+        r.set("predictions", self.predictions as f64);
+        r.set("mispredictions", self.mispredictions as f64);
+        if let Some(m) = self.mpki() {
+            r.set("mispredicts_per_kilo", m);
+        }
+        r
+    }
+}
+
+fn bump2(counter: u8, up: bool) -> u8 {
+    if up {
+        (counter + 1).min(3)
+    } else {
+        counter.saturating_sub(1)
+    }
+}
+
+fn bump3(counter: u8, up: bool) -> u8 {
+    if up {
+        (counter + 1).min(7)
+    } else {
+        counter.saturating_sub(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn train(tage: &mut Tage, pc: u64, outcomes: &[bool]) -> u64 {
+        let mut wrong = 0;
+        for &taken in outcomes {
+            let p = tage.predict(pc);
+            if tage.update(pc, p, taken) {
+                wrong += 1;
+            }
+        }
+        wrong
+    }
+
+    #[test]
+    fn learns_strongly_biased_branches() {
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        let outcomes = vec![true; 200];
+        let wrong = train(&mut tage, 0x400, &outcomes);
+        assert!(wrong <= 3, "always-taken should be learned quickly: {wrong} wrong");
+    }
+
+    #[test]
+    fn learns_periodic_patterns_through_history() {
+        // taken,taken,taken,not — a loop of trip count 4. A bimodal
+        // predictor mispredicts every 4th; TAGE's history tables learn it.
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        let outcomes: Vec<bool> = (0..2000).map(|i| i % 4 != 3).collect();
+        let early = train(&mut tage, 0x500, &outcomes[..1000]);
+        let late = train(&mut tage, 0x500, &outcomes[1000..]);
+        assert!(late * 2 < early.max(1) * 2, "accuracy must improve with training");
+        assert!(
+            late < 60,
+            "a period-4 loop should be nearly perfect after warmup: {late} wrong in 1000"
+        );
+    }
+
+    #[test]
+    fn random_branches_stay_hard() {
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        // A fixed sequence with full avalanche mixing (splitmix64 finalizer)
+        // — statistically random, unlike simple multiplicative patterns
+        // which TAGE's history tables can actually learn.
+        let outcomes: Vec<bool> = (0u64..1000)
+            .map(|i| {
+                let mut x = i;
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+                x ^= x >> 27;
+                x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+                x ^= x >> 31;
+                x & 1 == 1
+            })
+            .collect();
+        let wrong = train(&mut tage, 0x600, &outcomes);
+        assert!(wrong > 200, "near-random outcomes cannot be predicted: {wrong}");
+    }
+
+    #[test]
+    fn distinct_pcs_do_not_destroy_each_other() {
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        for _ in 0..300 {
+            let p = tage.predict(0x700);
+            tage.update(0x700, p, true);
+            let p = tage.predict(0x704);
+            tage.update(0x704, p, false);
+        }
+        let p1 = tage.predict(0x700);
+        let p2 = tage.predict(0x704);
+        assert!(p1.taken);
+        assert!(!p2.taken);
+    }
+
+    #[test]
+    fn stats_track_rates() {
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        train(&mut tage, 0x800, &[true, true, false, true]);
+        let s = tage.stats();
+        assert_eq!(s.get("predictions"), Some(4.0));
+        assert!(s.get("mispredicts_per_kilo").unwrap() > 0.0);
+        assert_eq!(tage.penalty(), 14);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increase")]
+    fn bad_geometry_rejected() {
+        let mut cfg = TageConfig::penryn_4kb();
+        cfg.tagged[1].0 = 2;
+        let _ = Tage::new(cfg);
+    }
+}

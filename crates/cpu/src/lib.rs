@@ -1,0 +1,43 @@
+//! The trace-driven CPU core model of the `stacksim` simulator.
+//!
+//! The paper extends SimpleScalar/x86 into a cycle-level multi-core model;
+//! what its memory-system conclusions rest on is not pipeline microdetail
+//! but the *throughput shape* of each core: a bounded issue width, a bounded
+//! reorder window that drains in order, a private DL1 with a handful of
+//! MSHRs, and hardware prefetchers — together these decide how much memory-
+//! level parallelism a core can expose and how hard memory backpressure
+//! throttles IPC (the substitution is documented in `DESIGN.md`).
+//!
+//! [`Core`] implements exactly that: each cycle it issues up to
+//! `issue_width` µops from its [`TraceGenerator`] into a reorder window,
+//! probes the DL1 for memory µops, allocates L1 MSHR entries on misses
+//! (merging secondaries, stalling when full), emits [`CoreRequest`]s toward
+//! the shared L2, and commits completed µops in order from the window head.
+//! Fills arriving from the memory system wake the waiting window slots.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_cpu::{Core, CoreConfig};
+//! use stacksim_types::{CoreId, Cycle};
+//! use stacksim_workload::{Benchmark, SyntheticWorkload};
+//!
+//! let spec = Benchmark::by_name("mcf").unwrap();
+//! let gen = SyntheticWorkload::new(spec, 1, 0);
+//! let mut core = Core::new(CoreId::new(0), CoreConfig::penryn(), Box::new(gen));
+//! let mut requests = Vec::new();
+//! core.cycle(Cycle::ZERO, &mut requests);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod config;
+mod core_model;
+mod request;
+
+pub use branch::{Prediction, Tage, TageConfig};
+pub use config::CoreConfig;
+pub use core_model::Core;
+pub use request::CoreRequest;

@@ -1,0 +1,82 @@
+//! Requests a core sends toward the shared L2.
+
+use core::fmt;
+use stacksim_types::{CoreId, LineAddr};
+
+/// One line-granularity request leaving a core for the L2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CoreRequest {
+    /// Issuing core.
+    pub core: CoreId,
+    /// Requested line.
+    pub line: LineAddr,
+    /// Instruction pointer of the triggering µop (trains the L2 stride
+    /// prefetcher); zero for prefetches and writebacks.
+    pub pc: u64,
+    /// Whether the line will be written (write-allocate intent).
+    pub is_write: bool,
+    /// Whether this is a hardware prefetch (no µop waits on it).
+    pub is_prefetch: bool,
+    /// Whether this is a dirty-line writeback from the DL1 (no fill needed;
+    /// the line is written into the L2).
+    pub is_writeback: bool,
+}
+
+impl CoreRequest {
+    /// A demand fetch.
+    pub const fn demand(core: CoreId, line: LineAddr, pc: u64, is_write: bool) -> Self {
+        CoreRequest { core, line, pc, is_write, is_prefetch: false, is_writeback: false }
+    }
+
+    /// A hardware prefetch.
+    pub const fn prefetch(core: CoreId, line: LineAddr) -> Self {
+        CoreRequest { core, line, pc: 0, is_write: false, is_prefetch: true, is_writeback: false }
+    }
+
+    /// A dirty writeback.
+    pub const fn writeback(core: CoreId, line: LineAddr) -> Self {
+        CoreRequest { core, line, pc: 0, is_write: true, is_prefetch: false, is_writeback: true }
+    }
+}
+
+impl fmt::Display for CoreRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = if self.is_writeback {
+            "wb"
+        } else if self.is_prefetch {
+            "pf"
+        } else if self.is_write {
+            "st"
+        } else {
+            "ld"
+        };
+        write!(f, "{} {} {}", self.core, kind, self.line)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_flags() {
+        let c = CoreId::new(1);
+        let l = LineAddr::new(9);
+        let d = CoreRequest::demand(c, l, 0x40, true);
+        assert!(d.is_write && !d.is_prefetch && !d.is_writeback);
+        let p = CoreRequest::prefetch(c, l);
+        assert!(p.is_prefetch && !p.is_write);
+        let w = CoreRequest::writeback(c, l);
+        assert!(w.is_writeback && w.is_write);
+    }
+
+    #[test]
+    fn display_kinds() {
+        let c = CoreId::new(0);
+        let l = LineAddr::new(1);
+        assert!(CoreRequest::demand(c, l, 0, false).to_string().contains("ld"));
+        assert!(CoreRequest::demand(c, l, 0, true).to_string().contains("st"));
+        assert!(CoreRequest::prefetch(c, l).to_string().contains("pf"));
+        assert!(CoreRequest::writeback(c, l).to_string().contains("wb"));
+    }
+}

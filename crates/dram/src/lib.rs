@@ -1,0 +1,42 @@
+//! DRAM device timing model for the `stacksim` simulator.
+//!
+//! Models the paper's memory arrays at the level its evaluation depends on:
+//!
+//! * per-bank timing state machines honouring tRP / tRCD / tCAS / tWR / tRAS
+//!   (Table 1's 2D and true-3D parameter sets);
+//! * single- or multi-entry **row-buffer caches** per bank (cached DRAM,
+//!   §4.2) managed with LRU;
+//! * periodic refresh (64 ms off-chip, 32 ms on-stack) that steals bank time
+//!   and closes open rows;
+//! * per-bank activity counters feeding a coarse energy model.
+//!
+//! The memory-controller crate drives [`Rank`]s and [`Bank`]s with row-level
+//! commands; this crate answers "when is the data ready and when is the bank
+//! free again".
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_dram::{Bank, BankConfig};
+//! use stacksim_types::{Cycle, DramTiming};
+//!
+//! let cfg = BankConfig::new(DramTiming::COMMODITY_2D.to_cycles(3.333e9), 1, None);
+//! let mut bank = Bank::new(cfg, 32768);
+//! let first = bank.read(42, Cycle::ZERO);
+//! assert!(!first.row_hit);
+//! let second = bank.read(42, first.data_ready);
+//! assert!(second.row_hit); // same row: row-buffer hit, CAS-only latency
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bank;
+mod power;
+mod rank;
+mod row_buffer;
+
+pub use bank::{AccessResult, Bank, BankConfig, PagePolicy};
+pub use power::{EnergyModel, EnergyReport};
+pub use rank::Rank;
+pub use row_buffer::{ProbeOutcome, RowBufferCache};

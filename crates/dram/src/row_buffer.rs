@@ -1,0 +1,193 @@
+//! Multi-entry row-buffer caches (cached DRAM, paper §4.2).
+
+use core::fmt;
+
+/// Outcome of probing the row-buffer cache for a row.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProbeOutcome {
+    /// The row is buffered; the array access is skipped entirely.
+    Hit,
+    /// The row is not buffered; a full array access is required.
+    Miss,
+}
+
+/// An LRU-managed set of open-row buffers for one DRAM bank.
+///
+/// A conventional bank has exactly one row buffer; the paper's §4.2 grows
+/// this to a small associative *row buffer cache* (after Hidaka et al.'s
+/// cached DRAM), which is where most of the 1.75× headline speedup comes
+/// from. "Any access to a memory bank performs an associative search on the
+/// set of row buffers, and a hit avoids accessing the main memory array. We
+/// manage the row buffer entries in an LRU fashion."
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_dram::{ProbeOutcome, RowBufferCache};
+///
+/// let mut rbc = RowBufferCache::new(2);
+/// assert_eq!(rbc.probe(7), ProbeOutcome::Miss);
+/// rbc.insert(7);
+/// rbc.insert(9);
+/// assert_eq!(rbc.probe(7), ProbeOutcome::Hit);
+/// rbc.insert(11); // evicts LRU row 9 (7 was touched more recently)
+/// assert_eq!(rbc.probe(9), ProbeOutcome::Miss);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RowBufferCache {
+    /// Open rows, most-recently-used last.
+    rows: Vec<u64>,
+    entries: usize,
+}
+
+impl RowBufferCache {
+    /// Creates a row-buffer cache with `entries` buffers (1 = conventional).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is zero.
+    pub fn new(entries: usize) -> Self {
+        assert!(entries > 0, "a bank needs at least one row buffer");
+        RowBufferCache { rows: Vec::with_capacity(entries), entries }
+    }
+
+    /// Number of buffers.
+    pub const fn entries(&self) -> usize {
+        self.entries
+    }
+
+    /// Number of rows currently open.
+    pub fn open_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Probes for `row`, updating LRU order on a hit.
+    pub fn probe(&mut self, row: u64) -> ProbeOutcome {
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            let r = self.rows.remove(pos);
+            self.rows.push(r);
+            ProbeOutcome::Hit
+        } else {
+            ProbeOutcome::Miss
+        }
+    }
+
+    /// Probes without disturbing LRU order (for inspection).
+    pub fn contains(&self, row: u64) -> bool {
+        self.rows.contains(&row)
+    }
+
+    /// Opens `row`, evicting the least-recently-used open row if all
+    /// buffers are busy. Returns the evicted row, which the caller must
+    /// treat as written back (DRAM reads are destructive; a victim row's
+    /// contents are restored to the array on eviction).
+    pub fn insert(&mut self, row: u64) -> Option<u64> {
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            let r = self.rows.remove(pos);
+            self.rows.push(r);
+            return None;
+        }
+        let evicted = if self.rows.len() == self.entries {
+            Some(self.rows.remove(0))
+        } else {
+            None
+        };
+        self.rows.push(row);
+        evicted
+    }
+
+    /// Closes every open row (refresh or precharge-all). Returns how many
+    /// rows were closed.
+    pub fn flush(&mut self) -> usize {
+        let n = self.rows.len();
+        self.rows.clear();
+        n
+    }
+
+    /// Closes one specific row if open.
+    pub fn close(&mut self, row: u64) -> bool {
+        if let Some(pos) = self.rows.iter().position(|&r| r == row) {
+            self.rows.remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// The least-recently-used open row, if any.
+    pub fn lru(&self) -> Option<u64> {
+        self.rows.first().copied()
+    }
+
+    /// The most-recently-used open row, if any.
+    pub fn mru(&self) -> Option<u64> {
+        self.rows.last().copied()
+    }
+}
+
+impl fmt::Display for RowBufferCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "rbc[{}/{}]{:?}", self.rows.len(), self.entries, self.rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_entry_behaves_like_conventional_row_buffer() {
+        let mut rbc = RowBufferCache::new(1);
+        assert_eq!(rbc.insert(1), None);
+        assert_eq!(rbc.insert(2), Some(1));
+        assert_eq!(rbc.probe(1), ProbeOutcome::Miss);
+        assert_eq!(rbc.probe(2), ProbeOutcome::Hit);
+    }
+
+    #[test]
+    fn lru_eviction_order() {
+        let mut rbc = RowBufferCache::new(3);
+        rbc.insert(1);
+        rbc.insert(2);
+        rbc.insert(3);
+        // Touch 1 so 2 becomes LRU.
+        assert_eq!(rbc.probe(1), ProbeOutcome::Hit);
+        assert_eq!(rbc.insert(4), Some(2));
+        assert!(rbc.contains(1) && rbc.contains(3) && rbc.contains(4));
+    }
+
+    #[test]
+    fn insert_existing_refreshes_recency_without_evicting() {
+        let mut rbc = RowBufferCache::new(2);
+        rbc.insert(1);
+        rbc.insert(2);
+        assert_eq!(rbc.insert(1), None);
+        assert_eq!(rbc.lru(), Some(2));
+        assert_eq!(rbc.mru(), Some(1));
+    }
+
+    #[test]
+    fn flush_closes_everything() {
+        let mut rbc = RowBufferCache::new(4);
+        rbc.insert(1);
+        rbc.insert(2);
+        assert_eq!(rbc.flush(), 2);
+        assert_eq!(rbc.open_rows(), 0);
+        assert_eq!(rbc.probe(1), ProbeOutcome::Miss);
+    }
+
+    #[test]
+    fn close_specific_row() {
+        let mut rbc = RowBufferCache::new(2);
+        rbc.insert(5);
+        assert!(rbc.close(5));
+        assert!(!rbc.close(5));
+        assert_eq!(rbc.open_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_entries_panics() {
+        let _ = RowBufferCache::new(0);
+    }
+}

@@ -1,0 +1,108 @@
+//! Property-based tests of DRAM bank timing invariants: causality,
+//! monotonic bank occupancy, tRAS spacing, and the latency ordering
+//! between row hits, misses and the two page policies.
+
+use proptest::prelude::*;
+
+use stacksim_dram::{Bank, BankConfig, PagePolicy};
+use stacksim_types::{Cycle, Cycles, DramTiming};
+
+const HZ: f64 = 3.333e9;
+
+fn bank(row_buffers: usize, policy: PagePolicy) -> Bank {
+    let cfg = BankConfig::new(DramTiming::COMMODITY_2D.to_cycles(HZ), row_buffers, None)
+        .with_page_policy(policy);
+    Bank::new(cfg, 64)
+}
+
+#[derive(Clone, Debug)]
+struct Access {
+    row: u64,
+    write: bool,
+    gap: u64,
+}
+
+fn access_strategy() -> impl Strategy<Value = Access> {
+    (0u64..64, any::<bool>(), 0u64..300)
+        .prop_map(|(row, write, gap)| Access { row, write, gap })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn timing_is_causal_and_monotone(
+        accesses in proptest::collection::vec(access_strategy(), 1..100),
+        row_buffers in 1usize..=4,
+        closed in any::<bool>(),
+    ) {
+        let policy = if closed { PagePolicy::Closed } else { PagePolicy::Open };
+        let mut b = bank(row_buffers, policy);
+        let timing = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        let mut now = Cycle::ZERO;
+        let mut last_free = Cycle::ZERO;
+        for (i, a) in accesses.iter().enumerate() {
+            now = now + Cycles::new(a.gap);
+            let r = if a.write { b.write(a.row, now) } else { b.read(a.row, now) };
+            // Causality: nothing completes before it was requested.
+            prop_assert!(r.data_ready >= now, "step {i}: data before request");
+            prop_assert!(r.bank_free >= now, "step {i}: free before request");
+            // Bank occupancy only moves forward.
+            prop_assert!(r.bank_free >= last_free, "step {i}: bank time went backwards");
+            last_free = r.bank_free;
+            // A read's latency is at least tCAS and at most a full row
+            // cycle past the point the bank accepted it.
+            if !a.write {
+                let latency = r.data_ready.saturating_since(now);
+                prop_assert!(latency >= timing.t_cas, "step {i}: impossibly fast read");
+            }
+            // Closed-page never reports a row hit.
+            if closed {
+                prop_assert!(!r.row_hit, "step {i}: closed page cannot row-hit");
+            }
+        }
+        // Bookkeeping is conserved.
+        prop_assert_eq!(b.reads() + b.writes(), accesses.len() as u64);
+        prop_assert_eq!(b.row_hits() + b.row_misses(), accesses.len() as u64);
+        prop_assert_eq!(b.activates(), b.row_misses());
+    }
+
+    #[test]
+    fn more_row_buffers_never_reduce_hits(
+        accesses in proptest::collection::vec(access_strategy(), 1..120),
+    ) {
+        // Same back-to-back access stream (each access issued when the bank
+        // frees): a larger row-buffer cache can only keep more rows open.
+        let mut hits = Vec::new();
+        for entries in [1usize, 2, 4] {
+            let mut b = bank(entries, PagePolicy::Open);
+            let mut now = Cycle::ZERO;
+            for a in &accesses {
+                let r = b.read(a.row, now);
+                now = r.bank_free;
+            }
+            hits.push(b.row_hits());
+        }
+        prop_assert!(hits[1] >= hits[0], "2 buffers lost hits: {:?}", hits);
+        prop_assert!(hits[2] >= hits[1], "4 buffers lost hits: {:?}", hits);
+    }
+
+    #[test]
+    fn row_hit_is_never_slower_than_miss(row in 0u64..64, other in 0u64..64) {
+        prop_assume!(row != other);
+        // Hit latency measured from a quiet bank with the row open.
+        let mut b = bank(1, PagePolicy::Open);
+        let warm = b.read(row, Cycle::ZERO);
+        let hit = b.read(row, warm.bank_free);
+        let hit_latency = hit.data_ready.saturating_since(warm.bank_free);
+        // Miss latency from an equally quiet bank with a different row open.
+        let mut b2 = bank(1, PagePolicy::Open);
+        let warm2 = b2.read(other, Cycle::ZERO);
+        let start = warm2.bank_free + Cycles::new(10_000); // let tRAS pass
+        let miss = b2.read(row, start);
+        let miss_latency = miss.data_ready.saturating_since(start);
+        prop_assert!(hit.row_hit);
+        prop_assert!(!miss.row_hit);
+        prop_assert!(hit_latency < miss_latency, "hit {:?} !< miss {:?}", hit_latency, miss_latency);
+    }
+}

@@ -1,0 +1,51 @@
+//! Memory controllers for the `stacksim` simulator.
+//!
+//! A [`MemoryController`] owns a bounded memory request queue (MRQ), a
+//! scheduler ([`SchedulerPolicy`]), a data bus, and the DRAM ranks of its
+//! channel. The paper's §4.1 design space — one monolithic controller versus
+//! two or four *banked* controllers, each owning a disjoint set of ranks —
+//! is expressed by simply instantiating several controllers over partitioned
+//! rank sets; the constant *aggregate* MRQ capacity rule (32 requests across
+//! all MCs) is enforced by the system-level configuration.
+//!
+//! Scheduling follows Rixner et al.'s memory access scheduling: the default
+//! [`SchedulerPolicy::FrFcfs`] policy issues row-buffer hits first, then the
+//! oldest ready request ("a memory controller implementation that attempts
+//! to schedule accesses to the same row together to increase row buffer hit
+//! rates", §2.4). [`SchedulerPolicy::Fifo`] is retained for the ablation.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_memctrl::{McConfig, MemoryController, MemRequest, RequestKind, SchedulerPolicy};
+//! use stacksim_types::*;
+//!
+//! let timing = DramTiming::TRUE_3D.to_cycles(3.333e9);
+//! let cfg = McConfig {
+//!     queue_capacity: 8,
+//!     ranks: 4,
+//!     banks_per_rank: 8,
+//!     rows_per_bank: 1 << 15,
+//!     row_buffer_entries: 1,
+//!     timing,
+//!     refresh_interval: None,
+//!     smart_refresh: false,
+//!     page_policy: stacksim_dram::PagePolicy::Open,
+//!     bus: BusConfig::on_stack(64),
+//!     critical_word_first: true,
+//!     policy: SchedulerPolicy::FrFcfs,
+//! };
+//! let mut mc = MemoryController::new(McId::new(0), cfg);
+//! assert!(mc.can_accept());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod controller;
+mod request;
+mod scheduler;
+
+pub use controller::{Completion, McConfig, MemoryController};
+pub use request::{MemRequest, RequestKind};
+pub use scheduler::SchedulerPolicy;

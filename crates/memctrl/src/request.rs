@@ -1,0 +1,74 @@
+//! Memory requests as seen by a controller.
+
+use core::fmt;
+use stacksim_types::{CoreId, Cycle, DramLocation, LineAddr};
+
+/// What a memory request does.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RequestKind {
+    /// Fetch a cache line (L2 miss fill; demand or prefetch).
+    #[default]
+    Read,
+    /// Write a dirty line back to memory.
+    Writeback,
+}
+
+/// One line-granularity request queued at a memory controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MemRequest {
+    /// The requested cache line.
+    pub line: LineAddr,
+    /// Pre-decoded DRAM location of the line.
+    pub location: DramLocation,
+    /// Read or writeback.
+    pub kind: RequestKind,
+    /// Core the request originated from (writebacks keep the evicting core).
+    pub core: CoreId,
+    /// When the request entered the memory system.
+    pub arrival: Cycle,
+    /// Opaque token for matching completions back to MSHR entries.
+    pub token: u64,
+}
+
+impl MemRequest {
+    /// Whether the request returns data to the processor.
+    pub const fn needs_reply(&self) -> bool {
+        matches!(self.kind, RequestKind::Read)
+    }
+}
+
+impl fmt::Display for MemRequest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:?} {} {}/{}/row{} from {} {}",
+            self.kind, self.line, self.location.mc, self.location.bank, self.location.row,
+            self.core, self.arrival
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_types::{AddressMapper, MemoryGeometry, PhysAddr};
+
+    #[test]
+    fn reply_semantics() {
+        let geom = MemoryGeometry::new(8 << 30, 8, 8, 4096, 2).unwrap();
+        let mapper = AddressMapper::new(geom);
+        let addr = PhysAddr::new(0x10000);
+        let req = MemRequest {
+            line: addr.line(),
+            location: mapper.decode(addr),
+            kind: RequestKind::Read,
+            core: CoreId::new(1),
+            arrival: Cycle::new(5),
+            token: 7,
+        };
+        assert!(req.needs_reply());
+        let wb = MemRequest { kind: RequestKind::Writeback, ..req };
+        assert!(!wb.needs_reply());
+        assert!(req.to_string().contains("mc"));
+    }
+}

@@ -1,0 +1,145 @@
+//! Memory request scheduling policies.
+
+use core::fmt;
+use stacksim_dram::Rank;
+use stacksim_types::Cycle;
+
+use crate::request::MemRequest;
+
+/// The arbitration policy a memory controller uses to pick the next request
+/// from its queue.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum SchedulerPolicy {
+    /// Strict arrival order, gated only on bank readiness.
+    Fifo,
+    /// First-ready, first-come-first-serve: among requests whose bank is
+    /// free, prefer row-buffer hits, then the oldest (Rixner et al.; the
+    /// paper's assumed controller, §2.4).
+    #[default]
+    FrFcfs,
+}
+
+impl fmt::Display for SchedulerPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SchedulerPolicy::Fifo => f.write_str("fifo"),
+            SchedulerPolicy::FrFcfs => f.write_str("fr-fcfs"),
+        }
+    }
+}
+
+impl SchedulerPolicy {
+    /// Picks the queue index of the request to issue at `now`, or `None` if
+    /// no request's bank can accept a command yet. `ranks` are the
+    /// controller's local ranks, indexed by `location.rank_in_mc`.
+    pub fn pick(&self, queue: &[MemRequest], ranks: &[Rank], now: Cycle) -> Option<usize> {
+        let ready = |req: &MemRequest| {
+            ranks[req.location.rank_in_mc as usize].bank_free_at(req.location.bank) <= now
+        };
+        match self {
+            SchedulerPolicy::Fifo => {
+                // Head-of-line only: FIFO does not look past the oldest
+                // request, which is precisely its weakness.
+                queue.first().filter(|r| ready(r)).map(|_| 0)
+            }
+            SchedulerPolicy::FrFcfs => {
+                let mut oldest_ready: Option<usize> = None;
+                for (i, req) in queue.iter().enumerate() {
+                    if !ready(req) {
+                        continue;
+                    }
+                    let rank = &ranks[req.location.rank_in_mc as usize];
+                    if rank.is_row_open(req.location.bank, req.location.row) {
+                        // First ready row hit in arrival order wins outright.
+                        return Some(i);
+                    }
+                    if oldest_ready.is_none() {
+                        oldest_ready = Some(i);
+                    }
+                }
+                oldest_ready
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_dram::{BankConfig, Rank};
+    use stacksim_types::{
+        AddressMapper, BankId, CoreId, DramTiming, MemoryGeometry, PhysAddr,
+    };
+
+    use crate::request::RequestKind;
+
+    fn setup() -> (Vec<Rank>, AddressMapper) {
+        let cfg = BankConfig::new(DramTiming::COMMODITY_2D.to_cycles(3.333e9), 1, None);
+        let ranks = vec![Rank::new(cfg, 8, 1 << 15)];
+        let geom = MemoryGeometry::new(8 << 30, 1, 8, 4096, 1).unwrap();
+        (ranks, AddressMapper::new(geom))
+    }
+
+    fn req(mapper: &AddressMapper, page: u64, arrival: u64) -> MemRequest {
+        let addr = PhysAddr::new(page * 4096);
+        MemRequest {
+            line: addr.line(),
+            location: mapper.decode(addr),
+            kind: RequestKind::Read,
+            core: CoreId::new(0),
+            arrival: Cycle::new(arrival),
+            token: arrival,
+        }
+    }
+
+    #[test]
+    fn frfcfs_prefers_open_row() {
+        let (mut ranks, mapper) = setup();
+        // Open the row of page 8 (same bank geometry: page p -> bank p%8).
+        let loc = mapper.decode(PhysAddr::new(8 * 4096));
+        ranks[0].read(loc.bank, loc.row, Cycle::ZERO);
+        let free = ranks[0].bank_free_at(loc.bank);
+
+        // Queue: older request to a *different* bank's row (closed), newer
+        // request that hits the open row.
+        let q = vec![req(&mapper, 1, 0), req(&mapper, 8, 5)];
+        let pick = SchedulerPolicy::FrFcfs.pick(&q, &ranks, free).unwrap();
+        assert_eq!(pick, 1, "row hit should be scheduled first");
+
+        // FIFO picks strictly in order.
+        let pick = SchedulerPolicy::Fifo.pick(&q, &ranks, free).unwrap();
+        assert_eq!(pick, 0);
+    }
+
+    #[test]
+    fn busy_banks_block_requests() {
+        let (mut ranks, mapper) = setup();
+        let loc = mapper.decode(PhysAddr::new(3 * 4096));
+        ranks[0].read(loc.bank, loc.row, Cycle::ZERO); // bank 3 busy for a while
+        let q = vec![req(&mapper, 3, 0)];
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::new(1)), None);
+        assert_eq!(SchedulerPolicy::Fifo.pick(&q, &ranks, Cycle::new(1)), None);
+        let free = ranks[0].bank_free_at(BankId::new(3));
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, free), Some(0));
+    }
+
+    #[test]
+    fn frfcfs_falls_back_to_oldest_ready() {
+        let (ranks, mapper) = setup();
+        // No rows open anywhere: oldest ready request wins.
+        let q = vec![req(&mapper, 2, 0), req(&mapper, 3, 1)];
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::ZERO), Some(0));
+    }
+
+    #[test]
+    fn empty_queue_picks_nothing() {
+        let (ranks, _) = setup();
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&[], &ranks, Cycle::ZERO), None);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(SchedulerPolicy::Fifo.to_string(), "fifo");
+        assert_eq!(SchedulerPolicy::FrFcfs.to_string(), "fr-fcfs");
+    }
+}

@@ -1,0 +1,305 @@
+//! Direct-mapped MSHRs with open-addressed probing (no filter).
+//!
+//! This is the scalable-but-slow baseline of §5.2: a hash table indexed by
+//! `line mod capacity`, searched by sequential probing. Without a filter, a
+//! lookup that misses must in the worst case probe every entry, which is
+//! exactly the cost the [Vector Bloom Filter](crate::VbfMshr) removes.
+
+use stacksim_types::{Cycle, LineAddr};
+
+use crate::entry::{MissKind, MissTarget, MshrEntry};
+use crate::handler::{AllocError, AllocOutcome, LookupResult, MissHandler, MshrKind};
+
+/// Secondary hashing scheme for resolving collisions (paper footnote 2).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ProbeScheme {
+    /// Check consecutive slots: `h, h+1, h+2, …` (paper's default).
+    #[default]
+    Linear,
+    /// Check triangular offsets: `h, h+1, h+3, h+6, …`; visits every slot
+    /// exactly once when the capacity is a power of two.
+    Quadratic,
+}
+
+impl ProbeScheme {
+    /// The slot visited on probe number `i` (0-based) of a sequence that
+    /// began at `home`, in a table of `capacity` slots.
+    #[inline]
+    pub fn slot(self, home: usize, i: usize, capacity: usize) -> usize {
+        match self {
+            ProbeScheme::Linear => (home + i) % capacity,
+            ProbeScheme::Quadratic => (home + i * (i + 1) / 2) % capacity,
+        }
+    }
+}
+
+/// A direct-mapped MSHR: a hash table of entries searched by open
+/// addressing, with no acceleration structure.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_mshr::{DirectMappedMshr, MissHandler, MissKind, MissTarget, ProbeScheme};
+/// use stacksim_types::{CoreId, Cycle, LineAddr};
+///
+/// let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+/// m.allocate(LineAddr::new(13), MissTarget::demand(CoreId::new(0), 0), MissKind::Read, Cycle::ZERO)
+///     .unwrap();
+/// // A lookup that misses must scan the whole table.
+/// assert_eq!(m.lookup(LineAddr::new(14)).probes, 8);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DirectMappedMshr {
+    slots: Vec<Option<MshrEntry>>,
+    scheme: ProbeScheme,
+    occupancy: usize,
+    limit: usize,
+}
+
+impl DirectMappedMshr {
+    /// Creates a direct-mapped MSHR with `capacity` slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero, or if it is not a power of two with
+    /// [`ProbeScheme::Quadratic`] (the triangular sequence only covers every
+    /// slot for power-of-two sizes).
+    pub fn new(capacity: usize, scheme: ProbeScheme) -> Self {
+        assert!(capacity > 0, "mshr capacity must be non-zero");
+        if scheme == ProbeScheme::Quadratic {
+            assert!(
+                capacity.is_power_of_two(),
+                "quadratic probing requires a power-of-two capacity"
+            );
+        }
+        DirectMappedMshr {
+            slots: vec![None; capacity],
+            scheme,
+            occupancy: 0,
+            limit: capacity,
+        }
+    }
+
+    /// Home slot for a line.
+    #[inline]
+    fn home(&self, line: LineAddr) -> usize {
+        (line.index() % self.slots.len() as u64) as usize
+    }
+
+    /// Searches the probe sequence for `line`. Returns `(slot, probes)` on a
+    /// hit or `(None, capacity)` after an exhaustive scan.
+    fn find(&self, line: LineAddr) -> (Option<usize>, u32) {
+        let n = self.slots.len();
+        let home = self.home(line);
+        for i in 0..n {
+            let s = self.scheme.slot(home, i, n);
+            if let Some(e) = &self.slots[s] {
+                if e.line() == line {
+                    return (Some(s), (i + 1) as u32);
+                }
+            }
+        }
+        (None, n as u32)
+    }
+
+    /// First free slot in the probe sequence from `line`'s home.
+    fn free_slot(&self, line: LineAddr) -> Option<usize> {
+        let n = self.slots.len();
+        let home = self.home(line);
+        (0..n).map(|i| self.scheme.slot(home, i, n)).find(|&s| self.slots[s].is_none())
+    }
+}
+
+impl MissHandler for DirectMappedMshr {
+    fn kind(&self) -> MshrKind {
+        match self.scheme {
+            ProbeScheme::Linear => MshrKind::DirectLinear,
+            ProbeScheme::Quadratic => MshrKind::DirectQuadratic,
+        }
+    }
+
+    fn lookup(&mut self, line: LineAddr) -> LookupResult {
+        let (slot, probes) = self.find(line);
+        LookupResult { found: slot.is_some(), probes }
+    }
+
+    fn allocate(
+        &mut self,
+        line: LineAddr,
+        target: MissTarget,
+        kind: MissKind,
+        now: Cycle,
+    ) -> Result<AllocOutcome, AllocError> {
+        let (slot, probes) = self.find(line);
+        if let Some(s) = slot {
+            let e = self.slots[s].as_mut().expect("found slot is occupied");
+            e.merge(target);
+            return Ok(AllocOutcome::Merged { probes, targets: e.target_count() });
+        }
+        if self.occupancy >= self.limit {
+            return Err(AllocError::Full { probes });
+        }
+        let s = self.free_slot(line).expect("occupancy below capacity implies a free slot");
+        self.slots[s] = Some(MshrEntry::new(line, target, kind, now));
+        self.occupancy += 1;
+        Ok(AllocOutcome::Primary { probes })
+    }
+
+    fn deallocate(&mut self, line: LineAddr) -> Option<(MshrEntry, u32)> {
+        let (slot, probes) = self.find(line);
+        let s = slot?;
+        let e = self.slots[s].take().expect("found slot is occupied");
+        self.occupancy -= 1;
+        Some((e, probes))
+    }
+
+    fn entry(&self, line: LineAddr) -> Option<&MshrEntry> {
+        let (slot, _) = self.find(line);
+        slot.and_then(|s| self.slots[s].as_ref())
+    }
+
+    fn occupancy(&self) -> usize {
+        self.occupancy
+    }
+
+    fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    fn capacity_limit(&self) -> usize {
+        self.limit
+    }
+
+    fn set_capacity_limit(&mut self, limit: usize) {
+        assert!(limit > 0, "capacity limit must be non-zero");
+        self.limit = limit.min(self.slots.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use stacksim_types::CoreId;
+
+    fn target(token: u64) -> MissTarget {
+        MissTarget::demand(CoreId::new(0), token)
+    }
+
+    fn alloc(m: &mut DirectMappedMshr, line: u64) -> AllocOutcome {
+        m.allocate(LineAddr::new(line), target(line), MissKind::Read, Cycle::ZERO).unwrap()
+    }
+
+    #[test]
+    fn home_slot_hit_is_one_probe() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 13); // home 5
+        assert_eq!(m.lookup(LineAddr::new(13)), LookupResult { found: true, probes: 1 });
+    }
+
+    #[test]
+    fn collision_chains_probe_sequentially() {
+        // Reproduce the paper's Figure 8 scenario without the VBF: addresses
+        // 13, 29, 45 all have home 5 in an 8-entry table.
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 13); // slot 5
+        alloc(&mut m, 22); // slot 6 (home 6)
+        alloc(&mut m, 29); // home 5 -> next free is 7
+        alloc(&mut m, 45); // home 5 -> wraps to 0
+        assert_eq!(m.lookup(LineAddr::new(29)).probes, 3); // 5,6,7
+        // Plain linear probing needs 4 probes for 45 (5,6,7,0) — the case
+        // the paper uses to motivate the VBF.
+        assert_eq!(m.lookup(LineAddr::new(45)).probes, 4);
+        assert_eq!(m.occupancy(), 4);
+    }
+
+    #[test]
+    fn miss_scans_whole_table() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 1);
+        let r = m.lookup(LineAddr::new(2));
+        assert!(!r.found);
+        assert_eq!(r.probes, 8);
+    }
+
+    #[test]
+    fn deallocate_then_lookup_still_finds_displaced_entries() {
+        // After deallocating the middle of a collision chain, entries past
+        // the hole must still be findable (the scan does not stop at empty
+        // slots).
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 13);
+        alloc(&mut m, 29);
+        alloc(&mut m, 45); // chain 5 -> 6 -> 7... wait: home 5; 13@5, 29@6, 45@7
+        let (e, _) = m.deallocate(LineAddr::new(29)).unwrap();
+        assert_eq!(e.line(), LineAddr::new(29));
+        assert!(m.lookup(LineAddr::new(45)).found);
+    }
+
+    #[test]
+    fn merges_secondary_miss() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 13);
+        let out = m
+            .allocate(LineAddr::new(13), target(99), MissKind::Read, Cycle::new(3))
+            .unwrap();
+        assert_eq!(out, AllocOutcome::Merged { probes: 1, targets: 2 });
+        assert_eq!(m.occupancy(), 1);
+    }
+
+    #[test]
+    fn full_table_rejects() {
+        let mut m = DirectMappedMshr::new(2, ProbeScheme::Linear);
+        alloc(&mut m, 0);
+        alloc(&mut m, 1);
+        let err = m
+            .allocate(LineAddr::new(2), target(2), MissKind::Read, Cycle::ZERO)
+            .unwrap_err();
+        assert_eq!(err.probes(), 2);
+    }
+
+    #[test]
+    fn capacity_limit_enforced() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        m.set_capacity_limit(1);
+        alloc(&mut m, 0);
+        assert!(m
+            .allocate(LineAddr::new(1), target(1), MissKind::Read, Cycle::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn quadratic_covers_all_slots() {
+        let n = 16;
+        let mut seen: Vec<bool> = vec![false; n];
+        for i in 0..n {
+            seen[ProbeScheme::Quadratic.slot(3, i, n)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "triangular probing must cover every slot");
+    }
+
+    #[test]
+    fn quadratic_scheme_allocates_and_finds() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Quadratic);
+        for line in [13u64, 29, 45, 61] {
+            alloc(&mut m, line);
+        }
+        for line in [13u64, 29, 45, 61] {
+            assert!(m.lookup(LineAddr::new(line)).found, "line {line} lost");
+        }
+        assert_eq!(m.kind(), MshrKind::DirectQuadratic);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn quadratic_requires_power_of_two() {
+        let _ = DirectMappedMshr::new(6, ProbeScheme::Quadratic);
+    }
+
+    #[test]
+    fn entry_access() {
+        let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
+        alloc(&mut m, 13);
+        assert_eq!(m.entry(LineAddr::new(13)).unwrap().line(), LineAddr::new(13));
+        assert!(m.entry(LineAddr::new(14)).is_none());
+    }
+}

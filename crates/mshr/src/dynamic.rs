@@ -1,0 +1,232 @@
+//! Dynamic MSHR capacity tuning (§5.1).
+//!
+//! Large MSHRs help memory-hungry mixes but can hurt others by increasing
+//! L2 "churn" (useful lines evicted by the flood of in-flight fills). The
+//! paper's fix is a sampling controller: briefly run with each candidate
+//! capacity limit, record the committed µops under each, then lock in the
+//! best-performing limit until the next sampling period.
+
+use stacksim_types::Cycle;
+
+/// Configuration of the [`DynamicTuner`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TunerConfig {
+    /// Cycles each candidate limit is sampled for.
+    pub sample_cycles: u64,
+    /// Cycles the winning limit stays in force before the next training
+    /// phase.
+    pub apply_cycles: u64,
+    /// Candidate limits as fractions of maximum capacity, expressed as
+    /// divisors: the paper uses `[1, 2, 4]` for 1×, ½× and ¼×.
+    pub divisors: Vec<usize>,
+}
+
+impl Default for TunerConfig {
+    fn default() -> Self {
+        TunerConfig { sample_cycles: 50_000, apply_cycles: 2_000_000, divisors: vec![1, 2, 4] }
+    }
+}
+
+/// Which phase the tuner is in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TunerPhase {
+    /// Sampling candidate number `candidate` (an index into the divisor
+    /// list).
+    Sampling {
+        /// Index of the candidate currently being sampled.
+        candidate: usize,
+    },
+    /// The winning limit is locked in until the next training phase.
+    Applying,
+}
+
+/// The sampling-based dynamic MSHR capacity controller.
+///
+/// Drive it with [`DynamicTuner::tick`] once per cycle (or any coarser,
+/// regular interval), passing the machine's cumulative committed-µop count;
+/// apply the returned limit to the MSHR via
+/// [`MissHandler::set_capacity_limit`](crate::MissHandler::set_capacity_limit).
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_mshr::{DynamicTuner, TunerConfig};
+/// use stacksim_types::Cycle;
+///
+/// let cfg = TunerConfig { sample_cycles: 10, apply_cycles: 100, divisors: vec![1, 2, 4] };
+/// let mut tuner = DynamicTuner::new(64, cfg);
+/// assert_eq!(tuner.current_limit(), 64); // starts sampling full capacity
+/// ```
+#[derive(Clone, Debug)]
+pub struct DynamicTuner {
+    max_capacity: usize,
+    config: TunerConfig,
+    phase: TunerPhase,
+    phase_start: Cycle,
+    committed_at_phase_start: u64,
+    scores: Vec<u64>,
+    chosen: usize,
+}
+
+impl DynamicTuner {
+    /// Creates a tuner over an MSHR of `max_capacity` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_capacity` is zero, the divisor list is empty, any
+    /// divisor is zero, or any divisor exceeds `max_capacity` (which would
+    /// produce a zero-entry limit).
+    pub fn new(max_capacity: usize, config: TunerConfig) -> Self {
+        assert!(max_capacity > 0, "mshr capacity must be non-zero");
+        assert!(!config.divisors.is_empty(), "tuner needs at least one candidate");
+        assert!(
+            config.divisors.iter().all(|&d| d > 0 && d <= max_capacity),
+            "divisors must be in 1..=capacity"
+        );
+        let scores = vec![0; config.divisors.len()];
+        DynamicTuner {
+            max_capacity,
+            config,
+            phase: TunerPhase::Sampling { candidate: 0 },
+            phase_start: Cycle::ZERO,
+            committed_at_phase_start: 0,
+            scores,
+            chosen: 0,
+        }
+    }
+
+    /// The limit (in entries) a candidate index corresponds to.
+    fn limit_of(&self, candidate: usize) -> usize {
+        (self.max_capacity / self.config.divisors[candidate]).max(1)
+    }
+
+    /// The capacity limit currently in force.
+    pub fn current_limit(&self) -> usize {
+        match self.phase {
+            TunerPhase::Sampling { candidate } => self.limit_of(candidate),
+            TunerPhase::Applying => self.limit_of(self.chosen),
+        }
+    }
+
+    /// The current phase.
+    pub const fn phase(&self) -> TunerPhase {
+        self.phase
+    }
+
+    /// Scores recorded for each candidate in the latest completed training
+    /// phase (committed µops during that candidate's sample window).
+    pub fn scores(&self) -> &[u64] {
+        &self.scores
+    }
+
+    /// Advances the controller. `committed_uops` is the machine's cumulative
+    /// committed-µop counter. Returns `Some(limit)` whenever the limit
+    /// changes (the caller should then reconfigure the MSHR), `None`
+    /// otherwise.
+    pub fn tick(&mut self, now: Cycle, committed_uops: u64) -> Option<usize> {
+        let elapsed = now.saturating_since(self.phase_start).raw();
+        match self.phase {
+            TunerPhase::Sampling { candidate } => {
+                if elapsed < self.config.sample_cycles {
+                    return None;
+                }
+                self.scores[candidate] =
+                    committed_uops.saturating_sub(self.committed_at_phase_start);
+                self.phase_start = now;
+                self.committed_at_phase_start = committed_uops;
+                if candidate + 1 < self.config.divisors.len() {
+                    self.phase = TunerPhase::Sampling { candidate: candidate + 1 };
+                } else {
+                    // Training complete: lock in the best-scoring candidate.
+                    self.chosen = self
+                        .scores
+                        .iter()
+                        .enumerate()
+                        .max_by_key(|&(i, &s)| (s, core::cmp::Reverse(i)))
+                        .map(|(i, _)| i)
+                        .expect("scores are non-empty");
+                    self.phase = TunerPhase::Applying;
+                }
+                Some(self.current_limit())
+            }
+            TunerPhase::Applying => {
+                if elapsed < self.config.apply_cycles {
+                    return None;
+                }
+                self.phase_start = now;
+                self.committed_at_phase_start = committed_uops;
+                self.phase = TunerPhase::Sampling { candidate: 0 };
+                Some(self.current_limit())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> TunerConfig {
+        TunerConfig { sample_cycles: 10, apply_cycles: 50, divisors: vec![1, 2, 4] }
+    }
+
+    #[test]
+    fn cycles_through_candidates_then_applies_best() {
+        let mut t = DynamicTuner::new(32, cfg());
+        assert_eq!(t.current_limit(), 32);
+
+        // Candidate 0 (full, 32 entries) commits 100 uops.
+        assert_eq!(t.tick(Cycle::new(10), 100), Some(16));
+        assert_eq!(t.phase(), TunerPhase::Sampling { candidate: 1 });
+
+        // Candidate 1 (half) commits 300 uops — the best.
+        assert_eq!(t.tick(Cycle::new(20), 400), Some(8));
+
+        // Candidate 2 (quarter) commits 50 uops.
+        let limit = t.tick(Cycle::new(30), 450).unwrap();
+        assert_eq!(limit, 16, "half capacity scored best");
+        assert_eq!(t.phase(), TunerPhase::Applying);
+        assert_eq!(t.scores(), &[100, 300, 50]);
+
+        // Stays applied until the window elapses...
+        assert_eq!(t.tick(Cycle::new(40), 500), None);
+        // ...then retrains from candidate 0.
+        assert_eq!(t.tick(Cycle::new(80), 900), Some(32));
+        assert_eq!(t.phase(), TunerPhase::Sampling { candidate: 0 });
+    }
+
+    #[test]
+    fn ties_prefer_larger_capacity() {
+        let mut t = DynamicTuner::new(32, cfg());
+        t.tick(Cycle::new(10), 100).unwrap();
+        t.tick(Cycle::new(20), 200).unwrap();
+        t.tick(Cycle::new(30), 300).unwrap();
+        // All candidates scored 100: the earliest (largest limit) wins.
+        assert_eq!(t.current_limit(), 32);
+    }
+
+    #[test]
+    fn no_change_mid_sample() {
+        let mut t = DynamicTuner::new(32, cfg());
+        assert_eq!(t.tick(Cycle::new(5), 50), None);
+        assert_eq!(t.current_limit(), 32);
+    }
+
+    #[test]
+    fn limit_never_zero() {
+        let t = DynamicTuner::new(3, TunerConfig { divisors: vec![3], ..cfg() });
+        assert_eq!(t.current_limit(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "divisors")]
+    fn oversized_divisor_panics() {
+        let _ = DynamicTuner::new(2, TunerConfig { divisors: vec![4], ..cfg() });
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_divisors_panic() {
+        let _ = DynamicTuner::new(8, TunerConfig { divisors: vec![], ..cfg() });
+    }
+}

@@ -1,0 +1,150 @@
+//! MSHR entries and the requests merged into them.
+
+use core::fmt;
+use stacksim_types::{CoreId, Cycle, LineAddr};
+
+/// What kind of memory operation a miss represents.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MissKind {
+    /// A demand or prefetch read (line fill).
+    #[default]
+    Read,
+    /// A write/ownership miss (write-allocate fill).
+    Write,
+    /// A dirty-line writeback to memory.
+    Writeback,
+}
+
+/// One requestor waiting on an outstanding miss.
+///
+/// A primary miss allocates the MSHR entry; secondary misses to the same
+/// line *merge* into the existing entry as additional targets and are all
+/// woken when the fill returns (Kroft-style lockup-free operation).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct MissTarget {
+    /// Core that issued the request.
+    pub core: CoreId,
+    /// Opaque token the owner uses to match completions back to requests.
+    pub token: u64,
+    /// Whether this target is a hardware prefetch (no core is stalled on it).
+    pub is_prefetch: bool,
+}
+
+impl MissTarget {
+    /// A demand-miss target.
+    pub const fn demand(core: CoreId, token: u64) -> Self {
+        MissTarget { core, token, is_prefetch: false }
+    }
+
+    /// A prefetch target.
+    pub const fn prefetch(core: CoreId, token: u64) -> Self {
+        MissTarget { core, token, is_prefetch: true }
+    }
+}
+
+impl fmt::Display for MissTarget {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}#{}{}",
+            self.core,
+            self.token,
+            if self.is_prefetch { "(pf)" } else { "" }
+        )
+    }
+}
+
+/// One allocated MSHR entry: an outstanding miss and its merged targets.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MshrEntry {
+    line: LineAddr,
+    kind: MissKind,
+    allocated_at: Cycle,
+    targets: Vec<MissTarget>,
+}
+
+impl MshrEntry {
+    /// Creates an entry for a primary miss.
+    pub fn new(line: LineAddr, first: MissTarget, kind: MissKind, now: Cycle) -> Self {
+        MshrEntry { line, kind, allocated_at: now, targets: vec![first] }
+    }
+
+    /// The missed line address.
+    pub const fn line(&self) -> LineAddr {
+        self.line
+    }
+
+    /// The operation kind of the primary miss.
+    pub const fn kind(&self) -> MissKind {
+        self.kind
+    }
+
+    /// Cycle the entry was allocated.
+    pub const fn allocated_at(&self) -> Cycle {
+        self.allocated_at
+    }
+
+    /// All merged targets, primary first.
+    pub fn targets(&self) -> &[MissTarget] {
+        &self.targets
+    }
+
+    /// Merges a secondary miss into this entry.
+    pub fn merge(&mut self, target: MissTarget) {
+        self.targets.push(target);
+    }
+
+    /// Number of merged targets (≥ 1).
+    pub fn target_count(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether any target is a demand (non-prefetch) request.
+    pub fn has_demand(&self) -> bool {
+        self.targets.iter().any(|t| !t.is_prefetch)
+    }
+}
+
+impl fmt::Display for MshrEntry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} x{} {:?} {}", self.line, self.targets.len(), self.kind, self.allocated_at)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_accumulates_targets() {
+        let mut e = MshrEntry::new(
+            LineAddr::new(5),
+            MissTarget::demand(CoreId::new(0), 1),
+            MissKind::Read,
+            Cycle::ZERO,
+        );
+        e.merge(MissTarget::prefetch(CoreId::new(1), 2));
+        assert_eq!(e.target_count(), 2);
+        assert!(e.has_demand());
+        assert_eq!(e.targets()[0].token, 1);
+    }
+
+    #[test]
+    fn prefetch_only_entry_has_no_demand() {
+        let e = MshrEntry::new(
+            LineAddr::new(5),
+            MissTarget::prefetch(CoreId::new(0), 1),
+            MissKind::Read,
+            Cycle::ZERO,
+        );
+        assert!(!e.has_demand());
+    }
+
+    #[test]
+    fn display_forms() {
+        let t = MissTarget::prefetch(CoreId::new(2), 9);
+        assert_eq!(t.to_string(), "core2#9(pf)");
+        let t2 = MissTarget::demand(CoreId::new(0), 3);
+        assert_eq!(t2.to_string(), "core0#3");
+    }
+}

@@ -1,0 +1,194 @@
+//! The common miss-handler interface.
+
+use core::fmt;
+use stacksim_types::{Cycle, LineAddr};
+
+use crate::entry::{MissKind, MissTarget, MshrEntry};
+
+/// Which MSHR organization a handler implements (for reporting).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MshrKind {
+    /// Ideal fully-associative CAM.
+    Cam,
+    /// Direct-mapped with linear probing.
+    DirectLinear,
+    /// Direct-mapped with quadratic probing.
+    DirectQuadratic,
+    /// Direct-mapped with linear probing plus the Vector Bloom Filter.
+    Vbf,
+    /// Banked first level with a shared second level (Tuck et al.).
+    Hierarchical,
+}
+
+impl fmt::Display for MshrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MshrKind::Cam => "cam",
+            MshrKind::DirectLinear => "direct-linear",
+            MshrKind::DirectQuadratic => "direct-quadratic",
+            MshrKind::Vbf => "vbf",
+            MshrKind::Hierarchical => "hierarchical",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Result of a lookup: whether the line has an outstanding miss, and how
+/// many sequential structure probes answering the question required.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct LookupResult {
+    /// Whether an entry for the line exists.
+    pub found: bool,
+    /// Sequential probes performed (≥ 1; the first probe is mandatory).
+    pub probes: u32,
+}
+
+/// Result of a successful allocate call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocOutcome {
+    /// A new entry was allocated for a primary miss.
+    Primary {
+        /// Probes spent finding the slot.
+        probes: u32,
+    },
+    /// The miss merged into an existing entry (secondary miss).
+    Merged {
+        /// Probes spent finding the existing entry.
+        probes: u32,
+        /// Targets now merged on the entry, including this one.
+        targets: usize,
+    },
+}
+
+impl AllocOutcome {
+    /// Whether the call allocated a fresh entry.
+    pub const fn is_primary(&self) -> bool {
+        matches!(self, AllocOutcome::Primary { .. })
+    }
+
+    /// Probes the call performed.
+    pub const fn probes(&self) -> u32 {
+        match self {
+            AllocOutcome::Primary { probes } | AllocOutcome::Merged { probes, .. } => *probes,
+        }
+    }
+}
+
+/// Why an allocation failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AllocError {
+    /// No free entry is available (structure full, or dynamic limit
+    /// reached); the requester must stall and retry.
+    Full {
+        /// Probes spent discovering fullness.
+        probes: u32,
+    },
+}
+
+impl AllocError {
+    /// Probes the failed call performed.
+    pub const fn probes(&self) -> u32 {
+        match self {
+            AllocError::Full { probes } => *probes,
+        }
+    }
+}
+
+impl fmt::Display for AllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AllocError::Full { .. } => write!(f, "mshr full"),
+        }
+    }
+}
+
+impl std::error::Error for AllocError {}
+
+/// A miss-status handling register file.
+///
+/// Implementations differ in *how* entries are located (and therefore in
+/// probe counts and scalability), not in *what* they store: every handler
+/// tracks at most one entry per outstanding line, merges secondary misses,
+/// and frees the entry when the fill completes.
+pub trait MissHandler {
+    /// The organization implemented.
+    fn kind(&self) -> MshrKind;
+
+    /// Checks whether `line` has an outstanding miss.
+    fn lookup(&mut self, line: LineAddr) -> LookupResult;
+
+    /// Records a miss: merges into an existing entry for `line` or
+    /// allocates a new one.
+    ///
+    /// # Errors
+    ///
+    /// [`AllocError::Full`] if a new entry is needed but none is free
+    /// (including when the dynamic capacity limit is reached).
+    fn allocate(
+        &mut self,
+        line: LineAddr,
+        target: MissTarget,
+        kind: MissKind,
+        now: Cycle,
+    ) -> Result<AllocOutcome, AllocError>;
+
+    /// Completes the miss for `line`, removing and returning its entry and
+    /// the probes spent locating it. Returns `None` if no entry exists.
+    fn deallocate(&mut self, line: LineAddr) -> Option<(MshrEntry, u32)>;
+
+    /// A shared view of the entry for `line`, if outstanding.
+    fn entry(&self, line: LineAddr) -> Option<&MshrEntry>;
+
+    /// Currently allocated entries.
+    fn occupancy(&self) -> usize;
+
+    /// Physical entry count.
+    fn capacity(&self) -> usize;
+
+    /// Upper bound on simultaneously allocated entries currently in force.
+    /// Equal to [`capacity`](Self::capacity) unless a dynamic limit was set.
+    fn capacity_limit(&self) -> usize;
+
+    /// Restricts the number of simultaneously allocated entries to
+    /// `limit.min(capacity)`. Already-allocated entries above the limit are
+    /// not evicted; new allocations simply wait for occupancy to drop.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `limit` is zero.
+    fn set_capacity_limit(&mut self, limit: usize);
+
+    /// Whether an allocation of a *new* entry would currently fail.
+    fn is_full(&self) -> bool {
+        self.occupancy() >= self.capacity_limit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_accessors() {
+        let p = AllocOutcome::Primary { probes: 2 };
+        assert!(p.is_primary());
+        assert_eq!(p.probes(), 2);
+        let m = AllocOutcome::Merged { probes: 3, targets: 2 };
+        assert!(!m.is_primary());
+        assert_eq!(m.probes(), 3);
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AllocError::Full { probes: 4 };
+        assert_eq!(e.to_string(), "mshr full");
+        assert_eq!(e.probes(), 4);
+    }
+
+    #[test]
+    fn kind_display() {
+        assert_eq!(MshrKind::Vbf.to_string(), "vbf");
+        assert_eq!(MshrKind::Cam.to_string(), "cam");
+        assert_eq!(MshrKind::DirectLinear.to_string(), "direct-linear");
+    }
+}

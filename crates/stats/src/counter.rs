@@ -1,0 +1,111 @@
+//! Simple event counters.
+
+use core::fmt;
+
+/// A monotonically increasing event counter.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_stats::Counter;
+///
+/// let mut hits = Counter::new("l2_hits");
+/// hits.incr();
+/// hits.add(4);
+/// assert_eq!(hits.value(), 5);
+/// assert_eq!(hits.name(), "l2_hits");
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Counter {
+    name: &'static str,
+    value: u64,
+}
+
+impl Counter {
+    /// Creates a zeroed counter with a static name.
+    pub const fn new(name: &'static str) -> Self {
+        Counter { name, value: 0 }
+    }
+
+    /// The counter's name.
+    pub const fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The current count.
+    pub const fn value(&self) -> u64 {
+        self.value
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn incr(&mut self) {
+        self.value += 1;
+    }
+
+    /// Adds `n` events.
+    #[inline]
+    pub fn add(&mut self, n: u64) {
+        self.value += n;
+    }
+
+    /// Resets the count to zero (used between dynamic-MSHR sampling phases).
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+
+    /// This counter as a fraction of `denom` events; `None` when `denom`
+    /// is zero.
+    pub fn rate_per(&self, denom: u64) -> Option<f64> {
+        if denom == 0 {
+            None
+        } else {
+            Some(self.value as f64 / denom as f64)
+        }
+    }
+
+    /// Events per thousand `denom` events (the MPKI convention), `None`
+    /// when `denom` is zero.
+    pub fn per_kilo(&self, denom: u64) -> Option<f64> {
+        self.rate_per(denom).map(|r| r * 1000.0)
+    }
+}
+
+impl fmt::Display for Counter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}={}", self.name, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counting() {
+        let mut c = Counter::new("x");
+        assert_eq!(c.value(), 0);
+        c.incr();
+        c.add(9);
+        assert_eq!(c.value(), 10);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    fn rates() {
+        let mut c = Counter::new("misses");
+        c.add(25);
+        assert_eq!(c.rate_per(100), Some(0.25));
+        assert_eq!(c.per_kilo(1000), Some(25.0));
+        assert_eq!(c.rate_per(0), None);
+        assert_eq!(c.per_kilo(0), None);
+    }
+
+    #[test]
+    fn display() {
+        let mut c = Counter::new("evts");
+        c.add(3);
+        assert_eq!(c.to_string(), "evts=3");
+    }
+}

@@ -1,0 +1,233 @@
+//! Integer-valued histograms.
+
+use core::fmt;
+
+/// A dense histogram over small non-negative integer samples, with an
+/// overflow bucket for values past the configured maximum.
+///
+/// Used for distributions like "probes per MSHR access" (paper §5.2) or
+/// "occupied MSHR entries per cycle".
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_stats::Histogram;
+///
+/// let mut h = Histogram::new(8);
+/// h.record(1);
+/// h.record(2);
+/// h.record(2);
+/// assert_eq!(h.count(), 3);
+/// assert!((h.mean().unwrap() - 5.0 / 3.0).abs() < 1e-12);
+/// assert_eq!(h.bucket(2), 2);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    overflow: u64,
+    count: u64,
+    sum: u64,
+    max_seen: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram with dense buckets for values `0..=max_value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_value` exceeds 1 << 20 (use a coarser summary instead).
+    pub fn new(max_value: u64) -> Self {
+        assert!(max_value <= 1 << 20, "histogram too wide; bucket it coarser");
+        Histogram {
+            buckets: vec![0; (max_value + 1) as usize],
+            overflow: 0,
+            count: 0,
+            sum: 0,
+            max_seen: 0,
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&mut self, value: u64) {
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += 1,
+            None => self.overflow += 1,
+        }
+        self.count += 1;
+        self.sum += value;
+        self.max_seen = self.max_seen.max(value);
+    }
+
+    /// Number of samples recorded.
+    pub const fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples.
+    pub const fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest sample seen.
+    pub const fn max_seen(&self) -> u64 {
+        self.max_seen
+    }
+
+    /// Samples that fell past the dense range.
+    pub const fn overflow(&self) -> u64 {
+        self.overflow
+    }
+
+    /// Count in a dense bucket; zero for out-of-range buckets.
+    pub fn bucket(&self, value: u64) -> u64 {
+        self.buckets.get(value as usize).copied().unwrap_or(0)
+    }
+
+    /// Mean of all samples; `None` when empty.
+    pub fn mean(&self) -> Option<f64> {
+        if self.count == 0 {
+            None
+        } else {
+            Some(self.sum as f64 / self.count as f64)
+        }
+    }
+
+    /// Smallest dense value `v` such that at least `q` (0..=1) of the samples
+    /// are ≤ `v`. Overflowed samples count as larger than every dense value.
+    /// Returns `None` when empty or when the quantile lands in the overflow
+    /// bucket.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q` is outside `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0;
+        for (v, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= target {
+                return Some(v as u64);
+            }
+        }
+        None
+    }
+
+    /// Merges another histogram's samples into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dense ranges differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram width mismatch");
+        for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
+            *a += b;
+        }
+        self.overflow += other.overflow;
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max_seen = self.max_seen.max(other.max_seen);
+    }
+
+    /// Clears all samples.
+    pub fn reset(&mut self) {
+        self.buckets.iter_mut().for_each(|b| *b = 0);
+        self.overflow = 0;
+        self.count = 0;
+        self.sum = 0;
+        self.max_seen = 0;
+    }
+}
+
+impl fmt::Display for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hist(n={}, mean={:.3}, max={})",
+            self.count,
+            self.mean().unwrap_or(0.0),
+            self.max_seen
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_means() {
+        let mut h = Histogram::new(4);
+        for v in [0, 1, 1, 2, 4] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.sum(), 8);
+        assert_eq!(h.bucket(1), 2);
+        assert_eq!(h.mean(), Some(1.6));
+        assert_eq!(h.max_seen(), 4);
+        assert_eq!(h.overflow(), 0);
+    }
+
+    #[test]
+    fn overflow_bucket() {
+        let mut h = Histogram::new(2);
+        h.record(100);
+        assert_eq!(h.overflow(), 1);
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.quantile(0.5), None); // lands in overflow
+    }
+
+    #[test]
+    fn quantiles() {
+        let mut h = Histogram::new(10);
+        for v in 1..=10 {
+            h.record(v);
+        }
+        assert_eq!(h.quantile(0.5), Some(5));
+        assert_eq!(h.quantile(1.0), Some(10));
+        assert_eq!(h.quantile(0.0), Some(1));
+    }
+
+    #[test]
+    fn empty_histogram() {
+        let h = Histogram::new(4);
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.quantile(0.5), None);
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = Histogram::new(4);
+        let mut b = Histogram::new(4);
+        a.record(1);
+        b.record(3);
+        b.record(9); // overflow
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.bucket(3), 1);
+        assert_eq!(a.overflow(), 1);
+        assert_eq!(a.max_seen(), 9);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut h = Histogram::new(4);
+        h.record(2);
+        h.reset();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.bucket(2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn merge_width_mismatch_panics() {
+        let mut a = Histogram::new(4);
+        let b = Histogram::new(5);
+        a.merge(&b);
+    }
+}

@@ -1,0 +1,129 @@
+//! Summary means used throughout the paper's evaluation.
+
+use core::fmt;
+
+/// Error computing a summary mean.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MeanError {
+    /// The input slice was empty.
+    Empty,
+    /// An input value was zero or negative (both means require positives).
+    NonPositive,
+}
+
+impl fmt::Display for MeanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MeanError::Empty => write!(f, "cannot average an empty slice"),
+            MeanError::NonPositive => write!(f, "values must be strictly positive"),
+        }
+    }
+}
+
+impl std::error::Error for MeanError {}
+
+/// Geometric mean of strictly positive values.
+///
+/// The paper summarizes per-workload speedups with the geometric mean
+/// (GM(H,VH) and GM(all) columns of Figures 4, 6, 7 and 9).
+///
+/// # Errors
+///
+/// Returns [`MeanError::Empty`] for an empty slice and
+/// [`MeanError::NonPositive`] if any value is ≤ 0.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_stats::geometric_mean;
+///
+/// assert!((geometric_mean(&[2.0, 8.0]).unwrap() - 4.0).abs() < 1e-12);
+/// ```
+pub fn geometric_mean(values: &[f64]) -> Result<f64, MeanError> {
+    if values.is_empty() {
+        return Err(MeanError::Empty);
+    }
+    let mut log_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return Err(MeanError::NonPositive);
+        }
+        log_sum += v.ln();
+    }
+    Ok((log_sum / values.len() as f64).exp())
+}
+
+/// Harmonic mean of strictly positive values.
+///
+/// The paper reports multi-programmed throughput as the harmonic mean IPC
+/// across the four programs of a mix (HMIPC, Table 2(b)).
+///
+/// # Errors
+///
+/// Returns [`MeanError::Empty`] for an empty slice and
+/// [`MeanError::NonPositive`] if any value is ≤ 0.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_stats::harmonic_mean;
+///
+/// assert!((harmonic_mean(&[1.0, 1.0, 2.0, 2.0]).unwrap() - 4.0 / 3.0).abs() < 1e-12);
+/// ```
+pub fn harmonic_mean(values: &[f64]) -> Result<f64, MeanError> {
+    if values.is_empty() {
+        return Err(MeanError::Empty);
+    }
+    let mut inv_sum = 0.0;
+    for &v in values {
+        if v <= 0.0 {
+            return Err(MeanError::NonPositive);
+        }
+        inv_sum += 1.0 / v;
+    }
+    Ok(values.len() as f64 / inv_sum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gm_basics() {
+        assert_eq!(geometric_mean(&[]), Err(MeanError::Empty));
+        assert_eq!(geometric_mean(&[1.0, 0.0]), Err(MeanError::NonPositive));
+        assert_eq!(geometric_mean(&[1.0, -2.0]), Err(MeanError::NonPositive));
+        assert!((geometric_mean(&[3.0]).unwrap() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hm_basics() {
+        assert_eq!(harmonic_mean(&[]), Err(MeanError::Empty));
+        assert_eq!(harmonic_mean(&[0.0]), Err(MeanError::NonPositive));
+        assert!((harmonic_mean(&[4.0]).unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hm_dominated_by_slowest() {
+        // One slow program drags HMIPC down — the paper's motivation for
+        // using it as the multi-programmed metric.
+        let hm = harmonic_mean(&[0.1, 2.0, 2.0, 2.0]).unwrap();
+        assert!(hm < 0.4);
+    }
+
+    #[test]
+    fn gm_of_equal_values_is_that_value() {
+        let gm = geometric_mean(&[1.75, 1.75, 1.75]).unwrap();
+        assert!((gm - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gm_le_am_property() {
+        let vals = [0.5, 1.3, 2.2, 4.4];
+        let gm = geometric_mean(&vals).unwrap();
+        let am = vals.iter().sum::<f64>() / vals.len() as f64;
+        assert!(gm <= am);
+        let hm = harmonic_mean(&vals).unwrap();
+        assert!(hm <= gm);
+    }
+}

@@ -1,0 +1,135 @@
+//! Named statistic bags exported by simulated components.
+
+use core::fmt;
+
+/// An ordered collection of named statistic values produced by one simulated
+/// component at the end of a run.
+///
+/// Insertion order is preserved so reports read in a stable, human-chosen
+/// order. Duplicate names overwrite the previous value.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_stats::StatRecord;
+///
+/// let mut r = StatRecord::new("l2");
+/// r.set("hits", 90.0);
+/// r.set("misses", 10.0);
+/// assert_eq!(r.get("misses"), Some(10.0));
+/// assert_eq!(r.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StatRecord {
+    component: String,
+    entries: Vec<(String, f64)>,
+}
+
+impl StatRecord {
+    /// Creates an empty record for a named component.
+    pub fn new(component: impl Into<String>) -> Self {
+        StatRecord { component: component.into(), entries: Vec::new() }
+    }
+
+    /// The owning component's name.
+    pub fn component(&self) -> &str {
+        &self.component
+    }
+
+    /// Sets (or overwrites) a statistic.
+    pub fn set(&mut self, name: impl Into<String>, value: f64) {
+        let name = name.into();
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = value;
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// Looks up a statistic by name.
+    pub fn get(&self, name: &str) -> Option<f64> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+    }
+
+    /// Number of statistics stored.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the record holds no statistics.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates over `(name, value)` pairs in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, f64)> {
+        self.entries.iter().map(|(n, v)| (n.as_str(), *v))
+    }
+
+    /// Merges another record's entries into this one, prefixing each name
+    /// with the other record's component name (`"dram.row_hits"`).
+    pub fn absorb(&mut self, other: &StatRecord) {
+        for (name, value) in other.iter() {
+            self.set(format!("{}.{}", other.component(), name), value);
+        }
+    }
+}
+
+impl fmt::Display for StatRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{}]", self.component)?;
+        for (name, value) in self.iter() {
+            writeln!(f, "  {name} = {value}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_overwrite() {
+        let mut r = StatRecord::new("c");
+        r.set("a", 1.0);
+        r.set("a", 2.0);
+        assert_eq!(r.get("a"), Some(2.0));
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.get("missing"), None);
+    }
+
+    #[test]
+    fn preserves_insertion_order() {
+        let mut r = StatRecord::new("c");
+        r.set("z", 1.0);
+        r.set("a", 2.0);
+        let names: Vec<&str> = r.iter().map(|(n, _)| n).collect();
+        assert_eq!(names, ["z", "a"]);
+    }
+
+    #[test]
+    fn absorb_prefixes() {
+        let mut outer = StatRecord::new("system");
+        let mut inner = StatRecord::new("dram");
+        inner.set("row_hits", 7.0);
+        outer.absorb(&inner);
+        assert_eq!(outer.get("dram.row_hits"), Some(7.0));
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut r = StatRecord::new("x");
+        r.set("n", 3.0);
+        let s = r.to_string();
+        assert!(s.contains("[x]"));
+        assert!(s.contains("n = 3"));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let r = StatRecord::new("e");
+        assert!(r.is_empty());
+        assert_eq!(r.len(), 0);
+    }
+}

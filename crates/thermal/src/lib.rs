@@ -1,0 +1,30 @@
+//! Compact thermal model of a 3D die stack.
+//!
+//! The paper runs the University of Virginia HotSpot toolset and reports
+//! (without figures, §2.4) that the worst-case temperature across the whole
+//! DRAM-on-CPU stack stays within the SDRAM thermal limit. This crate
+//! reproduces that qualitative check with a compact RC network: the stack is
+//! a vertical chain of die layers, each discretized into a small lateral
+//! grid of cells; heat flows laterally within a layer, vertically between
+//! layers, and out through the heat sink attached to the bottom (processor)
+//! layer, as in the paper's Figure 2.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_thermal::{LayerSpec, StackConfig, ThermalGrid};
+//!
+//! let cfg = StackConfig::dram_on_cpu(65.0, 8, 0.6);
+//! let mut grid = ThermalGrid::new(cfg);
+//! let report = grid.solve_steady_state();
+//! assert!(report.max_c > 45.0); // ambient + heating
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod grid;
+mod stack;
+
+pub use grid::{ThermalGrid, ThermalReport};
+pub use stack::{LayerSpec, StackConfig, DRAM_THERMAL_LIMIT_C};

@@ -1,0 +1,126 @@
+//! Stack and layer descriptions.
+
+use core::fmt;
+
+/// Maximum operating temperature of commodity SDRAM, per the Samsung
+/// datasheets the paper's memory parameters come from (case temperature).
+pub const DRAM_THERMAL_LIMIT_C: f64 = 85.0;
+
+/// One die layer of the stack.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LayerSpec {
+    /// Display name ("cpu", "dram0", …).
+    pub name: &'static str,
+    /// Total power dissipated in this layer, watts.
+    pub power_w: f64,
+    /// Whether the layer holds DRAM (checked against the thermal limit).
+    pub is_dram: bool,
+}
+
+/// Geometry and boundary conditions of the whole stack.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StackConfig {
+    /// Layers bottom-up; layer 0 sits against the heat sink (Figure 2 puts
+    /// the sink below the processor die).
+    pub layers: Vec<LayerSpec>,
+    /// Lateral grid resolution per layer (`cells × cells`).
+    pub grid: usize,
+    /// Ambient temperature, °C.
+    pub ambient_c: f64,
+    /// Vertical thermal resistance between adjacent layer cells, K/W.
+    pub r_vertical: f64,
+    /// Lateral thermal resistance between adjacent cells of one layer, K/W.
+    pub r_lateral: f64,
+    /// Sink resistance from each bottom-layer cell to ambient, K/W.
+    pub r_sink: f64,
+}
+
+impl StackConfig {
+    /// The paper's organization: a processor die (quad-core + L2) under
+    /// `dram_layers` stacked DRAM dies of `dram_power_w` each, with a heat
+    /// sink under the processor.
+    ///
+    /// `cpu_power_w` of ~65 W and ~0.6 W per 1 GB DRAM die are
+    /// representative mid-2000s numbers.
+    pub fn dram_on_cpu(cpu_power_w: f64, dram_layers: usize, dram_power_w: f64) -> StackConfig {
+        let mut layers = vec![LayerSpec { name: "cpu", power_w: cpu_power_w, is_dram: false }];
+        for _ in 0..dram_layers {
+            layers.push(LayerSpec { name: "dram", power_w: dram_power_w, is_dram: true });
+        }
+        StackConfig {
+            layers,
+            grid: 8,
+            ambient_c: 45.0,
+            // Thinned dies bond with low vertical resistance; the sink path
+            // dominates. Values chosen to land the CPU near its typical
+            // 70-80 °C operating point at 65 W.
+            r_vertical: 0.12,
+            r_lateral: 2.0,
+            r_sink: 28.0,
+        }
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if there are no layers, the grid is zero, or any resistance
+    /// is non-positive.
+    pub fn validate(&self) {
+        assert!(!self.layers.is_empty(), "stack needs at least one layer");
+        assert!(self.grid > 0, "grid must be non-zero");
+        assert!(
+            self.r_vertical > 0.0 && self.r_lateral > 0.0 && self.r_sink > 0.0,
+            "resistances must be positive"
+        );
+        assert!(self.layers.iter().all(|l| l.power_w >= 0.0), "negative power");
+    }
+
+    /// Number of cells in the whole stack.
+    pub fn cell_count(&self) -> usize {
+        self.layers.len() * self.grid * self.grid
+    }
+}
+
+impl fmt::Display for StackConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "stack[{} layers, {}x{} grid, {:.1}W total]",
+            self.layers.len(),
+            self.grid,
+            self.grid,
+            self.layers.iter().map(|l| l.power_w).sum::<f64>()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dram_on_cpu_layout() {
+        let cfg = StackConfig::dram_on_cpu(65.0, 8, 0.6);
+        assert_eq!(cfg.layers.len(), 9);
+        assert!(!cfg.layers[0].is_dram);
+        assert!(cfg.layers[1..].iter().all(|l| l.is_dram));
+        cfg.validate();
+        assert_eq!(cfg.cell_count(), 9 * 64);
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let cfg = StackConfig::dram_on_cpu(65.0, 4, 0.5);
+        let s = cfg.to_string();
+        assert!(s.contains("5 layers"));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one layer")]
+    fn empty_stack_rejected() {
+        let mut cfg = StackConfig::dram_on_cpu(65.0, 1, 0.5);
+        cfg.layers.clear();
+        cfg.validate();
+    }
+}

@@ -1,0 +1,279 @@
+//! Physical addresses and their cache-line / page granular views.
+
+use core::fmt;
+use core::ops::{Add, Sub};
+
+/// Number of low address bits covered by one cache line (64 bytes).
+pub const LINE_OFFSET_BITS: u32 = 6;
+/// Size of a cache line in bytes.
+pub const LINE_BYTES: u64 = 1 << LINE_OFFSET_BITS;
+/// Number of low address bits covered by one physical page (4096 bytes).
+pub const PAGE_OFFSET_BITS: u32 = 12;
+/// Size of a physical page (and of one DRAM row) in bytes.
+pub const PAGE_BYTES: u64 = 1 << PAGE_OFFSET_BITS;
+
+/// A byte-granular physical memory address.
+///
+/// The simulator performs virtual-to-physical allocation up front (the paper
+/// uses first-come-first-serve allocation, §2.4), so every address seen by
+/// the cache hierarchy and the memory system is physical.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_types::PhysAddr;
+///
+/// let a = PhysAddr::new(0x1040);
+/// assert_eq!(a.line().index(), 0x41);
+/// assert_eq!(a.page().index(), 0x1);
+/// assert_eq!(a.line_offset(), 0);
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysAddr(u64);
+
+impl PhysAddr {
+    /// Creates an address from a raw byte address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+
+    /// The raw byte address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The cache line containing this address.
+    #[inline]
+    pub const fn line(self) -> LineAddr {
+        LineAddr(self.0 >> LINE_OFFSET_BITS)
+    }
+
+    /// The physical page containing this address.
+    #[inline]
+    pub const fn page(self) -> PageIndex {
+        PageIndex(self.0 >> PAGE_OFFSET_BITS)
+    }
+
+    /// Byte offset of this address inside its cache line.
+    #[inline]
+    pub const fn line_offset(self) -> u64 {
+        self.0 & (LINE_BYTES - 1)
+    }
+
+    /// Byte offset of this address inside its physical page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 & (PAGE_BYTES - 1)
+    }
+
+    /// Returns this address rounded down to its cache-line base.
+    #[inline]
+    pub const fn line_aligned(self) -> PhysAddr {
+        PhysAddr(self.0 & !(LINE_BYTES - 1))
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl From<u64> for PhysAddr {
+    fn from(raw: u64) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+impl Add<u64> for PhysAddr {
+    type Output = PhysAddr;
+
+    #[inline]
+    fn add(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0.wrapping_add(rhs))
+    }
+}
+
+impl Sub<u64> for PhysAddr {
+    type Output = PhysAddr;
+
+    #[inline]
+    fn sub(self, rhs: u64) -> PhysAddr {
+        PhysAddr(self.0.wrapping_sub(rhs))
+    }
+}
+
+/// A cache-line-granular address: a physical address shifted right by
+/// [`LINE_OFFSET_BITS`].
+///
+/// All miss tracking (MSHRs, memory requests) operates on line addresses
+/// since a whole 64-byte line is transferred per fill.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LineAddr(u64);
+
+impl LineAddr {
+    /// Creates a line address from a line index (byte address >> 6).
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        LineAddr(index)
+    }
+
+    /// The line index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The base byte address of the line.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << LINE_OFFSET_BITS)
+    }
+
+    /// The physical page containing this line.
+    #[inline]
+    pub const fn page(self) -> PageIndex {
+        PageIndex(self.0 >> (PAGE_OFFSET_BITS - LINE_OFFSET_BITS))
+    }
+
+    /// Index of this line within its page (0..64 for 4 KB pages / 64 B lines).
+    #[inline]
+    pub const fn line_in_page(self) -> u64 {
+        self.0 & ((1 << (PAGE_OFFSET_BITS - LINE_OFFSET_BITS)) - 1)
+    }
+
+    /// The next sequential line (used by next-line prefetchers).
+    #[inline]
+    pub const fn next(self) -> LineAddr {
+        LineAddr(self.0.wrapping_add(1))
+    }
+
+    /// Offsets the line address by a signed number of lines.
+    #[inline]
+    pub const fn offset(self, delta: i64) -> LineAddr {
+        LineAddr(self.0.wrapping_add(delta as u64))
+    }
+}
+
+impl fmt::Display for LineAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "L{:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for LineAddr {
+    fn from(a: PhysAddr) -> Self {
+        a.line()
+    }
+}
+
+/// A page-granular address: a physical address shifted right by
+/// [`PAGE_OFFSET_BITS`].
+///
+/// Main memory is interleaved across memory controllers, ranks and banks at
+/// page granularity (one DRAM row holds exactly one 4 KB page), following the
+/// paper's §4.1 banking discussion.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PageIndex(u64);
+
+impl PageIndex {
+    /// Creates a page index.
+    #[inline]
+    pub const fn new(index: u64) -> Self {
+        PageIndex(index)
+    }
+
+    /// The page index.
+    #[inline]
+    pub const fn index(self) -> u64 {
+        self.0
+    }
+
+    /// The base byte address of the page.
+    #[inline]
+    pub const fn base(self) -> PhysAddr {
+        PhysAddr(self.0 << PAGE_OFFSET_BITS)
+    }
+}
+
+impl fmt::Display for PageIndex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{:#x}", self.0)
+    }
+}
+
+impl From<PhysAddr> for PageIndex {
+    fn from(a: PhysAddr) -> Self {
+        a.page()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_page_decomposition() {
+        let a = PhysAddr::new(0x0000_1234_5678);
+        assert_eq!(a.line().index(), 0x0000_1234_5678 >> 6);
+        assert_eq!(a.page().index(), 0x0000_1234_5678 >> 12);
+        assert_eq!(a.line_offset(), 0x38);
+        assert_eq!(a.page_offset(), 0x678);
+    }
+
+    #[test]
+    fn line_aligned_clears_offset() {
+        let a = PhysAddr::new(0x1FFF);
+        assert_eq!(a.line_aligned().raw(), 0x1FC0);
+        assert_eq!(a.line_aligned().line(), a.line());
+    }
+
+    #[test]
+    fn line_roundtrip_through_base() {
+        let l = LineAddr::new(12345);
+        assert_eq!(l.base().line(), l);
+    }
+
+    #[test]
+    fn page_roundtrip_through_base() {
+        let p = PageIndex::new(999);
+        assert_eq!(p.base().page(), p);
+    }
+
+    #[test]
+    fn lines_per_page_is_64() {
+        let base = PageIndex::new(7).base();
+        let last = base + (PAGE_BYTES - 1);
+        assert_eq!(last.line().line_in_page(), 63);
+        assert_eq!(base.line().line_in_page(), 0);
+    }
+
+    #[test]
+    fn next_line_crosses_page_boundary() {
+        let l = LineAddr::new(63);
+        assert_eq!(l.page().index(), 0);
+        assert_eq!(l.next().page().index(), 1);
+    }
+
+    #[test]
+    fn signed_offset_wraps_consistently() {
+        let l = LineAddr::new(100);
+        assert_eq!(l.offset(-4).index(), 96);
+        assert_eq!(l.offset(4).index(), 104);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(PhysAddr::new(0x40).to_string(), "0x40");
+        assert_eq!(LineAddr::new(1).to_string(), "L0x1");
+        assert_eq!(PageIndex::new(2).to_string(), "P0x2");
+    }
+}

@@ -1,0 +1,299 @@
+//! Shared configuration structs for the memory system.
+
+use crate::error::ConfigError;
+use crate::time::{ClockDomain, Cycles};
+
+/// Which physical memory implementation the machine uses.
+///
+/// These correspond to the configurations of the paper's Figure 4
+/// progression (the *-wide* and rank/MC variations are expressed through
+/// [`BusConfig`] and `MemoryGeometry`, not here).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum MemoryKind {
+    /// Commodity off-chip DRAM behind a front-side bus ("2D").
+    #[default]
+    OffChip2D,
+    /// Commodity DRAM dies stacked on the processor; unchanged array timing
+    /// but on-stack buses at core clock ("3D").
+    Stacked3D,
+    /// "True" 3D-split DRAM: bitcell arrays folded across layers above a
+    /// dedicated high-speed logic layer, reducing array access time by
+    /// 32.5 % ("3D-fast", after Tezzaron's five-layer part).
+    True3DSplit,
+}
+
+impl MemoryKind {
+    /// Whether the memory is on the 3D stack (affects refresh period and bus
+    /// clocking).
+    pub const fn is_stacked(self) -> bool {
+        matches!(self, MemoryKind::Stacked3D | MemoryKind::True3DSplit)
+    }
+}
+
+/// DRAM array timing parameters, in nanoseconds (Table 1 of the paper).
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_types::DramTiming;
+///
+/// let t2d = DramTiming::COMMODITY_2D;
+/// let t3d = DramTiming::TRUE_3D;
+/// assert!(t3d.t_ras_ns < t2d.t_ras_ns);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DramTiming {
+    /// Row access strobe: minimum time a row stays open (activate →
+    /// precharge), ns.
+    pub t_ras_ns: f64,
+    /// Row-to-column delay: activate → first column command, ns.
+    pub t_rcd_ns: f64,
+    /// Column access strobe latency: column read → first data, ns.
+    pub t_cas_ns: f64,
+    /// Write recovery time, ns.
+    pub t_wr_ns: f64,
+    /// Row precharge time, ns.
+    pub t_rp_ns: f64,
+    /// Column-to-column command spacing, ns: how often back-to-back column
+    /// bursts may issue to an open row. This is the bank's *occupancy* per
+    /// row-buffer hit, distinct from the tCAS *latency* of each access.
+    pub t_ccd_ns: f64,
+}
+
+impl DramTiming {
+    /// Commodity DDR2 timing used for the 2D, 3D and 3D-wide configurations
+    /// (Table 1: tRAS = 36 ns; tRCD = tCAS = tWR = tRP = 12 ns).
+    pub const COMMODITY_2D: DramTiming = DramTiming {
+        t_ras_ns: 36.0,
+        t_rcd_ns: 12.0,
+        t_cas_ns: 12.0,
+        t_wr_ns: 12.0,
+        t_rp_ns: 12.0,
+        t_ccd_ns: 3.0, // two DDR2-533 memory clocks
+    };
+
+    /// True-3D split-array timing (Table 1: tRAS = 24.3 ns; others 8.1 ns),
+    /// the conservative 32.5 % reduction from Tezzaron's five-layer part.
+    pub const TRUE_3D: DramTiming = DramTiming {
+        t_ras_ns: 24.3,
+        t_rcd_ns: 8.1,
+        t_cas_ns: 8.1,
+        t_wr_ns: 8.1,
+        t_rp_ns: 8.1,
+        t_ccd_ns: 2.025, // same 32.5 % reduction as the other parameters
+    };
+
+    /// Converts all parameters to CPU cycles at `core_hz`, rounding each up
+    /// to an integral cycle count (paper §3).
+    pub fn to_cycles(&self, core_hz: f64) -> DramTimingCycles {
+        DramTimingCycles {
+            t_ras: Cycles::from_ns(self.t_ras_ns, core_hz),
+            t_rcd: Cycles::from_ns(self.t_rcd_ns, core_hz),
+            t_cas: Cycles::from_ns(self.t_cas_ns, core_hz),
+            t_wr: Cycles::from_ns(self.t_wr_ns, core_hz),
+            t_rp: Cycles::from_ns(self.t_rp_ns, core_hz),
+            t_ccd: Cycles::from_ns(self.t_ccd_ns, core_hz),
+        }
+    }
+
+    /// Scales every parameter by `factor` (used for sensitivity studies).
+    pub fn scaled(&self, factor: f64) -> DramTiming {
+        assert!(factor > 0.0, "scale factor must be positive");
+        DramTiming {
+            t_ras_ns: self.t_ras_ns * factor,
+            t_rcd_ns: self.t_rcd_ns * factor,
+            t_cas_ns: self.t_cas_ns * factor,
+            t_wr_ns: self.t_wr_ns * factor,
+            t_rp_ns: self.t_rp_ns * factor,
+            t_ccd_ns: self.t_ccd_ns * factor,
+        }
+    }
+}
+
+impl Default for DramTiming {
+    fn default() -> Self {
+        DramTiming::COMMODITY_2D
+    }
+}
+
+/// [`DramTiming`] pre-converted to integral CPU cycles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramTimingCycles {
+    /// Minimum activate → precharge spacing.
+    pub t_ras: Cycles,
+    /// Activate → column command.
+    pub t_rcd: Cycles,
+    /// Column read → data.
+    pub t_cas: Cycles,
+    /// Write recovery.
+    pub t_wr: Cycles,
+    /// Precharge.
+    pub t_rp: Cycles,
+    /// Column-to-column spacing (bank occupancy per open-row burst).
+    pub t_ccd: Cycles,
+}
+
+impl DramTimingCycles {
+    /// Latency of a row-buffer *miss* read: precharge + activate + CAS.
+    pub fn row_miss_read(&self) -> Cycles {
+        self.t_rp + self.t_rcd + self.t_cas
+    }
+
+    /// Latency of a row-buffer *hit* read: CAS only.
+    pub fn row_hit_read(&self) -> Cycles {
+        self.t_cas
+    }
+}
+
+/// DRAM refresh configuration.
+///
+/// The paper uses 64 ms for off-chip DRAM and 32 ms for on-stack DRAM (the
+/// hotter stack leaks faster, following Ghosh & Lee).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RefreshConfig {
+    /// Full refresh period over all rows, in milliseconds. `None` disables
+    /// refresh modelling.
+    pub period_ms: Option<f64>,
+}
+
+impl RefreshConfig {
+    /// 64 ms refresh (commodity off-chip DDR2).
+    pub const OFF_CHIP: RefreshConfig = RefreshConfig { period_ms: Some(64.0) };
+    /// 32 ms refresh (on-stack, higher temperature).
+    pub const ON_STACK: RefreshConfig = RefreshConfig { period_ms: Some(32.0) };
+    /// Refresh disabled.
+    pub const DISABLED: RefreshConfig = RefreshConfig { period_ms: None };
+
+    /// Interval between successive row refreshes in CPU cycles, given the
+    /// number of rows a refresh engine must cover and the core frequency.
+    ///
+    /// Returns `None` when refresh is disabled.
+    pub fn row_interval(&self, rows: u64, core_hz: f64) -> Option<Cycles> {
+        let period = self.period_ms?;
+        assert!(rows > 0, "refresh over zero rows");
+        let interval_ns = period * 1e6 / rows as f64;
+        Some(Cycles::from_ns(interval_ns, core_hz))
+    }
+}
+
+impl Default for RefreshConfig {
+    fn default() -> Self {
+        RefreshConfig::OFF_CHIP
+    }
+}
+
+/// A data bus between the memory controller(s) and the DRAM, or the
+/// front-side bus between the processor and an off-chip controller.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BusConfig {
+    /// Usable data width in bytes per bus clock edge.
+    pub width_bytes: u32,
+    /// Clock domain the bus runs in.
+    pub clock: ClockDomain,
+}
+
+impl BusConfig {
+    /// Creates the paper's baseline off-chip FSB: 64-bit (8-byte) wide at
+    /// 833.3 MHz DDR — an effective 1.66 GHz transfer rate, i.e. one
+    /// transfer edge every 2 CPU cycles at 3.333 GHz.
+    pub fn fsb_2d() -> BusConfig {
+        BusConfig { width_bytes: 8, clock: ClockDomain::new(2) }
+    }
+
+    /// An on-stack bus at core clock with the given width.
+    pub fn on_stack(width_bytes: u32) -> BusConfig {
+        BusConfig { width_bytes, clock: ClockDomain::CORE }
+    }
+
+    /// Number of CPU cycles the bus is occupied transferring `bytes`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if the bus width is zero.
+    pub fn transfer_cycles(&self, bytes: u32) -> Result<Cycles, ConfigError> {
+        if self.width_bytes == 0 {
+            return Err(ConfigError::new("bus width must be non-zero"));
+        }
+        let beats = bytes.div_ceil(self.width_bytes) as u64;
+        Ok(self.clock.ticks(beats))
+    }
+}
+
+impl Default for BusConfig {
+    fn default() -> Self {
+        BusConfig::fsb_2d()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const CORE_HZ: f64 = 3.333e9;
+
+    #[test]
+    fn table1_timings_in_cycles() {
+        let t = DramTiming::COMMODITY_2D.to_cycles(CORE_HZ);
+        assert_eq!(t.t_ras.raw(), 120); // 36ns * 3.333GHz = 119.99 -> 120
+        assert_eq!(t.t_cas.raw(), 40); // 12ns -> 40
+        let t3 = DramTiming::TRUE_3D.to_cycles(CORE_HZ);
+        assert_eq!(t3.t_ras.raw(), 81); // 24.3ns * 3.333 = 80.99 -> 81
+        assert_eq!(t3.t_cas.raw(), 27); // 8.1ns * 3.333 = 26.99 -> 27
+    }
+
+    #[test]
+    fn true_3d_is_about_32_percent_faster() {
+        let ratio = DramTiming::TRUE_3D.t_ras_ns / DramTiming::COMMODITY_2D.t_ras_ns;
+        assert!((ratio - 0.675).abs() < 1e-9);
+    }
+
+    #[test]
+    fn row_hit_cheaper_than_miss() {
+        let t = DramTiming::COMMODITY_2D.to_cycles(CORE_HZ);
+        assert!(t.row_hit_read() < t.row_miss_read());
+        assert_eq!(t.row_miss_read(), t.t_rp + t.t_rcd + t.t_cas);
+    }
+
+    #[test]
+    fn refresh_row_interval() {
+        // 64 ms over 32768 rows/bank-group -> ~1953 ns per row.
+        let r = RefreshConfig::OFF_CHIP.row_interval(32768, CORE_HZ).unwrap();
+        assert!(r.raw() > 6000 && r.raw() < 7000);
+        assert!(RefreshConfig::DISABLED.row_interval(32768, CORE_HZ).is_none());
+        // on-stack refreshes twice as often
+        let s = RefreshConfig::ON_STACK.row_interval(32768, CORE_HZ).unwrap();
+        assert!(s.raw() < r.raw());
+    }
+
+    #[test]
+    fn bus_transfer_cycles() {
+        // 64-byte line over 8-byte FSB at divisor 2: 8 beats * 2 = 16 cycles.
+        let fsb = BusConfig::fsb_2d();
+        assert_eq!(fsb.transfer_cycles(64).unwrap().raw(), 16);
+        // 64-byte on-stack bus: 1 beat * 1 = 1 cycle.
+        let wide = BusConfig::on_stack(64);
+        assert_eq!(wide.transfer_cycles(64).unwrap().raw(), 1);
+        // 8-byte on-stack bus at core clock: 8 cycles.
+        let narrow = BusConfig::on_stack(8);
+        assert_eq!(narrow.transfer_cycles(64).unwrap().raw(), 8);
+    }
+
+    #[test]
+    fn zero_width_bus_is_error() {
+        let b = BusConfig { width_bytes: 0, clock: ClockDomain::CORE };
+        assert!(b.transfer_cycles(64).is_err());
+    }
+
+    #[test]
+    fn memory_kind_stacking() {
+        assert!(!MemoryKind::OffChip2D.is_stacked());
+        assert!(MemoryKind::Stacked3D.is_stacked());
+        assert!(MemoryKind::True3DSplit.is_stacked());
+    }
+
+    #[test]
+    fn scaled_timing() {
+        let half = DramTiming::COMMODITY_2D.scaled(0.5);
+        assert!((half.t_ras_ns - 18.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,42 @@
+//! Error types.
+
+use core::fmt;
+
+/// Error returned when a machine configuration is internally inconsistent
+/// (e.g. a rank count that does not divide evenly among memory controllers).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ConfigError {
+    message: String,
+}
+
+impl ConfigError {
+    /// Creates a configuration error with a human-readable reason.
+    pub fn new(message: impl Into<String>) -> Self {
+        ConfigError { message: message.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid configuration: {}", self.message)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_reason() {
+        let e = ConfigError::new("ranks must divide MCs");
+        assert_eq!(e.to_string(), "invalid configuration: ranks must divide MCs");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ConfigError>();
+    }
+}

@@ -1,0 +1,115 @@
+//! Strongly-typed component identifiers.
+//!
+//! Every hardware structure in the simulated machine is addressed by a
+//! newtype index so that, e.g., a rank number can never be confused with a
+//! bank number at a call site (C-NEWTYPE).
+
+use core::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(u16);
+
+        impl $name {
+            /// Creates an identifier from a raw index.
+            #[inline]
+            pub const fn new(index: u16) -> Self {
+                $name(index)
+            }
+
+            /// The raw index.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.0)
+            }
+        }
+
+        impl From<u16> for $name {
+            fn from(index: u16) -> Self {
+                $name(index)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(index: usize) -> Self {
+                debug_assert!(index <= u16::MAX as usize, "id out of range");
+                $name(index as u16)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies one CPU core of the multi-core processor.
+    CoreId,
+    "core"
+);
+define_id!(
+    /// Identifies one hardware thread / workload slot (one program of a
+    /// multi-programmed mix). In this simulator threads map 1:1 onto cores.
+    ThreadId,
+    "t"
+);
+define_id!(
+    /// Identifies one memory controller (the paper evaluates 1, 2 and 4 MCs).
+    McId,
+    "mc"
+);
+define_id!(
+    /// Identifies one DRAM rank, globally across all memory controllers.
+    RankId,
+    "rank"
+);
+define_id!(
+    /// Identifies one DRAM bank *within* a rank (8 banks/rank in the paper).
+    BankId,
+    "bank"
+);
+define_id!(
+    /// Identifies one bank of the shared L2 cache (16 banks in the paper).
+    L2BankId,
+    "l2b"
+);
+define_id!(
+    /// Identifies one bank of the banked L2 MSHR file. MSHR banks align
+    /// one-to-one with memory controllers (paper §4.1, Figure 5).
+    MshrBankId,
+    "mshrb"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_distinct_types_with_indices() {
+        let r = RankId::new(3);
+        let b = BankId::new(3);
+        assert_eq!(r.index(), b.index());
+        assert_eq!(r.to_string(), "rank3");
+        assert_eq!(b.to_string(), "bank3");
+    }
+
+    #[test]
+    fn from_usize_roundtrips() {
+        let c: CoreId = 2usize.into();
+        assert_eq!(c, CoreId::new(2));
+        let m: McId = 1u16.into();
+        assert_eq!(m.index(), 1);
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(L2BankId::new(1) < L2BankId::new(5));
+        assert!(MshrBankId::new(0) < MshrBankId::new(1));
+        assert!(ThreadId::new(0) < ThreadId::new(3));
+    }
+}

@@ -1,0 +1,267 @@
+//! Simulated time.
+//!
+//! The whole machine is simulated at CPU-clock granularity (3.333 GHz in the
+//! paper's baseline). Slower clock domains (the 833 MHz front-side bus, DRAM
+//! command timing) are expressed as integer multiples of the CPU cycle via
+//! [`ClockDomain`], mirroring the paper's rule that "everything is rounded up
+//! to be integral multiples of the CPU cycle time".
+
+use core::fmt;
+use core::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time, in CPU cycles since simulation start.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_types::{Cycle, Cycles};
+///
+/// let t = Cycle::ZERO + Cycles::new(100);
+/// assert_eq!(t.raw(), 100);
+/// assert_eq!(t - Cycle::ZERO, Cycles::new(100));
+/// ```
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycle(u64);
+
+impl Cycle {
+    /// Simulation start.
+    pub const ZERO: Cycle = Cycle(0);
+
+    /// Creates a time point from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycle(raw)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Returns the later of two time points.
+    #[inline]
+    pub fn max(self, other: Cycle) -> Cycle {
+        Cycle(self.0.max(other.0))
+    }
+
+    /// Saturating duration since `earlier` (zero if `earlier` is later).
+    #[inline]
+    pub fn saturating_since(self, earlier: Cycle) -> Cycles {
+        Cycles(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// A duration in CPU cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cycles(u64);
+
+impl Cycles {
+    /// Zero-length duration.
+    pub const ZERO: Cycles = Cycles(0);
+
+    /// Creates a duration from a raw cycle count.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        Cycles(raw)
+    }
+
+    /// The raw cycle count.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Duration from nanoseconds at a given core frequency, rounded **up**
+    /// to a whole number of cycles (the paper's integral-cycle rule).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_types::Cycles;
+    ///
+    /// // 12 ns at 3.333 GHz = 39.996 cycles -> 40.
+    /// assert_eq!(Cycles::from_ns(12.0, 3.333e9).raw(), 40);
+    /// ```
+    pub fn from_ns(ns: f64, core_hz: f64) -> Cycles {
+        assert!(ns >= 0.0 && core_hz > 0.0, "negative time or frequency");
+        let exact = ns * 1e-9 * core_hz;
+        // Tolerate floating-point noise so that exact multiples (e.g. 3 ns at
+        // 1 GHz) do not spuriously round up to the next cycle.
+        let nearest = exact.round();
+        if (exact - nearest).abs() < 1e-6 {
+            Cycles(nearest as u64)
+        } else {
+            Cycles(exact.ceil() as u64)
+        }
+    }
+
+    /// Scales the duration by an integer factor.
+    #[inline]
+    pub const fn times(self, factor: u64) -> Cycles {
+        Cycles(self.0 * factor)
+    }
+}
+
+impl fmt::Display for Cycles {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}cy", self.0)
+    }
+}
+
+impl Add<Cycles> for Cycle {
+    type Output = Cycle;
+
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycle {
+        Cycle(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Cycles> for Cycle {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = Cycles;
+
+    #[inline]
+    fn sub(self, rhs: Cycle) -> Cycles {
+        debug_assert!(self.0 >= rhs.0, "negative duration");
+        Cycles(self.0 - rhs.0)
+    }
+}
+
+impl Add<Cycles> for Cycles {
+    type Output = Cycles;
+
+    #[inline]
+    fn add(self, rhs: Cycles) -> Cycles {
+        Cycles(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Cycles> for Cycles {
+    #[inline]
+    fn add_assign(&mut self, rhs: Cycles) {
+        self.0 += rhs.0;
+    }
+}
+
+/// A clock domain slower than (or equal to) the CPU clock, expressed as an
+/// integer divisor of the CPU frequency.
+///
+/// The paper's baseline FSB runs at 833.3 MHz against a 3.333 GHz core —
+/// divisor 4. On-stack configurations run the bus at core speed — divisor 1.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_types::{ClockDomain, Cycle, Cycles};
+///
+/// let fsb = ClockDomain::new(4);
+/// // One bus cycle costs 4 CPU cycles.
+/// assert_eq!(fsb.ticks(3), Cycles::new(12));
+/// // The next bus clock edge at or after CPU cycle 5 is cycle 8.
+/// assert_eq!(fsb.next_edge(Cycle::new(5)), Cycle::new(8));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct ClockDomain {
+    divisor: u64,
+}
+
+impl ClockDomain {
+    /// A domain running at the full CPU clock.
+    pub const CORE: ClockDomain = ClockDomain { divisor: 1 };
+
+    /// Creates a clock domain running at `cpu_freq / divisor`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `divisor` is zero.
+    pub fn new(divisor: u64) -> Self {
+        assert!(divisor > 0, "clock divisor must be non-zero");
+        ClockDomain { divisor }
+    }
+
+    /// The integer divisor relative to the CPU clock.
+    #[inline]
+    pub const fn divisor(self) -> u64 {
+        self.divisor
+    }
+
+    /// Duration of `n` ticks of this domain, in CPU cycles.
+    #[inline]
+    pub const fn ticks(self, n: u64) -> Cycles {
+        Cycles(n * self.divisor)
+    }
+
+    /// The first clock edge of this domain at or after `now`.
+    #[inline]
+    pub fn next_edge(self, now: Cycle) -> Cycle {
+        let rem = now.0 % self.divisor;
+        if rem == 0 {
+            now
+        } else {
+            Cycle(now.0 + (self.divisor - rem))
+        }
+    }
+}
+
+impl Default for ClockDomain {
+    fn default() -> Self {
+        ClockDomain::CORE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_ns_rounds_up() {
+        // 36 ns at 3.333 GHz = 119.988 -> 120 cycles (paper tRAS).
+        assert_eq!(Cycles::from_ns(36.0, 3.333e9).raw(), 120);
+        // exact multiples stay exact
+        assert_eq!(Cycles::from_ns(3.0, 1e9).raw(), 3);
+    }
+
+    #[test]
+    fn cycle_arithmetic() {
+        let mut t = Cycle::ZERO;
+        t += Cycles::new(7);
+        assert_eq!(t, Cycle::new(7));
+        assert_eq!(t + Cycles::new(3), Cycle::new(10));
+        assert_eq!(Cycle::new(10) - Cycle::new(7), Cycles::new(3));
+        assert_eq!(Cycle::new(3).saturating_since(Cycle::new(10)), Cycles::ZERO);
+    }
+
+    #[test]
+    fn clock_edges() {
+        let d = ClockDomain::new(4);
+        assert_eq!(d.next_edge(Cycle::new(0)), Cycle::new(0));
+        assert_eq!(d.next_edge(Cycle::new(1)), Cycle::new(4));
+        assert_eq!(d.next_edge(Cycle::new(4)), Cycle::new(4));
+        assert_eq!(ClockDomain::CORE.next_edge(Cycle::new(13)), Cycle::new(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_divisor_panics() {
+        let _ = ClockDomain::new(0);
+    }
+
+    #[test]
+    fn max_picks_later() {
+        assert_eq!(Cycle::new(3).max(Cycle::new(9)), Cycle::new(9));
+    }
+}

@@ -1,0 +1,185 @@
+//! First-come-first-serve physical page allocation (paper §2.4).
+
+use core::fmt;
+use std::collections::HashMap;
+
+use stacksim_types::{PhysAddr, PAGE_BYTES};
+
+/// A byte-granular virtual address within one program's address space.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VirtAddr(u64);
+
+impl VirtAddr {
+    /// Creates a virtual address.
+    #[inline]
+    pub const fn new(raw: u64) -> Self {
+        VirtAddr(raw)
+    }
+
+    /// The raw address.
+    #[inline]
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// The virtual page number.
+    #[inline]
+    pub const fn vpage(self) -> u64 {
+        self.0 / PAGE_BYTES
+    }
+
+    /// Byte offset within the page.
+    #[inline]
+    pub const fn page_offset(self) -> u64 {
+        self.0 % PAGE_BYTES
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{:#x}", self.0)
+    }
+}
+
+/// Error returned when physical memory is exhausted.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Total frames the allocator manages.
+    pub total_frames: u64,
+}
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "physical memory exhausted ({} frames)", self.total_frames)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// The shared FCFS physical frame allocator and page tables.
+///
+/// One allocator serves every program of a mix; each program is identified
+/// by an address-space id (`asid`, the core index in this simulator). On
+/// the first touch of a `(asid, virtual page)` pair the next free physical
+/// frame is assigned, so allocation order — not program identity —
+/// determines physical placement, exactly as in the paper's methodology.
+#[derive(Clone, Debug, Default)]
+pub struct PageAllocator {
+    tables: HashMap<(u16, u64), u64>,
+    next_frame: u64,
+    total_frames: u64,
+}
+
+impl PageAllocator {
+    /// Creates an allocator over `total_bytes` of physical memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `total_bytes` is smaller than one page.
+    pub fn new(total_bytes: u64) -> Self {
+        let total_frames = total_bytes / PAGE_BYTES;
+        assert!(total_frames > 0, "need at least one physical frame");
+        PageAllocator { tables: HashMap::new(), next_frame: 0, total_frames }
+    }
+
+    /// Translates a virtual address for address space `asid`, allocating a
+    /// frame on first touch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when all frames are assigned.
+    pub fn translate(&mut self, asid: u16, addr: VirtAddr) -> Result<PhysAddr, OutOfMemory> {
+        let key = (asid, addr.vpage());
+        let frame = match self.tables.get(&key) {
+            Some(&f) => f,
+            None => {
+                if self.next_frame >= self.total_frames {
+                    return Err(OutOfMemory { total_frames: self.total_frames });
+                }
+                let f = self.next_frame;
+                self.next_frame += 1;
+                self.tables.insert(key, f);
+                f
+            }
+        };
+        Ok(PhysAddr::new(frame * PAGE_BYTES + addr.page_offset()))
+    }
+
+    /// Looks up an existing mapping without allocating.
+    pub fn lookup(&self, asid: u16, vpage: u64) -> Option<u64> {
+        self.tables.get(&(asid, vpage)).copied()
+    }
+
+    /// Frames allocated so far.
+    pub fn allocated_frames(&self) -> u64 {
+        self.next_frame
+    }
+
+    /// Total frames managed.
+    pub const fn total_frames(&self) -> u64 {
+        self.total_frames
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fcfs_assigns_frames_in_touch_order() {
+        let mut a = PageAllocator::new(1 << 20);
+        // Touch order decides frames, not virtual addresses or asids.
+        let p1 = a.translate(3, VirtAddr::new(0xFFFF_0000)).unwrap();
+        let p2 = a.translate(0, VirtAddr::new(0x0000_0000)).unwrap();
+        let p3 = a.translate(3, VirtAddr::new(0xFFFF_0000 + 4096)).unwrap();
+        assert_eq!(p1.page().index(), 0);
+        assert_eq!(p2.page().index(), 1);
+        assert_eq!(p3.page().index(), 2);
+    }
+
+    #[test]
+    fn repeated_touches_are_stable() {
+        let mut a = PageAllocator::new(1 << 20);
+        let first = a.translate(0, VirtAddr::new(0x1000)).unwrap();
+        let again = a.translate(0, VirtAddr::new(0x1A00)).unwrap();
+        assert_eq!(first.page(), again.page());
+        assert_eq!(again.page_offset(), 0xA00);
+        assert_eq!(a.allocated_frames(), 1);
+    }
+
+    #[test]
+    fn asids_are_isolated() {
+        let mut a = PageAllocator::new(1 << 20);
+        let x = a.translate(0, VirtAddr::new(0x1000)).unwrap();
+        let y = a.translate(1, VirtAddr::new(0x1000)).unwrap();
+        assert_ne!(x.page(), y.page(), "same vpage in different spaces");
+    }
+
+    #[test]
+    fn exhaustion_reports_out_of_memory() {
+        let mut a = PageAllocator::new(2 * 4096);
+        a.translate(0, VirtAddr::new(0)).unwrap();
+        a.translate(0, VirtAddr::new(4096)).unwrap();
+        let err = a.translate(0, VirtAddr::new(8192)).unwrap_err();
+        assert_eq!(err.total_frames, 2);
+        assert!(err.to_string().contains("exhausted"));
+        // Existing mappings keep translating.
+        assert!(a.translate(0, VirtAddr::new(0)).is_ok());
+    }
+
+    #[test]
+    fn lookup_does_not_allocate() {
+        let mut a = PageAllocator::new(1 << 20);
+        assert_eq!(a.lookup(0, 5), None);
+        a.translate(0, VirtAddr::new(5 * 4096)).unwrap();
+        assert_eq!(a.lookup(0, 5), Some(0));
+        assert_eq!(a.allocated_frames(), 1);
+    }
+
+    #[test]
+    fn offsets_preserved_through_translation() {
+        let mut a = PageAllocator::new(1 << 20);
+        let p = a.translate(0, VirtAddr::new(0x3_2FC0)).unwrap();
+        assert_eq!(p.page_offset(), 0xFC0);
+    }
+}

@@ -1,0 +1,37 @@
+//! Virtual-memory substrate for the `stacksim` simulator.
+//!
+//! The paper's methodology (§2.4) performs "a virtual-to-physical memory
+//! translation/allocation based on a first-come-first-serve basis", and its
+//! Table 1 machine carries a 64-entry 4-way DTLB per core. This crate
+//! supplies both pieces:
+//!
+//! * [`PageAllocator`] — the shared FCFS physical frame allocator: the
+//!   first page any program touches gets physical frame 0, the next new
+//!   page (from *any* program) gets frame 1, and so on. Co-running
+//!   programs therefore interleave finely through physical memory — which
+//!   is precisely what spreads their traffic across ranks, banks and
+//!   memory controllers;
+//! * [`Tlb`] — a set-associative, LRU translation cache whose misses cost
+//!   a configurable page-walk latency in the core model.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_vm::{PageAllocator, VirtAddr};
+//! use stacksim_types::PhysAddr;
+//!
+//! let mut alloc = PageAllocator::new(1 << 30); // 1 GB of physical memory
+//! let a = alloc.translate(0, VirtAddr::new(0x1234)).unwrap();
+//! let b = alloc.translate(1, VirtAddr::new(0x9_0000)).unwrap();
+//! assert_eq!(a.page().index(), 0); // first touch -> first frame
+//! assert_eq!(b.page().index(), 1); // next touch (other program) -> next
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod allocator;
+mod tlb;
+
+pub use allocator::{OutOfMemory, PageAllocator, VirtAddr};
+pub use tlb::{Tlb, TlbConfig, TlbOutcome};

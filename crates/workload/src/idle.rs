@@ -1,0 +1,56 @@
+//! An idle program: compute-only filler for partially-occupied machines.
+
+use crate::instr::Instr;
+use crate::synth::TraceGenerator;
+
+/// A generator that only ever retires compute µops — it occupies a core
+/// without touching memory.
+///
+/// Used to measure a program's *alone* IPC on an otherwise-idle machine
+/// (the denominator of weighted-speedup and fairness metrics): the real
+/// program runs on one core while [`IdleProgram`]s fill the others, so the
+/// machine configuration (and its shared-resource plumbing) stays
+/// identical to the multi-programmed runs.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_workload::{IdleProgram, Instr, TraceGenerator};
+///
+/// let mut idle = IdleProgram::new();
+/// assert_eq!(idle.next_instr(), Instr::Compute);
+/// assert_eq!(idle.name(), "idle");
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct IdleProgram;
+
+impl IdleProgram {
+    /// Creates an idle program.
+    pub fn new() -> Self {
+        IdleProgram
+    }
+}
+
+impl TraceGenerator for IdleProgram {
+    fn next_instr(&mut self) -> Instr {
+        Instr::Compute
+    }
+
+    fn name(&self) -> &str {
+        "idle"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_touches_memory() {
+        let mut idle = IdleProgram::new();
+        for _ in 0..1000 {
+            let i = idle.next_instr();
+            assert!(!i.is_mem() && !i.is_branch());
+        }
+    }
+}

@@ -1,0 +1,115 @@
+//! The instruction vocabulary the CPU model executes.
+
+use core::fmt;
+use stacksim_types::PhysAddr;
+
+/// One committed µop of a synthetic program.
+///
+/// The timing model only needs to distinguish memory operations (which walk
+/// the cache hierarchy) from everything else (which retires at pipeline
+/// speed), plus the instruction pointer for the IP-indexed stride
+/// prefetcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Instr {
+    /// A non-memory µop (ALU, branch, …).
+    Compute,
+    /// A load from `addr`, issued by the static instruction at `pc`.
+    Load {
+        /// Instruction pointer (prefetcher training key).
+        pc: u64,
+        /// Physical address accessed.
+        addr: PhysAddr,
+    },
+    /// A store to `addr`, issued by the static instruction at `pc`.
+    Store {
+        /// Instruction pointer (prefetcher training key).
+        pc: u64,
+        /// Physical address accessed.
+        addr: PhysAddr,
+    },
+    /// A conditional branch at `pc` that resolves to `taken`.
+    Branch {
+        /// Instruction pointer (branch-predictor key).
+        pc: u64,
+        /// The architectural outcome.
+        taken: bool,
+    },
+}
+
+impl Instr {
+    /// Whether this µop accesses memory.
+    pub const fn is_mem(&self) -> bool {
+        matches!(self, Instr::Load { .. } | Instr::Store { .. })
+    }
+
+    /// Whether this µop writes memory.
+    pub const fn is_store(&self) -> bool {
+        matches!(self, Instr::Store { .. })
+    }
+
+    /// Whether this µop is a conditional branch.
+    pub const fn is_branch(&self) -> bool {
+        matches!(self, Instr::Branch { .. })
+    }
+
+    /// The accessed address, if any.
+    pub const fn addr(&self) -> Option<PhysAddr> {
+        match self {
+            Instr::Load { addr, .. } | Instr::Store { addr, .. } => Some(*addr),
+            Instr::Compute | Instr::Branch { .. } => None,
+        }
+    }
+
+    /// The instruction pointer, if a memory µop or branch.
+    pub const fn pc(&self) -> Option<u64> {
+        match self {
+            Instr::Load { pc, .. } | Instr::Store { pc, .. } | Instr::Branch { pc, .. } => {
+                Some(*pc)
+            }
+            Instr::Compute => None,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Instr::Compute => f.write_str("nop"),
+            Instr::Load { pc, addr } => write!(f, "ld[{pc:#x}] {addr}"),
+            Instr::Store { pc, addr } => write!(f, "st[{pc:#x}] {addr}"),
+            Instr::Branch { pc, taken } => {
+                write!(f, "br[{pc:#x}] {}", if *taken { "T" } else { "N" })
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification() {
+        let l = Instr::Load { pc: 1, addr: PhysAddr::new(64) };
+        let s = Instr::Store { pc: 2, addr: PhysAddr::new(128) };
+        assert!(l.is_mem() && !l.is_store());
+        assert!(s.is_mem() && s.is_store());
+        assert!(!Instr::Compute.is_mem());
+        let b = Instr::Branch { pc: 3, taken: true };
+        assert!(!b.is_mem() && b.is_branch() && b.addr().is_none());
+        assert_eq!(b.pc(), Some(3));
+        assert!(!Instr::Compute.is_branch());
+        assert_eq!(l.addr(), Some(PhysAddr::new(64)));
+        assert_eq!(Instr::Compute.addr(), None);
+        assert_eq!(s.pc(), Some(2));
+        assert_eq!(Instr::Compute.pc(), None);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Instr::Compute.to_string(), "nop");
+        let l = Instr::Load { pc: 16, addr: PhysAddr::new(64) };
+        assert_eq!(l.to_string(), "ld[0x10] 0x40");
+        assert_eq!(Instr::Branch { pc: 16, taken: false }.to_string(), "br[0x10] N");
+    }
+}

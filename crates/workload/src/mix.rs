@@ -1,0 +1,146 @@
+//! The twelve four-program workload mixes of Table 2(b).
+
+use core::fmt;
+
+use crate::spec::Benchmark;
+
+/// Memory-intensity class of a mix (the paper reports GM(H,VH) as its
+/// primary metric and GM(all) as supplementary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MixClass {
+    /// High miss rate.
+    High,
+    /// Very high miss rate (STREAM-dominated).
+    VeryHigh,
+    /// High/moderate blend.
+    HighModerate,
+    /// Moderate miss rate.
+    Moderate,
+}
+
+impl fmt::Display for MixClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MixClass::High => "H",
+            MixClass::VeryHigh => "VH",
+            MixClass::HighModerate => "HM",
+            MixClass::Moderate => "M",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One four-program multi-programmed workload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mix {
+    /// The paper's mix name ("H1", "VH2", …).
+    pub name: &'static str,
+    /// Intensity class.
+    pub class: MixClass,
+    /// The four programs, one per core.
+    pub programs: [&'static str; 4],
+    /// Baseline HMIPC the paper reports for this mix on the 2D machine
+    /// (Table 2(b)) — kept for reference/plot labels, not used by the
+    /// simulator.
+    pub paper_hmipc: f64,
+}
+
+/// All twelve mixes of Table 2(b).
+pub const MIXES: &[Mix] = &[
+    Mix { name: "H1", class: MixClass::High, programs: ["S.all", "libquantum", "wupwise", "mcf"], paper_hmipc: 0.153 },
+    Mix { name: "H2", class: MixClass::High, programs: ["tigr", "soplex", "equake", "mummer"], paper_hmipc: 0.105 },
+    Mix { name: "H3", class: MixClass::High, programs: ["qsort", "milc", "lbm", "swim"], paper_hmipc: 0.406 },
+    Mix { name: "VH1", class: MixClass::VeryHigh, programs: ["S.all", "S.all", "S.all", "S.all"], paper_hmipc: 0.065 },
+    Mix { name: "VH2", class: MixClass::VeryHigh, programs: ["S.copy", "S.scale", "S.add", "S.triad"], paper_hmipc: 0.058 },
+    Mix { name: "VH3", class: MixClass::VeryHigh, programs: ["tigr", "libquantum", "qsort", "soplex"], paper_hmipc: 0.098 },
+    Mix { name: "HM1", class: MixClass::HighModerate, programs: ["tigr", "equake", "applu", "astar"], paper_hmipc: 0.138 },
+    Mix { name: "HM2", class: MixClass::HighModerate, programs: ["libquantum", "mcf", "apsi", "bzip2"], paper_hmipc: 0.386 },
+    Mix { name: "HM3", class: MixClass::HighModerate, programs: ["milc", "swim", "mesa", "namd"], paper_hmipc: 0.907 },
+    Mix { name: "M1", class: MixClass::Moderate, programs: ["omnetpp", "apsi", "gzip", "bzip2"], paper_hmipc: 1.323 },
+    Mix { name: "M2", class: MixClass::Moderate, programs: ["applu", "h264", "astar", "vortex"], paper_hmipc: 1.319 },
+    Mix { name: "M3", class: MixClass::Moderate, programs: ["mgrid", "mesa", "zeusmp", "namd"], paper_hmipc: 1.523 },
+];
+
+impl Mix {
+    /// All twelve mixes in the paper's order.
+    pub fn all() -> &'static [Mix] {
+        MIXES
+    }
+
+    /// Looks up a mix by name.
+    pub fn by_name(name: &str) -> Option<&'static Mix> {
+        MIXES.iter().find(|m| m.name == name)
+    }
+
+    /// The mixes of the paper's primary metric: classes H and VH.
+    pub fn memory_intensive() -> impl Iterator<Item = &'static Mix> {
+        MIXES.iter().filter(|m| matches!(m.class, MixClass::High | MixClass::VeryHigh))
+    }
+
+    /// Resolves the four program names to benchmark specs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a program name is missing from the registry (the constant
+    /// tables are covered by tests, so this indicates a typo in new code).
+    pub fn benchmarks(&self) -> [&'static Benchmark; 4] {
+        self.programs.map(|p| {
+            Benchmark::by_name(p).unwrap_or_else(|| panic!("unknown benchmark {p} in mix {}", self.name))
+        })
+    }
+}
+
+impl fmt::Display for Mix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} [{}]: {}", self.name, self.class, self.programs.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn twelve_mixes_three_per_class() {
+        assert_eq!(MIXES.len(), 12);
+        for class in [MixClass::High, MixClass::VeryHigh, MixClass::HighModerate, MixClass::Moderate] {
+            assert_eq!(MIXES.iter().filter(|m| m.class == class).count(), 3);
+        }
+    }
+
+    #[test]
+    fn every_program_resolves() {
+        for mix in MIXES {
+            let specs = mix.benchmarks();
+            assert_eq!(specs.len(), 4);
+        }
+    }
+
+    #[test]
+    fn memory_intensive_is_h_and_vh() {
+        let names: Vec<&str> = Mix::memory_intensive().map(|m| m.name).collect();
+        assert_eq!(names, ["H1", "H2", "H3", "VH1", "VH2", "VH3"]);
+    }
+
+    #[test]
+    fn lookup_and_display() {
+        let m = Mix::by_name("VH2").unwrap();
+        assert_eq!(m.class, MixClass::VeryHigh);
+        assert!(m.to_string().contains("S.triad"));
+        assert!(Mix::by_name("X9").is_none());
+    }
+
+    #[test]
+    fn vh_mixes_are_stream_heavy() {
+        let vh1 = Mix::by_name("VH1").unwrap();
+        assert!(vh1.programs.iter().all(|&p| p == "S.all"));
+    }
+
+    #[test]
+    fn paper_hmipc_ordering_h_vs_m() {
+        // Moderate mixes run much faster than very-high-miss mixes.
+        let vh_max = MIXES.iter().filter(|m| m.class == MixClass::VeryHigh).map(|m| m.paper_hmipc).fold(0.0, f64::max);
+        let m_min = MIXES.iter().filter(|m| m.class == MixClass::Moderate).map(|m| m.paper_hmipc).fold(f64::INFINITY, f64::min);
+        assert!(vh_max < m_min);
+    }
+}

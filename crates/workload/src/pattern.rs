@@ -1,0 +1,239 @@
+//! Spatial access patterns for the "fresh" (cache-missing) address streams.
+
+use core::fmt;
+use rand::rngs::SmallRng;
+use rand::Rng;
+use stacksim_types::LineAddr;
+
+/// How a benchmark's cache-missing accesses move through its footprint.
+///
+/// Each variant produces a different *memory-system* personality — the axis
+/// that matters for the paper's experiments: sequential streams hit open
+/// DRAM rows and train prefetchers; strides still prefetch but span pages
+/// faster; random/pointer traffic defeats both.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AccessPattern {
+    /// `streams` interleaved sequential sweeps (STREAM, memcpy-like loops).
+    Sequential {
+        /// Number of concurrent arrays being swept.
+        streams: u8,
+    },
+    /// A single sweep advancing `stride_lines` cache lines per access.
+    Strided {
+        /// Lines skipped between accesses (1 = sequential).
+        stride_lines: u16,
+    },
+    /// Uniformly random lines within the footprint (hash-table-like).
+    Random,
+    /// A full-period pseudo-random walk: every line visited once per lap,
+    /// in unpredictable order (linked-data-structure traversal).
+    PointerChase,
+}
+
+impl fmt::Display for AccessPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AccessPattern::Sequential { streams } => write!(f, "seq x{streams}"),
+            AccessPattern::Strided { stride_lines } => write!(f, "stride {stride_lines}"),
+            AccessPattern::Random => f.write_str("random"),
+            AccessPattern::PointerChase => f.write_str("pointer"),
+        }
+    }
+}
+
+/// Stateful generator of the fresh-line stream for one program.
+///
+/// Produces line addresses **relative to the program's footprint** (the
+/// caller adds the per-core base offset). Every returned address is a new
+/// cache line — by construction a miss in any cache smaller than the
+/// footprint — so a program's miss intensity is controlled purely by how
+/// often its [`SyntheticWorkload`](crate::SyntheticWorkload) consults this
+/// stream.
+#[derive(Clone, Debug)]
+pub struct FreshStream {
+    pattern: AccessPattern,
+    footprint_lines: u64,
+    /// Per-stream cursors (sequential) or single cursor (strided/pointer).
+    cursors: Vec<u64>,
+    next_stream: usize,
+    last_slot: usize,
+}
+
+impl FreshStream {
+    /// Creates a stream over `footprint_lines` cache lines.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the footprint is zero, smaller than the stream count, or —
+    /// for [`AccessPattern::PointerChase`] — not a power of two (the
+    /// full-period walk requires it).
+    pub fn new(pattern: AccessPattern, footprint_lines: u64) -> Self {
+        assert!(footprint_lines > 0, "footprint must be non-zero");
+        let cursors = match pattern {
+            AccessPattern::Sequential { streams } => {
+                assert!(streams > 0, "need at least one stream");
+                assert!(footprint_lines >= streams as u64, "footprint smaller than stream count");
+                // Spread stream bases evenly through the footprint.
+                (0..streams as u64).map(|s| s * (footprint_lines / streams as u64)).collect()
+            }
+            AccessPattern::Strided { stride_lines } => {
+                assert!(stride_lines > 0, "stride must be non-zero");
+                vec![0]
+            }
+            AccessPattern::Random => vec![],
+            AccessPattern::PointerChase => {
+                assert!(
+                    footprint_lines.is_power_of_two(),
+                    "pointer chase needs a power-of-two footprint"
+                );
+                vec![1]
+            }
+        };
+        FreshStream { pattern, footprint_lines, cursors, next_stream: 0, last_slot: 0 }
+    }
+
+    /// The pattern in force.
+    pub const fn pattern(&self) -> AccessPattern {
+        self.pattern
+    }
+
+    /// Footprint in cache lines.
+    pub const fn footprint_lines(&self) -> u64 {
+        self.footprint_lines
+    }
+
+    /// Index of the pc "slot" the most recent [`next_line`](Self::next_line)
+    /// belongs to, so each sequential stream trains its own
+    /// stride-prefetcher entry. Zero for single-cursor patterns.
+    pub fn last_slot(&self) -> usize {
+        self.last_slot
+    }
+
+    /// Offsets every cursor by a random amount so that concurrently running
+    /// programs do not start phase-aligned (all sweeping the same memory
+    /// controller in lockstep — an artifact real program placement does not
+    /// have).
+    pub fn randomize_phase(&mut self, rng: &mut SmallRng) {
+        let n = self.footprint_lines;
+        for cursor in &mut self.cursors {
+            *cursor = (*cursor + rng.gen_range(0..n)) % n;
+        }
+    }
+
+    /// Produces the next fresh line (relative to the footprint base).
+    pub fn next_line(&mut self, rng: &mut SmallRng) -> LineAddr {
+        match self.pattern {
+            AccessPattern::Sequential { streams } => {
+                let s = self.next_stream;
+                self.last_slot = s;
+                self.next_stream = (self.next_stream + 1) % streams as usize;
+                let line = self.cursors[s];
+                self.cursors[s] = (self.cursors[s] + 1) % self.footprint_lines;
+                LineAddr::new(line)
+            }
+            AccessPattern::Strided { stride_lines } => {
+                let line = self.cursors[0];
+                self.cursors[0] = (self.cursors[0] + stride_lines as u64) % self.footprint_lines;
+                LineAddr::new(line)
+            }
+            AccessPattern::Random => LineAddr::new(rng.gen_range(0..self.footprint_lines)),
+            AccessPattern::PointerChase => {
+                // Full-period LCG over the power-of-two footprint
+                // (Hull–Dobell: c odd, a ≡ 1 mod 4).
+                let m = self.footprint_lines;
+                let line = self.cursors[0];
+                self.cursors[0] = (self.cursors[0].wrapping_mul(1_664_525).wrapping_add(1_013_904_223)) % m;
+                LineAddr::new(line)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    fn rng() -> SmallRng {
+        SmallRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn sequential_streams_advance_independently() {
+        let mut s = FreshStream::new(AccessPattern::Sequential { streams: 2 }, 100);
+        let mut r = rng();
+        let a0 = s.next_line(&mut r); // stream 0 base 0
+        let b0 = s.next_line(&mut r); // stream 1 base 50
+        let a1 = s.next_line(&mut r);
+        let b1 = s.next_line(&mut r);
+        assert_eq!(a0.index(), 0);
+        assert_eq!(b0.index(), 50);
+        assert_eq!(a1.index(), 1);
+        assert_eq!(b1.index(), 51);
+    }
+
+    #[test]
+    fn sequential_wraps_at_footprint() {
+        let mut s = FreshStream::new(AccessPattern::Sequential { streams: 1 }, 3);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..6).map(|_| s.next_line(&mut r).index()).collect();
+        assert_eq!(seq, [0, 1, 2, 0, 1, 2]);
+    }
+
+    #[test]
+    fn strided_skips_lines() {
+        let mut s = FreshStream::new(AccessPattern::Strided { stride_lines: 16 }, 64);
+        let mut r = rng();
+        let seq: Vec<u64> = (0..5).map(|_| s.next_line(&mut r).index()).collect();
+        assert_eq!(seq, [0, 16, 32, 48, 0]);
+    }
+
+    #[test]
+    fn random_stays_in_footprint() {
+        let mut s = FreshStream::new(AccessPattern::Random, 128);
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(s.next_line(&mut r).index() < 128);
+        }
+    }
+
+    #[test]
+    fn pointer_chase_covers_whole_footprint_per_lap() {
+        let n = 256;
+        let mut s = FreshStream::new(AccessPattern::PointerChase, n);
+        let mut r = rng();
+        let seen: HashSet<u64> = (0..n).map(|_| s.next_line(&mut r).index()).collect();
+        assert_eq!(seen.len() as u64, n, "full-period walk must visit every line");
+    }
+
+    #[test]
+    fn pointer_chase_is_not_sequential() {
+        let mut s = FreshStream::new(AccessPattern::PointerChase, 1024);
+        let mut r = rng();
+        let mut sequential_pairs = 0;
+        let mut prev = s.next_line(&mut r).index();
+        for _ in 0..100 {
+            let cur = s.next_line(&mut r).index();
+            if cur == prev + 1 {
+                sequential_pairs += 1;
+            }
+            prev = cur;
+        }
+        assert!(sequential_pairs < 5, "walk must defeat a next-line prefetcher");
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn pointer_chase_requires_power_of_two() {
+        let _ = FreshStream::new(AccessPattern::PointerChase, 100);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(AccessPattern::Sequential { streams: 3 }.to_string(), "seq x3");
+        assert_eq!(AccessPattern::Strided { stride_lines: 8 }.to_string(), "stride 8");
+        assert_eq!(AccessPattern::Random.to_string(), "random");
+        assert_eq!(AccessPattern::PointerChase.to_string(), "pointer");
+    }
+}

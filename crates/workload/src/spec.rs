@@ -1,0 +1,219 @@
+//! The benchmark registry: Table 2(a) of the paper.
+
+use core::fmt;
+
+use crate::pattern::AccessPattern;
+
+/// Originating benchmark suite (Table 2(a) legend).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECcpu 2000 integer.
+    SpecInt2000,
+    /// SPECcpu 2006 integer.
+    SpecInt2006,
+    /// SPECcpu 2000 floating point.
+    SpecFp2000,
+    /// SPECcpu 2006 floating point.
+    SpecFp2006,
+    /// BioBench bioinformatics suite.
+    BioBench,
+    /// MediaBench-I.
+    MediaBench1,
+    /// MediaBench-II.
+    MediaBench2,
+    /// MiBench embedded suite.
+    MiBench,
+    /// McCalpin's STREAM (and its decomposed kernels).
+    Stream,
+}
+
+impl fmt::Display for Suite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Suite::SpecInt2000 => "I'00",
+            Suite::SpecInt2006 => "I'06",
+            Suite::SpecFp2000 => "F'00",
+            Suite::SpecFp2006 => "F'06",
+            Suite::BioBench => "BioBench",
+            Suite::MediaBench1 => "Media-I",
+            Suite::MediaBench2 => "Media-II",
+            Suite::MiBench => "MiBench",
+            Suite::Stream => "Stream",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The static model of one benchmark: its paper-reported miss intensity and
+/// the synthetic personality that reproduces it.
+///
+/// `mpki_6mb` is the published stand-alone DL2 miss rate at 6 MB
+/// (Table 2(a)); the generator consults its fresh-line stream with
+/// probability `mpki_6mb / 1000` per instruction, which makes the simulated
+/// MPKI land on the published value by construction once the footprint
+/// exceeds the cache.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Benchmark {
+    /// Short benchmark name as used in the paper ("S.copy", "mcf", …).
+    pub name: &'static str,
+    /// Originating suite.
+    pub suite: Suite,
+    /// Published stand-alone L2 MPKI with a 6 MB cache.
+    pub mpki_6mb: f64,
+    /// Spatial pattern of the cache-missing accesses.
+    pub pattern: AccessPattern,
+    /// Footprint of the missing stream, in 64-byte cache lines.
+    pub footprint_lines: u64,
+    /// Fraction of instructions that are memory operations.
+    pub mem_fraction: f64,
+    /// Fraction of memory operations that are stores.
+    pub write_fraction: f64,
+}
+
+/// 64 MB expressed in cache lines — the streaming footprint (far larger
+/// than any cache evaluated).
+const BIG: u64 = (64 << 20) / 64;
+/// 16 MB footprint for the moderate programs (still misses a 12 MB L2's
+/// per-program share).
+const MID: u64 = (16 << 20) / 64;
+/// Power-of-two footprints for the pointer chasers.
+const BIG_POW2: u64 = 1 << 20; // 64 MB of lines
+const MID_POW2: u64 = 1 << 18; // 16 MB of lines
+
+const fn seq(streams: u8) -> AccessPattern {
+    AccessPattern::Sequential { streams }
+}
+
+const fn stride(lines: u16) -> AccessPattern {
+    AccessPattern::Strided { stride_lines: lines }
+}
+
+/// All 28 benchmarks of Table 2(a), ordered by descending MPKI as printed
+/// in the paper.
+pub const BENCHMARKS: &[Benchmark] = &[
+    Benchmark { name: "S.copy", suite: Suite::Stream, mpki_6mb: 326.9, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.60, write_fraction: 0.50 },
+    Benchmark { name: "S.add", suite: Suite::Stream, mpki_6mb: 313.2, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.60, write_fraction: 0.33 },
+    Benchmark { name: "S.all", suite: Suite::Stream, mpki_6mb: 282.2, pattern: seq(5), footprint_lines: BIG, mem_fraction: 0.58, write_fraction: 0.40 },
+    Benchmark { name: "S.triad", suite: Suite::Stream, mpki_6mb: 254.0, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.55, write_fraction: 0.33 },
+    Benchmark { name: "S.scale", suite: Suite::Stream, mpki_6mb: 252.1, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.55, write_fraction: 0.50 },
+    Benchmark { name: "tigr", suite: Suite::BioBench, mpki_6mb: 170.6, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.50, write_fraction: 0.15 },
+    Benchmark { name: "qsort", suite: Suite::MiBench, mpki_6mb: 153.6, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.45, write_fraction: 0.40 },
+    Benchmark { name: "libquantum", suite: Suite::SpecInt2006, mpki_6mb: 134.5, pattern: seq(1), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.25 },
+    Benchmark { name: "soplex", suite: Suite::SpecFp2006, mpki_6mb: 80.2, pattern: AccessPattern::Random, footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.20 },
+    Benchmark { name: "milc", suite: Suite::SpecFp2006, mpki_6mb: 52.6, pattern: stride(2), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.30 },
+    Benchmark { name: "wupwise", suite: Suite::SpecFp2000, mpki_6mb: 40.4, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.38, write_fraction: 0.30 },
+    Benchmark { name: "equake", suite: Suite::SpecFp2000, mpki_6mb: 37.3, pattern: AccessPattern::Random, footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.20 },
+    Benchmark { name: "lbm", suite: Suite::SpecFp2006, mpki_6mb: 36.5, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.45 },
+    Benchmark { name: "mcf", suite: Suite::SpecInt2006, mpki_6mb: 35.1, pattern: AccessPattern::PointerChase, footprint_lines: BIG_POW2, mem_fraction: 0.40, write_fraction: 0.15 },
+    Benchmark { name: "mummer", suite: Suite::BioBench, mpki_6mb: 29.2, pattern: AccessPattern::PointerChase, footprint_lines: BIG_POW2, mem_fraction: 0.42, write_fraction: 0.10 },
+    Benchmark { name: "swim", suite: Suite::SpecFp2000, mpki_6mb: 18.7, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.38, write_fraction: 0.35 },
+    Benchmark { name: "omnetpp", suite: Suite::SpecInt2006, mpki_6mb: 14.6, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.38, write_fraction: 0.25 },
+    Benchmark { name: "applu", suite: Suite::SpecFp2006, mpki_6mb: 12.2, pattern: stride(4), footprint_lines: MID, mem_fraction: 0.38, write_fraction: 0.30 },
+    Benchmark { name: "mgrid", suite: Suite::SpecFp2006, mpki_6mb: 9.2, pattern: stride(8), footprint_lines: MID, mem_fraction: 0.38, write_fraction: 0.25 },
+    Benchmark { name: "apsi", suite: Suite::SpecFp2006, mpki_6mb: 3.9, pattern: stride(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.25 },
+    Benchmark { name: "h264", suite: Suite::MediaBench2, mpki_6mb: 2.9, pattern: seq(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
+    Benchmark { name: "mesa", suite: Suite::MediaBench1, mpki_6mb: 2.4, pattern: seq(1), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
+    Benchmark { name: "gzip", suite: Suite::SpecInt2000, mpki_6mb: 1.4, pattern: seq(1), footprint_lines: MID, mem_fraction: 0.33, write_fraction: 0.30 },
+    Benchmark { name: "astar", suite: Suite::SpecInt2006, mpki_6mb: 1.4, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.35, write_fraction: 0.20 },
+    Benchmark { name: "zeusmp", suite: Suite::SpecFp2006, mpki_6mb: 1.4, pattern: stride(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
+    Benchmark { name: "bzip2", suite: Suite::SpecInt2006, mpki_6mb: 1.4, pattern: AccessPattern::Random, footprint_lines: MID, mem_fraction: 0.33, write_fraction: 0.30 },
+    Benchmark { name: "vortex", suite: Suite::SpecInt2000, mpki_6mb: 1.3, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.33, write_fraction: 0.25 },
+    Benchmark { name: "namd", suite: Suite::SpecFp2006, mpki_6mb: 1.0, pattern: AccessPattern::Random, footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.15 },
+];
+
+impl Benchmark {
+    /// Looks up a benchmark by its paper name.
+    pub fn by_name(name: &str) -> Option<&'static Benchmark> {
+        BENCHMARKS.iter().find(|b| b.name == name)
+    }
+
+    /// All benchmarks in Table 2(a) order (descending MPKI).
+    pub fn all() -> &'static [Benchmark] {
+        BENCHMARKS
+    }
+
+    /// Probability that one instruction consults the fresh (missing)
+    /// stream: the published MPKI over 1000.
+    pub fn fresh_probability(&self) -> f64 {
+        self.mpki_6mb / 1000.0
+    }
+
+    /// The footprint in bytes.
+    pub fn footprint_bytes(&self) -> u64 {
+        self.footprint_lines * 64
+    }
+}
+
+impl fmt::Display for Benchmark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({}, {:.1} MPKI)", self.name, self.suite, self.mpki_6mb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_complete_and_ordered() {
+        assert_eq!(BENCHMARKS.len(), 28);
+        for pair in BENCHMARKS.windows(2) {
+            assert!(pair[0].mpki_6mb >= pair[1].mpki_6mb, "must be sorted by MPKI");
+        }
+    }
+
+    #[test]
+    fn names_are_unique() {
+        use std::collections::HashSet;
+        let names: HashSet<&str> = BENCHMARKS.iter().map(|b| b.name).collect();
+        assert_eq!(names.len(), 28);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let mcf = Benchmark::by_name("mcf").unwrap();
+        assert_eq!(mcf.suite, Suite::SpecInt2006);
+        assert_eq!(mcf.mpki_6mb, 35.1);
+        assert!(Benchmark::by_name("doom") .is_none());
+    }
+
+    #[test]
+    fn fresh_probability_is_consistent() {
+        for b in BENCHMARKS {
+            let p = b.fresh_probability();
+            assert!(p > 0.0 && p < b.mem_fraction, "{}: fresh rate must fit in mem ops", b.name);
+        }
+    }
+
+    #[test]
+    fn pointer_chasers_have_power_of_two_footprints() {
+        for b in BENCHMARKS {
+            if b.pattern == AccessPattern::PointerChase {
+                assert!(b.footprint_lines.is_power_of_two(), "{}", b.name);
+            }
+        }
+    }
+
+    #[test]
+    fn footprints_exceed_six_megabytes() {
+        // Every benchmark's missing stream must actually miss a 6 MB cache.
+        for b in BENCHMARKS {
+            assert!(b.footprint_bytes() > (6 << 20), "{}", b.name);
+        }
+    }
+
+    #[test]
+    fn stream_kernels_present_with_paper_mpki() {
+        assert_eq!(Benchmark::by_name("S.copy").unwrap().mpki_6mb, 326.9);
+        assert_eq!(Benchmark::by_name("S.add").unwrap().mpki_6mb, 313.2);
+        assert_eq!(Benchmark::by_name("S.all").unwrap().mpki_6mb, 282.2);
+        assert_eq!(Benchmark::by_name("S.triad").unwrap().mpki_6mb, 254.0);
+        assert_eq!(Benchmark::by_name("S.scale").unwrap().mpki_6mb, 252.1);
+    }
+
+    #[test]
+    fn display_mentions_suite() {
+        let s = Benchmark::by_name("tigr").unwrap().to_string();
+        assert!(s.contains("BioBench"));
+    }
+}

@@ -1,0 +1,254 @@
+//! Trace recording and replay.
+//!
+//! Besides the synthetic generators, the simulator can be driven from
+//! recorded instruction traces — the classic trace-driven methodology of
+//! SimpleScalar-era studies. The format is deliberately plain text, one
+//! µop per line, so traces can be produced by any tool:
+//!
+//! ```text
+//! # comment
+//! C              <- compute µop
+//! L <pc> <addr>  <- load  (hex, 0x prefix optional)
+//! S <pc> <addr>  <- store
+//! B <pc> <T|N>   <- branch, taken or not-taken
+//! ```
+
+use std::io::{self, BufRead, Write};
+
+use stacksim_types::PhysAddr;
+
+use crate::instr::Instr;
+use crate::synth::TraceGenerator;
+
+/// Writes µops in the text trace format.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_workload::{record_trace, Benchmark, SyntheticWorkload};
+///
+/// let spec = Benchmark::by_name("mcf").unwrap();
+/// let mut generator = SyntheticWorkload::new(spec, 1, 0);
+/// let mut buffer = Vec::new();
+/// record_trace(&mut generator, 100, &mut buffer)?;
+/// assert_eq!(buffer.split(|&b| b == b'\n').filter(|l| !l.is_empty()).count(), 100);
+/// # Ok::<(), std::io::Error>(())
+/// ```
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn record_trace<G: TraceGenerator + ?Sized, W: Write>(
+    generator: &mut G,
+    count: u64,
+    writer: W,
+) -> io::Result<()> {
+    let mut writer = io::BufWriter::new(writer);
+    for _ in 0..count {
+        match generator.next_instr() {
+            Instr::Compute => writeln!(writer, "C")?,
+            Instr::Load { pc, addr } => writeln!(writer, "L {pc:#x} {:#x}", addr.raw())?,
+            Instr::Store { pc, addr } => writeln!(writer, "S {pc:#x} {:#x}", addr.raw())?,
+            Instr::Branch { pc, taken } => {
+                writeln!(writer, "B {pc:#x} {}", if taken { "T" } else { "N" })?
+            }
+        }
+    }
+    writer.flush()
+}
+
+/// Parses a text trace into µops.
+///
+/// Blank lines and lines starting with `#` are skipped.
+///
+/// # Errors
+///
+/// Returns an [`io::Error`] of kind `InvalidData` naming the offending line
+/// for any malformed record, or propagates reader errors.
+pub fn parse_trace<R: BufRead>(reader: R) -> io::Result<Vec<Instr>> {
+    let mut instrs = Vec::new();
+    for (number, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        instrs.push(parse_line(trimmed).map_err(|reason| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("trace line {}: {reason}: {trimmed:?}", number + 1),
+            )
+        })?);
+    }
+    Ok(instrs)
+}
+
+fn parse_line(line: &str) -> Result<Instr, &'static str> {
+    let mut fields = line.split_whitespace();
+    let kind = fields.next().ok_or("empty record")?;
+    let parse_hex = |field: Option<&str>| -> Result<u64, &'static str> {
+        let f = field.ok_or("missing field")?;
+        let digits = f.strip_prefix("0x").unwrap_or(f);
+        u64::from_str_radix(digits, 16).map_err(|_| "bad hex value")
+    };
+    let instr = match kind {
+        "C" | "c" => Instr::Compute,
+        "L" | "l" => {
+            let pc = parse_hex(fields.next())?;
+            let addr = PhysAddr::new(parse_hex(fields.next())?);
+            Instr::Load { pc, addr }
+        }
+        "S" | "s" => {
+            let pc = parse_hex(fields.next())?;
+            let addr = PhysAddr::new(parse_hex(fields.next())?);
+            Instr::Store { pc, addr }
+        }
+        "B" | "b" => {
+            let pc = parse_hex(fields.next())?;
+            let taken = match fields.next() {
+                Some("T") | Some("t") => true,
+                Some("N") | Some("n") => false,
+                _ => return Err("branch outcome must be T or N"),
+            };
+            Instr::Branch { pc, taken }
+        }
+        _ => return Err("unknown record kind"),
+    };
+    if fields.next().is_some() {
+        return Err("trailing fields");
+    }
+    Ok(instr)
+}
+
+/// Replays a recorded trace as an infinite instruction stream.
+///
+/// The trace wraps around at its end — programs in the paper's methodology
+/// keep running (and competing for shared resources) after their statistics
+/// freeze, so generators must never run dry.
+#[derive(Clone, Debug)]
+pub struct TraceReplay {
+    name: String,
+    instrs: Vec<Instr>,
+    pos: usize,
+    laps: u64,
+}
+
+impl TraceReplay {
+    /// Creates a replay over a parsed trace.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace is empty.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
+        assert!(!instrs.is_empty(), "cannot replay an empty trace");
+        TraceReplay { name: name.into(), instrs, pos: 0, laps: 0 }
+    }
+
+    /// Creates a replay by parsing `reader`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for malformed traces (see [`parse_trace`]) or an
+    /// empty trace.
+    pub fn from_reader<R: BufRead>(name: impl Into<String>, reader: R) -> io::Result<Self> {
+        let instrs = parse_trace(reader)?;
+        if instrs.is_empty() {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "empty trace"));
+        }
+        Ok(TraceReplay::new(name, instrs))
+    }
+
+    /// Number of µops in one lap of the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Whether the trace is empty (never true for constructed values).
+    pub fn is_empty(&self) -> bool {
+        self.instrs.is_empty()
+    }
+
+    /// Complete laps through the trace so far.
+    pub const fn laps(&self) -> u64 {
+        self.laps
+    }
+}
+
+impl TraceGenerator for TraceReplay {
+    fn next_instr(&mut self) -> Instr {
+        let i = self.instrs[self.pos];
+        self.pos += 1;
+        if self.pos == self.instrs.len() {
+            self.pos = 0;
+            self.laps += 1;
+        }
+        i
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::Benchmark;
+    use crate::synth::SyntheticWorkload;
+
+    #[test]
+    fn roundtrip_preserves_instructions() {
+        let spec = Benchmark::by_name("soplex").unwrap();
+        let mut generator = SyntheticWorkload::new(spec, 3, 0);
+        let mut buffer = Vec::new();
+        record_trace(&mut generator, 500, &mut buffer).unwrap();
+
+        // Re-generate the same stream for comparison.
+        let mut reference = SyntheticWorkload::new(spec, 3, 0);
+        let expected: Vec<Instr> = (0..500).map(|_| reference.next_instr()).collect();
+        let parsed = parse_trace(buffer.as_slice()).unwrap();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn comments_and_blanks_are_skipped() {
+        let text = "# header\n\nC\nL 0x10 0x40\n  \nS 20 80\nB 0x30 T\n";
+        let instrs = parse_trace(text.as_bytes()).unwrap();
+        assert_eq!(instrs.len(), 4);
+        assert_eq!(instrs[3], Instr::Branch { pc: 0x30, taken: true });
+        assert_eq!(instrs[1], Instr::Load { pc: 0x10, addr: PhysAddr::new(0x40) });
+        assert_eq!(instrs[2], Instr::Store { pc: 0x20, addr: PhysAddr::new(0x80) });
+    }
+
+    #[test]
+    fn malformed_lines_name_the_line() {
+        for bad in ["X 1 2", "L zz 0x40", "L 0x10", "C extra", "B 0x10 Q"] {
+            let err = parse_trace(bad.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad}");
+            assert!(err.to_string().contains("line 1"), "{bad}: {err}");
+        }
+    }
+
+    #[test]
+    fn replay_wraps_and_counts_laps() {
+        let mut replay = TraceReplay::new("t", vec![Instr::Compute, Instr::Compute]);
+        for _ in 0..5 {
+            replay.next_instr();
+        }
+        assert_eq!(replay.laps(), 2);
+        assert_eq!(replay.len(), 2);
+        assert_eq!(replay.name(), "t");
+    }
+
+    #[test]
+    fn from_reader_rejects_empty() {
+        let err = TraceReplay::from_reader("t", "# nothing\n".as_bytes()).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty trace")]
+    fn new_rejects_empty() {
+        let _ = TraceReplay::new("t", Vec::new());
+    }
+}

@@ -1,0 +1,26 @@
+//! Reproduces the paper's §2.4 thermal analysis: the worst-case temperature
+//! of the DRAM-on-CPU stack stays within the SDRAM limit, and shows how
+//! much headroom remains as CPU power grows.
+//!
+//! ```sh
+//! cargo run --release --example thermal_check
+//! ```
+
+use stacksim::experiments::thermal_check;
+
+fn main() {
+    // The paper's 8-layer (1 GB/layer) stack over a quad-core die.
+    let check = thermal_check(65.0, 8);
+    println!("{}", check.table());
+
+    // Sensitivity: sweep CPU power to find the thermal envelope.
+    println!("CPU power sweep (8 DRAM layers):");
+    for watts in [40.0, 65.0, 95.0, 130.0, 180.0] {
+        let c = thermal_check(watts, 8);
+        println!(
+            "  {watts:>5.0} W -> dram max {:>6.1} C  {}",
+            c.report.dram_max_c.unwrap_or(f64::NAN),
+            if c.within_limit { "ok" } else { "EXCEEDS 85C LIMIT" }
+        );
+    }
+}
