@@ -19,9 +19,10 @@ fn bench_dram_micro(c: &mut Criterion) {
     let hit_rows: Vec<u64> = vec![7; 4096];
     let thrash_rows: Vec<u64> = (0..4096u64).map(|i| i % 2).collect();
     let mut group = c.benchmark_group("dram_micro");
-    for (label, timing) in
-        [("commodity_2d", DramTiming::COMMODITY_2D), ("true_3d", DramTiming::TRUE_3D)]
-    {
+    for (label, timing) in [
+        ("commodity_2d", DramTiming::COMMODITY_2D),
+        ("true_3d", DramTiming::TRUE_3D),
+    ] {
         let cfg = BankConfig::new(timing.to_cycles(3.333e9), 1, None);
         group.bench_with_input(BenchmarkId::new("row_hits", label), &cfg, |b, &cfg| {
             b.iter(|| stream(&mut Bank::new(cfg, 1 << 15), &hit_rows))

@@ -11,8 +11,10 @@ fn bench_figure6(c: &mut Criterion) {
     let run = bench_run();
     // 6(a)/(b) sweep many configurations; bench over the stream mixes that
     // define their headline numbers.
-    let mixes: Vec<&'static Mix> =
-        ["VH1", "VH2"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mixes: Vec<&'static Mix> = ["VH1", "VH2"]
+        .iter()
+        .map(|n| Mix::by_name(n).expect("known mix"))
+        .collect();
     let mut group = c.benchmark_group("figure6");
     group.sample_size(10);
     group.bench_function("a_mcs_and_ranks", |b| {

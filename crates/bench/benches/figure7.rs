@@ -10,12 +10,16 @@ use stacksim_workload::Mix;
 
 fn bench_figure7(c: &mut Criterion) {
     let run = bench_run();
-    let mixes: Vec<&'static Mix> =
-        ["VH1", "H1"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mixes: Vec<&'static Mix> = ["VH1", "H1"]
+        .iter()
+        .map(|n| Mix::by_name(n).expect("known mix"))
+        .collect();
     let mut group = c.benchmark_group("figure7");
     group.sample_size(10);
-    for (label, base) in [("dual_mc", configs::cfg_dual_mc()), ("quad_mc", configs::cfg_quad_mc())]
-    {
+    for (label, base) in [
+        ("dual_mc", configs::cfg_dual_mc()),
+        ("quad_mc", configs::cfg_quad_mc()),
+    ] {
         group.bench_with_input(BenchmarkId::new("mshr_scaling", label), &base, |b, base| {
             b.iter(|| {
                 let r = figure7(base, &run, &mixes).expect("valid configuration");

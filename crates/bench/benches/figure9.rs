@@ -10,12 +10,16 @@ use stacksim_workload::Mix;
 
 fn bench_figure9(c: &mut Criterion) {
     let run = bench_run();
-    let mixes: Vec<&'static Mix> =
-        ["VH2", "H1"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mixes: Vec<&'static Mix> = ["VH2", "H1"]
+        .iter()
+        .map(|n| Mix::by_name(n).expect("known mix"))
+        .collect();
     let mut group = c.benchmark_group("figure9");
     group.sample_size(10);
-    for (label, base) in [("dual_mc", configs::cfg_dual_mc()), ("quad_mc", configs::cfg_quad_mc())]
-    {
+    for (label, base) in [
+        ("dual_mc", configs::cfg_dual_mc()),
+        ("quad_mc", configs::cfg_quad_mc()),
+    ] {
         group.bench_with_input(BenchmarkId::new("scalable_mha", label), &base, |b, base| {
             b.iter(|| {
                 let r = figure9(base, &run, &mixes).expect("valid configuration");

@@ -8,8 +8,10 @@ use stacksim_workload::Mix;
 
 fn bench_headline(c: &mut Criterion) {
     let run = bench_run();
-    let mixes: Vec<&'static Mix> =
-        ["VH1", "H1"].iter().map(|n| Mix::by_name(n).expect("known mix")).collect();
+    let mixes: Vec<&'static Mix> = ["VH1", "H1"]
+        .iter()
+        .map(|n| Mix::by_name(n).expect("known mix"))
+        .collect();
     let mut group = c.benchmark_group("headline");
     group.sample_size(10);
     group.bench_function("cumulative_speedups", |b| {

@@ -30,7 +30,9 @@ fn churn<M: MissHandler>(mshr: &mut M, lines: &[u64]) -> u64 {
 
 fn bench_mshr_micro(c: &mut Criterion) {
     // A pseudo-random but deterministic line stream with collisions.
-    let lines: Vec<u64> = (0..1024u64).map(|i| (i.wrapping_mul(2654435761)) >> 16).collect();
+    let lines: Vec<u64> = (0..1024u64)
+        .map(|i| (i.wrapping_mul(2654435761)) >> 16)
+        .collect();
     let mut group = c.benchmark_group("mshr_micro");
     for capacity in [8usize, 32] {
         group.bench_with_input(BenchmarkId::new("cam", capacity), &capacity, |b, &cap| {
@@ -42,7 +44,9 @@ fn bench_mshr_micro(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("direct_linear", capacity),
             &capacity,
-            |b, &cap| b.iter(|| churn(&mut DirectMappedMshr::new(cap, ProbeScheme::Linear), &lines)),
+            |b, &cap| {
+                b.iter(|| churn(&mut DirectMappedMshr::new(cap, ProbeScheme::Linear), &lines))
+            },
         );
         group.bench_with_input(
             BenchmarkId::new("hierarchical", capacity),

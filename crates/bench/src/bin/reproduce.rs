@@ -3,88 +3,219 @@
 //! prints them in order. `EXPERIMENTS.md` records one run of this binary.
 //!
 //! ```sh
-//! cargo run -p stacksim-bench --release --bin reproduce
+//! cargo run -p stacksim-bench --release --bin reproduce [-- OPTIONS]
 //! ```
+//!
+//! Options:
+//!
+//! * `--only <experiment>` — run just the named experiment (repeatable;
+//!   `--list` prints the names).
+//! * `--jobs <n>` — worker threads for the parallel run engine (default:
+//!   `RAYON_NUM_THREADS` or all available cores).
+//! * `--list` — list experiment names and exit.
+//!
+//! Every simulation point is a pure function of its configuration, so the
+//! parallel engine's output is bit-identical to a sequential run and to any
+//! `--jobs` value; shared baselines are memoized and simulate exactly once.
 
 use std::time::Instant;
 
-use stacksim::experiments::{
-    ablation_cwf, ablation_energy, ablation_interleave, ablation_probing, ablation_scheduler,
-    ablation_page_policy, ablation_smart_refresh, energy_table, figure4, figure6a, figure6b, figure7, figure9, headline,
-    probing_table, table2a, table2a_table, table2b, table2b_table, thermal_check,
-};
 use stacksim::configs;
+use stacksim::experiments::{
+    ablation_cwf, ablation_energy, ablation_interleave, ablation_page_policy, ablation_probing,
+    ablation_scheduler, ablation_smart_refresh, energy_table, figure4, figure6a, figure6b, figure7,
+    figure9, headline, probing_table, table2a, table2a_table, table2b, table2b_table,
+    thermal_check,
+};
+use stacksim::runner::{self, RunConfig};
 use stacksim_bench::full_run;
 use stacksim_workload::{Benchmark, Mix};
 
+/// Everything an experiment closure needs: the run window and the mix sets.
+struct Ctx {
+    run: RunConfig,
+    mixes: Vec<&'static Mix>,
+    hv: Vec<&'static Mix>,
+}
+
+type ExpResult = Result<String, Box<dyn std::error::Error>>;
+type ExpFn = fn(&Ctx) -> ExpResult;
+
+/// The experiment registry, in the paper's presentation order. Each entry
+/// renders its tables/figures to a string so the driver can time it.
+const EXPERIMENTS: &[(&str, ExpFn)] = &[
+    ("table2a", |ctx| {
+        let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
+        Ok(table2a_table(&table2a(&ctx.run, &benchmarks)?).to_string())
+    }),
+    ("table2b", |ctx| {
+        Ok(table2b_table(&table2b(&ctx.run, &ctx.mixes)?).to_string())
+    }),
+    ("figure4", |ctx| {
+        Ok(figure4(&ctx.run, &ctx.mixes)?.table().to_string())
+    }),
+    ("figure6a", |ctx| {
+        Ok(figure6a(&ctx.run, &ctx.mixes)?.table().to_string())
+    }),
+    ("figure6b", |ctx| {
+        Ok(figure6b(&ctx.run, &ctx.mixes)?.table().to_string())
+    }),
+    ("figure7-dual", |ctx| {
+        Ok(figure7(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?
+            .table()
+            .to_string())
+    }),
+    ("figure7-quad", |ctx| {
+        Ok(figure7(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?
+            .table()
+            .to_string())
+    }),
+    ("figure9-dual", |ctx| {
+        Ok(figure9(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?
+            .table()
+            .to_string())
+    }),
+    ("figure9-quad", |ctx| {
+        Ok(figure9(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?
+            .table()
+            .to_string())
+    }),
+    ("headline", |ctx| {
+        Ok(headline(&ctx.run, &ctx.hv)?.table().to_string())
+    }),
+    ("thermal", |_ctx| {
+        Ok(thermal_check(65.0, 8).table().to_string())
+    }),
+    ("ablation-scheduler", |ctx| {
+        Ok(format!(
+            "Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {:.3}x\n",
+            ablation_scheduler(&ctx.run, &ctx.hv)?
+        ))
+    }),
+    ("ablation-interleave", |ctx| {
+        Ok(format!(
+            "Ablation: page over line L2 interleave (quad-MC, GM H/VH): {:.3}x\n",
+            ablation_interleave(&ctx.run, &ctx.hv)?
+        ))
+    }),
+    ("ablation-cwf", |ctx| {
+        Ok(format!(
+            "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {:.3}x\n",
+            ablation_cwf(&ctx.run, &ctx.hv)?
+        ))
+    }),
+    ("ablation-page-policy", |ctx| {
+        Ok(format!(
+            "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {:.3}x\n",
+            ablation_page_policy(&ctx.run, &ctx.hv)?
+        ))
+    }),
+    ("ablation-smart-refresh", |ctx| {
+        let (speedup, plain, smart) =
+            ablation_smart_refresh(&ctx.run, Mix::by_name("VH1").expect("known mix"))?;
+        Ok(format!(
+            "Ablation: Smart Refresh on VH1 (quad-MC): {speedup:.3}x speedup, refreshes {plain:.0} -> {smart:.0}\n",
+        ))
+    }),
+    ("ablation-probing", |ctx| {
+        Ok(probing_table(&ablation_probing(&ctx.run, &ctx.hv)?).to_string())
+    }),
+    ("ablation-energy", |ctx| {
+        Ok(energy_table(&ablation_energy(
+            &ctx.run,
+            Mix::by_name("H2").expect("known mix"),
+        )?)
+        .to_string())
+    }),
+];
+
+/// Command-line options.
+struct Options {
+    only: Vec<String>,
+    jobs: Option<usize>,
+    list: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        only: Vec::new(),
+        jobs: None,
+        list: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--only" => {
+                let name = args.next().ok_or("--only needs an experiment name")?;
+                if !EXPERIMENTS.iter().any(|(n, _)| *n == name) {
+                    return Err(format!(
+                        "unknown experiment '{name}' (--list prints the names)"
+                    ));
+                }
+                opts.only.push(name);
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs: '{n}' is not a number"))?;
+                opts.jobs = Some(n);
+            }
+            "--list" => opts.list = true,
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("reproduce: {e}");
+            eprintln!("usage: reproduce [--only <experiment>]... [--jobs <n>] [--list]");
+            std::process::exit(2);
+        }
+    };
+    if opts.list {
+        for (name, _) in EXPERIMENTS {
+            println!("{name}");
+        }
+        return Ok(());
+    }
+    if let Some(jobs) = opts.jobs {
+        runner::set_default_jobs(jobs);
+    }
+
     let t0 = Instant::now();
-    let run = full_run();
-    let mixes: Vec<&'static Mix> = Mix::all().iter().collect();
-    let hv: Vec<&'static Mix> = Mix::memory_intensive().collect();
+    let ctx = Ctx {
+        run: full_run(),
+        mixes: Mix::all().iter().collect(),
+        hv: Mix::memory_intensive().collect(),
+    };
 
-    println!("=== stacksim full reproduction (seed {:#x}, {} + {} cycles/run) ===\n",
-        run.seed, run.warmup_cycles, run.measure_cycles);
+    println!(
+        "=== stacksim full reproduction (seed {:#x}, {} + {} cycles/run, {} jobs) ===\n",
+        ctx.run.seed,
+        ctx.run.warmup_cycles,
+        ctx.run.measure_cycles,
+        runner::default_jobs()
+    );
 
-    // Table 2(a): stand-alone MPKI characterization.
-    let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    println!("{}", table2a_table(&table2a(&run, &benchmarks)?));
-
-    // Table 2(b): the mixes on the 2D baseline.
-    println!("{}", table2b_table(&table2b(&run, &mixes)?));
-
-    // Figure 4: simple 3D stacking.
-    let f4 = figure4(&run, &mixes)?;
-    println!("{}", f4.table());
-
-    // Figure 6(a): MCs x ranks, plus extra-L2 alternatives.
-    println!("{}", figure6a(&run, &mixes)?.table());
-
-    // Figure 6(b): row-buffer cache sweep.
-    println!("{}", figure6b(&run, &mixes)?.table());
-
-    // Figures 7(a)/(b): MSHR capacity scaling.
-    for base in [configs::cfg_dual_mc(), configs::cfg_quad_mc()] {
-        println!("{}", figure7(&base, &run, &mixes)?.table());
+    for (name, exp) in EXPERIMENTS {
+        if !opts.only.is_empty() && !opts.only.iter().any(|o| o == name) {
+            continue;
+        }
+        let t = Instant::now();
+        let output = exp(&ctx)?;
+        println!("{output}");
+        println!("[{name}: {:.1?}]\n", t.elapsed());
     }
 
-    // Figures 9(a)/(b): the scalable MHA.
-    for base in [configs::cfg_dual_mc(), configs::cfg_quad_mc()] {
-        println!("{}", figure9(&base, &run, &mixes)?.table());
-    }
-
-    // Headline cumulative speedups.
-    println!("{}", headline(&run, &hv)?.table());
-
-    // Thermal check (§2.4).
-    println!("{}", thermal_check(65.0, 8).table());
-
-    // Ablations.
     println!(
-        "Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {:.3}x",
-        ablation_scheduler(&run, &hv)?
+        "total wall time: {:.1?} ({} distinct simulations)",
+        t0.elapsed(),
+        runner::memo_len()
     );
-    println!(
-        "Ablation: page over line L2 interleave (quad-MC, GM H/VH): {:.3}x",
-        ablation_interleave(&run, &hv)?
-    );
-    println!(
-        "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {:.3}x",
-        ablation_cwf(&run, &hv)?
-    );
-    println!(
-        "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {:.3}x",
-        ablation_page_policy(&run, &hv)?
-    );
-    let (sr_speedup, sr_plain, sr_smart) =
-        ablation_smart_refresh(&run, Mix::by_name("VH1").expect("known mix"))?;
-    println!(
-        "Ablation: Smart Refresh on VH1 (quad-MC): {:.3}x speedup, refreshes {:.0} -> {:.0}\n",
-        sr_speedup, sr_plain, sr_smart
-    );
-    println!("{}", probing_table(&ablation_probing(&run, &hv)?));
-    println!("{}", energy_table(&ablation_energy(&run, Mix::by_name("H2").expect("known mix"))?));
-
-    println!("total wall time: {:.1?} ", t0.elapsed());
     Ok(())
 }

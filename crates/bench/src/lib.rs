@@ -4,7 +4,7 @@
 //!
 //! * `cargo bench -p stacksim-bench` — Criterion benches, one per paper
 //!   table/figure plus microbenches of the hot substrates, each regenerating
-//!!  its rows at bench-friendly windows;
+//!   its rows at bench-friendly windows;
 //! * `cargo run -p stacksim-bench --release --bin reproduce` — the full
 //!   reproduction pass over all twelve mixes at publication windows,
 //!   printing every table the paper reports (the source of
@@ -19,12 +19,20 @@ use stacksim_workload::Mix;
 /// The window used by Criterion benches: long enough to be past warmup
 /// transients, short enough for iterated measurement.
 pub fn bench_run() -> RunConfig {
-    RunConfig { warmup_cycles: 5_000, measure_cycles: 25_000, seed: 0xBE7C }
+    RunConfig {
+        warmup_cycles: 5_000,
+        measure_cycles: 25_000,
+        seed: 0xBE7C,
+    }
 }
 
 /// The window used by the full reproduction binary.
 pub fn full_run() -> RunConfig {
-    RunConfig { warmup_cycles: 30_000, measure_cycles: 250_000, seed: 0xC0FFEE }
+    RunConfig {
+        warmup_cycles: 30_000,
+        measure_cycles: 250_000,
+        seed: 0xC0FFEE,
+    }
 }
 
 /// A small representative mix subset for iterated benches: one of each

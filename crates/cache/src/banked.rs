@@ -1,8 +1,9 @@
 //! Banked caches (the shared L2).
 
 use stacksim_stats::StatRecord;
-use stacksim_types::{InterleaveGranularity, L2BankId, LineAddr, PAGE_BYTES, PAGE_OFFSET_BITS,
-    LINE_OFFSET_BITS};
+use stacksim_types::{
+    InterleaveGranularity, L2BankId, LineAddr, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS,
+};
 
 use crate::config::CacheConfig;
 use crate::set_assoc::{AccessOutcome, SetAssocCache, Victim};
@@ -49,7 +50,7 @@ impl BankedCache {
     pub fn new(config: CacheConfig, banks: usize, granularity: InterleaveGranularity) -> Self {
         assert!(banks > 0, "cache needs at least one bank");
         assert!(
-            config.size_bytes % banks as u64 == 0,
+            config.size_bytes.is_multiple_of(banks as u64),
             "capacity must divide evenly among banks"
         );
         let per_bank = CacheConfig {
@@ -113,7 +114,10 @@ impl BankedCache {
         let bank = self.bank_of(line).index();
         let local = self.local_line(line);
         let victim = self.banks[bank].fill(local, dirty)?;
-        Some(Victim { line: self.globalize(victim.line, bank as u64), dirty: victim.dirty })
+        Some(Victim {
+            line: self.globalize(victim.line, bank as u64),
+            dirty: victim.dirty,
+        })
     }
 
     /// Marks `line` dirty if resident (absorbing an inner-level writeback).
@@ -181,7 +185,10 @@ mod tests {
     fn cache(granularity: InterleaveGranularity) -> BankedCache {
         // 16 banks x 4 KB per bank, 4-way.
         BankedCache::new(
-            CacheConfig { size_bytes: 64 << 10, associativity: 4 },
+            CacheConfig {
+                size_bytes: 64 << 10,
+                associativity: 4,
+            },
             16,
             granularity,
         )
@@ -214,7 +221,11 @@ mod tests {
                 c.fill(LineAddr::new(l), false);
             }
             for l in (0..2048u64).step_by(37) {
-                assert_eq!(c.access(LineAddr::new(l), false), AccessOutcome::Hit, "{g:?} {l}");
+                assert_eq!(
+                    c.access(LineAddr::new(l), false),
+                    AccessOutcome::Hit,
+                    "{g:?} {l}"
+                );
             }
         }
     }
@@ -252,7 +263,10 @@ mod tests {
         let mut c = cache(InterleaveGranularity::Line);
         // 64 KB / 64 B = 1024 lines total.
         for l in 0..1024u64 {
-            assert!(c.fill(LineAddr::new(l), false).is_none(), "line {l} evicted early");
+            assert!(
+                c.fill(LineAddr::new(l), false).is_none(),
+                "line {l} evicted early"
+            );
         }
         // The next fill must evict something.
         assert!(c.fill(LineAddr::new(5000), false).is_some());
@@ -271,7 +285,10 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn ragged_banking_panics() {
         let _ = BankedCache::new(
-            CacheConfig { size_bytes: 100 * 64, associativity: 4 },
+            CacheConfig {
+                size_bytes: 100 * 64,
+                associativity: 4,
+            },
             3,
             InterleaveGranularity::Line,
         );

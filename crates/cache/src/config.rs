@@ -3,7 +3,7 @@
 use stacksim_types::LINE_BYTES;
 
 /// Geometry of one cache (or one bank of a banked cache).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: u64,
@@ -14,25 +14,37 @@ pub struct CacheConfig {
 impl CacheConfig {
     /// The paper's per-core DL1: 24 KB, 12-way, 64-byte lines (Table 1).
     pub fn dl1_penryn() -> CacheConfig {
-        CacheConfig { size_bytes: 24 << 10, associativity: 12 }
+        CacheConfig {
+            size_bytes: 24 << 10,
+            associativity: 12,
+        }
     }
 
     /// The paper's shared L2: 12 MB, 24-way, 64-byte lines (Table 1).
     /// Banking (16 banks) is applied by [`BankedCache`](crate::BankedCache).
     pub fn dl2_penryn() -> CacheConfig {
-        CacheConfig { size_bytes: 12 << 20, associativity: 24 }
+        CacheConfig {
+            size_bytes: 12 << 20,
+            associativity: 24,
+        }
     }
 
     /// The 6 MB L2 used for the stand-alone MPKI characterization of
     /// Table 2(a).
     pub fn dl2_6mb() -> CacheConfig {
-        CacheConfig { size_bytes: 6 << 20, associativity: 24 }
+        CacheConfig {
+            size_bytes: 6 << 20,
+            associativity: 24,
+        }
     }
 
     /// Returns this configuration grown by `extra_bytes` (the paper's
     /// +512 KB / +1 MB L2 rows in Figure 6(a)).
     pub fn grown_by(self, extra_bytes: u64) -> CacheConfig {
-        CacheConfig { size_bytes: self.size_bytes + extra_bytes, ..self }
+        CacheConfig {
+            size_bytes: self.size_bytes + extra_bytes,
+            ..self
+        }
     }
 
     /// Number of cache lines.
@@ -47,10 +59,13 @@ impl CacheConfig {
     /// Panics if the capacity is not an exact multiple of
     /// `associativity × 64 B`.
     pub fn sets(&self) -> usize {
-        assert!(self.size_bytes % LINE_BYTES == 0, "capacity must be a whole number of lines");
+        assert!(
+            self.size_bytes.is_multiple_of(LINE_BYTES),
+            "capacity must be a whole number of lines"
+        );
         let lines = self.lines();
         assert!(
-            lines % self.associativity == 0 && lines > 0,
+            lines.is_multiple_of(self.associativity) && lines > 0,
             "capacity must be a whole number of sets"
         );
         lines / self.associativity
@@ -82,7 +97,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole number of sets")]
     fn ragged_capacity_panics() {
-        let c = CacheConfig { size_bytes: 10 * 64, associativity: 3 };
+        let c = CacheConfig {
+            size_bytes: 10 * 64,
+            associativity: 3,
+        };
         let _ = c.sets();
     }
 }

@@ -103,8 +103,15 @@ impl StridePrefetcher {
     ///
     /// Panics if `entries` or `degree` is zero.
     pub fn new(entries: usize, degree: usize) -> Self {
-        assert!(entries > 0 && degree > 0, "entries and degree must be non-zero");
-        StridePrefetcher { table: vec![StrideEntry::default(); entries], degree, issued: 0 }
+        assert!(
+            entries > 0 && degree > 0,
+            "entries and degree must be non-zero"
+        );
+        StridePrefetcher {
+            table: vec![StrideEntry::default(); entries],
+            degree,
+            issued: 0,
+        }
     }
 }
 
@@ -113,7 +120,13 @@ impl Prefetcher for StridePrefetcher {
         let idx = (pc % self.table.len() as u64) as usize;
         let entry = &mut self.table[idx];
         if !entry.valid || entry.pc != pc {
-            *entry = StrideEntry { pc, valid: true, last_line: line.index(), stride: 0, confidence: 0 };
+            *entry = StrideEntry {
+                pc,
+                valid: true,
+                last_line: line.index(),
+                stride: 0,
+                confidence: 0,
+            };
             return Vec::new();
         }
         let delta = line.index() as i64 - entry.last_line as i64;
@@ -133,8 +146,9 @@ impl Prefetcher for StridePrefetcher {
             return Vec::new();
         }
         let stride = entry.stride;
-        let out: Vec<LineAddr> =
-            (1..=self.degree as i64).map(|d| line.offset(stride * d)).collect();
+        let out: Vec<LineAddr> = (1..=self.degree as i64)
+            .map(|d| line.offset(stride * d))
+            .collect();
         self.issued += out.len() as u64;
         out
     }
@@ -182,7 +196,7 @@ mod tests {
         for i in 0..4 {
             pf.observe(3, LineAddr::new(i * 4));
         }
-        assert!(!pf.observe(3, LineAddr::new(100)).is_empty() == false); // stride broke
+        assert!(pf.observe(3, LineAddr::new(100)).is_empty()); // stride broke
         assert!(pf.observe(3, LineAddr::new(104)).is_empty()); // conf 0 -> building
         assert!(pf.observe(3, LineAddr::new(108)).is_empty()); // conf 1
         assert_eq!(pf.observe(3, LineAddr::new(112)), vec![LineAddr::new(116)]);
@@ -195,7 +209,10 @@ mod tests {
         pf.observe(1, LineAddr::new(4));
         // A different pc maps to the same slot and steals it.
         pf.observe(2, LineAddr::new(0));
-        assert!(pf.observe(1, LineAddr::new(8)).is_empty(), "entry was replaced");
+        assert!(
+            pf.observe(1, LineAddr::new(8)).is_empty(),
+            "entry was replaced"
+        );
     }
 
     #[test]

@@ -134,7 +134,12 @@ impl SetAssocCache {
         if victim.as_ref().is_some_and(|v| v.dirty) {
             self.writebacks += 1;
         }
-        *victim_way = Way { tag, valid: true, dirty, last_use: clock };
+        *victim_way = Way {
+            tag,
+            valid: true,
+            dirty,
+            last_use: clock,
+        };
         victim
     }
 
@@ -206,7 +211,10 @@ mod tests {
 
     fn tiny() -> SetAssocCache {
         // 2 sets x 2 ways.
-        SetAssocCache::new(CacheConfig { size_bytes: 4 * 64, associativity: 2 })
+        SetAssocCache::new(CacheConfig {
+            size_bytes: 4 * 64,
+            associativity: 2,
+        })
     }
 
     #[test]

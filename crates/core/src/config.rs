@@ -11,7 +11,7 @@ use stacksim_types::{
 use stacksim_vm::TlbConfig;
 
 /// Configuration of the main-memory system (DRAM + controllers + buses).
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MemorySystemConfig {
     /// Physical implementation (off-chip, stacked, true-3D).
     pub kind: MemoryKind,
@@ -59,7 +59,7 @@ pub struct MemorySystemConfig {
 }
 
 /// Configuration of the L2 miss-handling architecture.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MshrSystemConfig {
     /// MSHR organization.
     pub kind: MshrKind,
@@ -99,6 +99,41 @@ pub struct SystemConfig {
     pub memory: MemorySystemConfig,
 }
 
+// `core_hz` is a fixed design frequency (never NaN), so bitwise float
+// identity is a sound equality. With it, a `SystemConfig` is usable as a
+// memoization key over real configuration identity (the tentpole run
+// cache), not a pointer or a name.
+impl Eq for SystemConfig {}
+
+impl std::hash::Hash for SystemConfig {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        let SystemConfig {
+            cores,
+            core,
+            core_hz,
+            l2,
+            l2_banks,
+            l2_latency,
+            l2_interleave,
+            l2_prefetch,
+            mshr,
+            vm,
+            memory,
+        } = self;
+        cores.hash(state);
+        core.hash(state);
+        core_hz.to_bits().hash(state);
+        l2.hash(state);
+        l2_banks.hash(state);
+        l2_latency.hash(state);
+        l2_interleave.hash(state);
+        l2_prefetch.hash(state);
+        mshr.hash(state);
+        vm.hash(state);
+        memory.hash(state);
+    }
+}
+
 impl SystemConfig {
     /// Derives the [`MemoryGeometry`] for the address mapper.
     ///
@@ -129,20 +164,22 @@ impl SystemConfig {
         }
         self.geometry()?;
         let mcs = self.memory.mcs as usize;
-        if self.l2_banks as usize % mcs != 0 {
+        if !(self.l2_banks as usize).is_multiple_of(mcs) {
             return Err(ConfigError::new(format!(
                 "{} L2 banks do not align with {} MCs",
                 self.l2_banks, mcs
             )));
         }
-        if self.mshr.total_entries % mcs != 0 || self.mshr.total_entries == 0 {
+        if !self.mshr.total_entries.is_multiple_of(mcs) || self.mshr.total_entries == 0 {
             return Err(ConfigError::new(format!(
                 "{} MSHR entries do not divide among {} banks",
                 self.mshr.total_entries, mcs
             )));
         }
         if self.memory.mrq_total < mcs {
-            return Err(ConfigError::new("memory request queue smaller than MC count"));
+            return Err(ConfigError::new(
+                "memory request queue smaller than MC count",
+            ));
         }
         if self.memory.bus_width_bytes == 0
             || self.memory.bus_clock_divisor == 0
@@ -240,7 +277,10 @@ mod tests {
     #[test]
     fn scaling_helpers() {
         let cfg = configs::cfg_aggressive(4, 16, 4);
-        assert_eq!(cfg.with_mshr_scale(8).mshr.total_entries, cfg.mshr.total_entries * 8);
+        assert_eq!(
+            cfg.with_mshr_scale(8).mshr.total_entries,
+            cfg.mshr.total_entries * 8
+        );
         assert_eq!(cfg.mshr_entries_per_bank() * 4, cfg.mshr.total_entries);
         assert_eq!(cfg.mrq_per_mc(), 8);
         let grown = cfg.with_extra_l2(512 << 10);

@@ -7,9 +7,7 @@ use stacksim_cache::CacheConfig;
 use stacksim_cpu::CoreConfig;
 use stacksim_memctrl::SchedulerPolicy;
 use stacksim_mshr::MshrKind;
-use stacksim_types::{
-    Cycles, DramTiming, InterleaveGranularity, MemoryKind, RefreshConfig,
-};
+use stacksim_types::{Cycles, DramTiming, InterleaveGranularity, MemoryKind, RefreshConfig};
 use stacksim_vm::TlbConfig;
 
 use crate::config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
@@ -54,7 +52,11 @@ fn baseline_system(memory: MemorySystemConfig) -> SystemConfig {
         l2_latency: Cycles::new(9),
         l2_interleave: InterleaveGranularity::Line,
         l2_prefetch: true,
-        mshr: MshrSystemConfig { kind: MshrKind::Cam, total_entries: 8, dynamic: None },
+        mshr: MshrSystemConfig {
+            kind: MshrKind::Cam,
+            total_entries: 8,
+            dynamic: None,
+        },
         vm: Some(TlbConfig::dtlb_penryn()),
         memory,
     }
@@ -117,10 +119,11 @@ pub fn cfg_aggressive(mcs: u16, ranks: u16, row_buffer_entries: usize) -> System
     cfg.l2_interleave = InterleaveGranularity::Page;
     // Keep the aggregate MSHR capacity of the baseline; it is banked across
     // MCs. Section 5 then scales it.
-    if cfg.mshr.total_entries % mcs as usize != 0 {
+    if !cfg.mshr.total_entries.is_multiple_of(mcs as usize) {
         cfg.mshr.total_entries = mcs as usize * cfg.mshr.total_entries.div_ceil(mcs as usize);
     }
-    cfg.validate().expect("aggressive configuration must be consistent");
+    cfg.validate()
+        .expect("aggressive configuration must be consistent");
     cfg
 }
 

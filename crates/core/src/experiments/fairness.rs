@@ -17,7 +17,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::{Benchmark, IdleProgram, Mix, SyntheticWorkload, TraceGenerator};
 
 use crate::config::SystemConfig;
-use crate::runner::RunConfig;
+use crate::runner::{default_jobs, parallel_map, RunConfig};
 use crate::system::System;
 
 /// Metrics for one mix on one configuration.
@@ -63,38 +63,44 @@ pub fn fairness(
     run: &RunConfig,
     mixes: &[&'static Mix],
 ) -> Result<Vec<FairnessRow>, ConfigError> {
-    let mut rows = Vec::with_capacity(mixes.len());
-    for &mix in mixes {
-        // Shared run.
-        let mut system = System::for_mix(cfg, mix, run.seed)?;
-        system.run_cycles(run.warmup_cycles);
-        let before: Vec<u64> = (0..cfg.cores).map(|i| system.core_committed(i)).collect();
-        system.run_cycles(run.measure_cycles);
-        let shared_ipc: Vec<f64> = (0..cfg.cores)
-            .map(|i| {
-                (system.core_committed(i) - before[i]).max(1) as f64 / run.measure_cycles as f64
+    // Each mix needs one shared run plus one alone run per program slot,
+    // all independent — fan the mixes across the worker pool.
+    parallel_map(
+        default_jobs(),
+        mixes,
+        |&mix| -> Result<FairnessRow, ConfigError> {
+            // Shared run.
+            let mut system = System::for_mix(cfg, mix, run.seed)?;
+            system.run_cycles(run.warmup_cycles);
+            let before: Vec<u64> = (0..cfg.cores).map(|i| system.core_committed(i)).collect();
+            system.run_cycles(run.measure_cycles);
+            let shared_ipc: Vec<f64> = (0..cfg.cores)
+                .map(|i| {
+                    (system.core_committed(i) - before[i]).max(1) as f64 / run.measure_cycles as f64
+                })
+                .collect();
+            // Alone runs, one per program slot.
+            let mut weighted_speedup = 0.0;
+            let mut slowdowns = Vec::with_capacity(cfg.cores);
+            for (i, spec) in mix.benchmarks().iter().enumerate() {
+                let alone = alone_ipc(cfg, spec, run)?;
+                weighted_speedup += shared_ipc[i] / alone;
+                slowdowns.push(alone / shared_ipc[i]);
+            }
+            let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = slowdowns.iter().cloned().fold(0.0, f64::max);
+            let inv: f64 = shared_ipc.iter().map(|i| 1.0 / i).sum();
+            Ok(FairnessRow {
+                mix,
+                hmipc: shared_ipc.len() as f64 / inv,
+                weighted_speedup,
+                fairness: min / max,
+                slowdowns,
             })
-            .collect();
-        // Alone runs, one per program slot.
-        let mut weighted_speedup = 0.0;
-        let mut slowdowns = Vec::with_capacity(cfg.cores);
-        for (i, spec) in mix.benchmarks().iter().enumerate() {
-            let alone = alone_ipc(cfg, spec, run)?;
-            weighted_speedup += shared_ipc[i] / alone;
-            slowdowns.push(alone / shared_ipc[i]);
-        }
-        let min = slowdowns.iter().cloned().fold(f64::INFINITY, f64::min);
-        let max = slowdowns.iter().cloned().fold(0.0, f64::max);
-        let inv: f64 = shared_ipc.iter().map(|i| 1.0 / i).sum();
-        rows.push(FairnessRow {
-            mix,
-            hmipc: shared_ipc.len() as f64 / inv,
-            weighted_speedup,
-            fairness: min / max,
-            slowdowns,
-        });
-    }
-    Ok(rows)
+        },
+    )
+    .into_iter()
+    .collect()
 }
 
 /// Renders fairness rows.
@@ -125,13 +131,21 @@ mod tests {
 
     #[test]
     fn metrics_are_well_formed() {
-        let run = RunConfig { warmup_cycles: 8_000, measure_cycles: 40_000, seed: 6 };
+        let run = RunConfig {
+            warmup_cycles: 8_000,
+            measure_cycles: 40_000,
+            seed: 6,
+        };
         let mixes = [Mix::by_name("HM3").unwrap()];
         let rows = fairness(&configs::cfg_3d_fast(), &run, &mixes).unwrap();
         let r = &rows[0];
         assert_eq!(r.slowdowns.len(), 4);
         // Weighted speedup is bounded by the program count and positive.
-        assert!(r.weighted_speedup > 0.5 && r.weighted_speedup <= 4.2, "{}", r.weighted_speedup);
+        assert!(
+            r.weighted_speedup > 0.5 && r.weighted_speedup <= 4.2,
+            "{}",
+            r.weighted_speedup
+        );
         // Fairness is a ratio in (0, 1].
         assert!(r.fairness > 0.0 && r.fairness <= 1.0, "{}", r.fairness);
         // Sharing cannot speed a program up by much (tiny timing wiggle ok).
@@ -145,7 +159,11 @@ mod tests {
     fn contended_machines_are_less_fair_or_slower() {
         // A mix on 2D (heavily contended) versus quad-MC 3D: weighted
         // speedup must improve with the better memory system.
-        let run = RunConfig { warmup_cycles: 8_000, measure_cycles: 40_000, seed: 6 };
+        let run = RunConfig {
+            warmup_cycles: 8_000,
+            measure_cycles: 40_000,
+            seed: 6,
+        };
         let mixes = [Mix::by_name("VH3").unwrap()];
         let slow = fairness(&configs::cfg_2d(), &run, &mixes).unwrap();
         let fast = fairness(&configs::cfg_quad_mc(), &run, &mixes).unwrap();

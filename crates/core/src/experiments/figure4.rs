@@ -6,7 +6,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::configs;
-use crate::runner::{run_mix, RunConfig};
+use crate::runner::{run_matrix, RunConfig, RunPoint};
 
 use super::{gm_all, gm_memory_intensive};
 
@@ -84,22 +84,28 @@ impl Figure4Result {
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result, ConfigError> {
-    let cfg_2d = configs::cfg_2d();
-    let cfg_3d = configs::cfg_3d();
-    let cfg_wide = configs::cfg_3d_wide();
-    let cfg_fast = configs::cfg_3d_fast();
+    let cfgs = [
+        configs::cfg_2d(),
+        configs::cfg_3d(),
+        configs::cfg_3d_wide(),
+        configs::cfg_3d_fast(),
+    ];
+    let points: Vec<RunPoint> = mixes
+        .iter()
+        .flat_map(|&mix| cfgs.iter().map(move |cfg| (cfg.clone(), mix, *run)))
+        .collect();
+    let results = run_matrix(&points)?;
     let mut rows = Vec::with_capacity(mixes.len());
-    for &mix in mixes {
-        let base = run_mix(&cfg_2d, mix, run)?;
-        let d3 = run_mix(&cfg_3d, mix, run)?;
-        let wide = run_mix(&cfg_wide, mix, run)?;
-        let fast = run_mix(&cfg_fast, mix, run)?;
+    for (i, &mix) in mixes.iter().enumerate() {
+        let [base, d3, wide, fast] = &results[cfgs.len() * i..cfgs.len() * (i + 1)] else {
+            unreachable!("run_matrix preserves point count")
+        };
         rows.push(Figure4Row {
             mix,
             hmipc_2d: base.hmipc,
-            speedup_3d: d3.speedup_over(&base),
-            speedup_wide: wide.speedup_over(&base),
-            speedup_fast: fast.speedup_over(&base),
+            speedup_3d: d3.speedup_over(base),
+            speedup_wide: wide.speedup_over(base),
+            speedup_fast: fast.speedup_over(base),
         });
     }
     let columns = |f: fn(&Figure4Row) -> f64| -> Vec<(&'static Mix, f64)> {
@@ -109,7 +115,10 @@ pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result,
     let colwide = columns(|r| r.speedup_wide);
     let colfast = columns(|r| r.speedup_fast);
     let has_hvh = mixes.iter().any(|m| {
-        matches!(m.class, stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh)
+        matches!(
+            m.class,
+            stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh
+        )
     });
     let gm_hvh = has_hvh.then(|| {
         [
@@ -136,8 +145,16 @@ mod tests {
         let row = &r.rows[0];
         // The paper's headline shape: each step helps, in order.
         assert!(row.speedup_3d > 1.05, "3D {:.3}", row.speedup_3d);
-        assert!(row.speedup_wide > row.speedup_3d, "wide {:.3}", row.speedup_wide);
-        assert!(row.speedup_fast > row.speedup_wide, "fast {:.3}", row.speedup_fast);
+        assert!(
+            row.speedup_wide > row.speedup_3d,
+            "wide {:.3}",
+            row.speedup_wide
+        );
+        assert!(
+            row.speedup_fast > row.speedup_wide,
+            "fast {:.3}",
+            row.speedup_fast
+        );
         assert!((r.gm_hvh.unwrap()[2] - row.speedup_fast).abs() < 1e-9);
     }
 

@@ -2,12 +2,15 @@
 //! (b) row-buffer cache entries. All speedups are over the 3D-fast
 //! baseline.
 
+use std::sync::Arc;
+
 use stacksim_stats::Table;
 use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
+use crate::config::SystemConfig;
 use crate::configs;
-use crate::runner::{run_mix, RunConfig, RunResult};
+use crate::runner::{run_matrix, RunConfig, RunPoint, RunResult};
 
 use super::{gm_all, gm_memory_intensive};
 
@@ -43,11 +46,7 @@ impl Figure6aResult {
 
     /// Renders the grid as a table.
     pub fn table(&self) -> Table {
-        let mut t = Table::new(vec![
-            "config".into(),
-            "GM(H,VH)".into(),
-            "GM(all)".into(),
-        ]);
+        let mut t = Table::new(vec!["config".into(), "GM(H,VH)".into(), "GM(all)".into()]);
         t.title("Figure 6(a): speedup over 3D-fast, varying MCs and ranks");
         t.numeric();
         for c in &self.grid {
@@ -125,34 +124,51 @@ impl Figure6bResult {
 fn baselines(
     run: &RunConfig,
     mixes: &[&'static Mix],
-) -> Result<Vec<(&'static Mix, RunResult)>, ConfigError> {
+) -> Result<Vec<(&'static Mix, Arc<RunResult>)>, ConfigError> {
     let cfg = configs::cfg_3d_fast();
-    mixes
-        .iter()
-        .map(|&m| Ok((m, run_mix(&cfg, m, run)?)))
-        .collect()
+    let points: Vec<RunPoint> = mixes.iter().map(|&m| (cfg.clone(), m, *run)).collect();
+    let results = run_matrix(&points)?;
+    Ok(mixes.iter().copied().zip(results).collect())
 }
 
-/// Speedup GMs of `cfg` over the prepared baselines.
-fn speedups_vs(
-    cfg: &crate::SystemConfig,
-    baselines: &[(&'static Mix, RunResult)],
-    run: &RunConfig,
-) -> Result<(f64, f64), ConfigError> {
-    let mut rows = Vec::with_capacity(baselines.len());
-    for (mix, base) in baselines {
-        let r = run_mix(cfg, mix, run)?;
-        rows.push((*mix, r.speedup_over(base)));
-    }
-    let hvh = if rows
+/// Speedup GMs of one configuration's per-mix results over the prepared
+/// baselines.
+fn gms_vs(results: &[Arc<RunResult>], baselines: &[(&'static Mix, Arc<RunResult>)]) -> (f64, f64) {
+    let rows: Vec<(&'static Mix, f64)> = baselines
         .iter()
-        .any(|(m, _)| matches!(m.class, stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh))
-    {
+        .zip(results)
+        .map(|((mix, base), r)| (*mix, r.speedup_over(base)))
+        .collect();
+    let hvh = if rows.iter().any(|(m, _)| {
+        matches!(
+            m.class,
+            stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh
+        )
+    }) {
         gm_memory_intensive(&rows)
     } else {
         gm_all(&rows)
     };
-    Ok((hvh, gm_all(&rows)))
+    (hvh, gm_all(&rows))
+}
+
+/// Runs every listed configuration over every mix as one matrix (so the
+/// whole figure fans out across the worker pool at once) and reduces each
+/// configuration's results to its two speedup GMs.
+fn gms_per_config(
+    cfgs: &[SystemConfig],
+    baselines: &[(&'static Mix, Arc<RunResult>)],
+    run: &RunConfig,
+) -> Result<Vec<(f64, f64)>, ConfigError> {
+    let points: Vec<RunPoint> = cfgs
+        .iter()
+        .flat_map(|cfg| baselines.iter().map(|&(mix, _)| (cfg.clone(), mix, *run)))
+        .collect();
+    let results = run_matrix(&points)?;
+    Ok(results
+        .chunks(baselines.len())
+        .map(|chunk| gms_vs(chunk, baselines))
+        .collect())
 }
 
 /// Runs the Figure 6(a) experiment.
@@ -162,20 +178,36 @@ fn speedups_vs(
 /// Returns [`ConfigError`] if a configuration fails validation.
 pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResult, ConfigError> {
     let base = baselines(run, mixes)?;
-    let mut grid = Vec::new();
-    for &ranks in &[8u16, 16] {
-        for &mcs in &[1u16, 2, 4] {
-            let cfg = configs::cfg_aggressive(mcs, ranks, 1);
-            let (hvh, all) = speedups_vs(&cfg, &base, run)?;
-            grid.push(GridCell { mcs, ranks, speedup_hvh: hvh, speedup_all: all });
-        }
-    }
-    let mut extra_l2 = Vec::new();
-    for &bytes in &[512u64 << 10, 1 << 20] {
-        let cfg = configs::cfg_3d_fast().with_extra_l2(bytes);
-        let (hvh, all) = speedups_vs(&cfg, &base, run)?;
-        extra_l2.push((bytes, hvh, all));
-    }
+    let grid_shape: Vec<(u16, u16)> = [8u16, 16]
+        .iter()
+        .flat_map(|&ranks| [1u16, 2, 4].map(|mcs| (mcs, ranks)))
+        .collect();
+    let l2_bytes = [512u64 << 10, 1 << 20];
+    let mut cfgs: Vec<SystemConfig> = grid_shape
+        .iter()
+        .map(|&(mcs, ranks)| configs::cfg_aggressive(mcs, ranks, 1))
+        .collect();
+    cfgs.extend(
+        l2_bytes
+            .iter()
+            .map(|&b| configs::cfg_3d_fast().with_extra_l2(b)),
+    );
+    let gms = gms_per_config(&cfgs, &base, run)?;
+    let grid = grid_shape
+        .iter()
+        .zip(&gms)
+        .map(|(&(mcs, ranks), &(hvh, all))| GridCell {
+            mcs,
+            ranks,
+            speedup_hvh: hvh,
+            speedup_all: all,
+        })
+        .collect();
+    let extra_l2 = l2_bytes
+        .iter()
+        .zip(&gms[grid_shape.len()..])
+        .map(|(&bytes, &(hvh, all))| (bytes, hvh, all))
+        .collect();
     Ok(Figure6aResult { grid, extra_l2 })
 }
 
@@ -186,14 +218,26 @@ pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResul
 /// Returns [`ConfigError`] if a configuration fails validation.
 pub fn figure6b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6bResult, ConfigError> {
     let base = baselines(run, mixes)?;
-    let mut cells = Vec::new();
-    for &(mcs, ranks) in &[(2u16, 8u16), (4, 16)] {
-        for row_buffers in 1..=4usize {
-            let cfg = configs::cfg_aggressive(mcs, ranks, row_buffers);
-            let (hvh, all) = speedups_vs(&cfg, &base, run)?;
-            cells.push(RbCell { mcs, ranks, row_buffers, speedup_hvh: hvh, speedup_all: all });
-        }
-    }
+    let shape: Vec<(u16, u16, usize)> = [(2u16, 8u16), (4, 16)]
+        .iter()
+        .flat_map(|&(mcs, ranks)| (1..=4usize).map(move |rb| (mcs, ranks, rb)))
+        .collect();
+    let cfgs: Vec<SystemConfig> = shape
+        .iter()
+        .map(|&(mcs, ranks, rb)| configs::cfg_aggressive(mcs, ranks, rb))
+        .collect();
+    let gms = gms_per_config(&cfgs, &base, run)?;
+    let cells = shape
+        .iter()
+        .zip(&gms)
+        .map(|(&(mcs, ranks, row_buffers), &(hvh, all))| RbCell {
+            mcs,
+            ranks,
+            row_buffers,
+            speedup_hvh: hvh,
+            speedup_all: all,
+        })
+        .collect();
     Ok(Figure6bResult { cells })
 }
 
@@ -224,7 +268,10 @@ mod tests {
         assert_eq!(r.cells.len(), 8);
         let rb1 = r.cell(4, 1).unwrap().speedup_hvh;
         let rb4 = r.cell(4, 4).unwrap().speedup_hvh;
-        assert!(rb4 >= rb1 * 0.98, "row buffers must not hurt: {rb1:.3} -> {rb4:.3}");
+        assert!(
+            rb4 >= rb1 * 0.98,
+            "row buffers must not hurt: {rb1:.3} -> {rb4:.3}"
+        );
         let t = r.table().to_string();
         assert!(t.contains("4 MC, 16 ranks"));
     }

@@ -7,7 +7,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
-use crate::runner::{run_mix, RunConfig};
+use crate::runner::{run_matrix, RunConfig, RunPoint};
 
 use super::{gm_all, gm_memory_intensive};
 #[cfg(test)]
@@ -51,7 +51,11 @@ trait SimTuner {
 
 impl SimTuner for TunerConfig {
     fn default_for_sim() -> TunerConfig {
-        TunerConfig { sample_cycles: 2_000, apply_cycles: 30_000, divisors: vec![1, 2, 4] }
+        TunerConfig {
+            sample_cycles: 2_000,
+            apply_cycles: 30_000,
+            divisors: vec![1, 2, 4],
+        }
     }
 }
 
@@ -87,7 +91,10 @@ impl Figure7Result {
         let mut headers = vec!["mix".to_string()];
         headers.extend(self.variants.iter().map(MshrVariant::label));
         let mut t = Table::new(headers);
-        t.title(format!("Figure 7: L2 MSHR scaling on {} (% improvement)", self.base_label));
+        t.title(format!(
+            "Figure 7: L2 MSHR scaling on {} (% improvement)",
+            self.base_label
+        ));
         t.numeric();
         for row in &self.rows {
             let mut cells = vec![row.mix.name.to_string()];
@@ -123,16 +130,27 @@ pub fn figure7(
         MshrVariant::Scale(8),
         MshrVariant::Dynamic,
     ];
+    // One configuration column per variant, plus the baseline in front; the
+    // whole mix x column grid fans out as a single matrix.
+    let mut cfgs = vec![base.clone()];
+    cfgs.extend(variants.iter().map(|v| v.apply(base)));
+    let points: Vec<RunPoint> = mixes
+        .iter()
+        .flat_map(|&mix| cfgs.iter().map(move |cfg| (cfg.clone(), mix, *run)))
+        .collect();
+    let results = run_matrix(&points)?;
     let mut rows = Vec::with_capacity(mixes.len());
-    for &mix in mixes {
-        let baseline = run_mix(base, mix, run)?;
-        let mut improvements = Vec::with_capacity(variants.len());
-        for v in &variants {
-            let cfg = v.apply(base);
-            let r = run_mix(&cfg, mix, run)?;
-            improvements.push((r.speedup_over(&baseline) - 1.0) * 100.0);
-        }
-        rows.push(Figure7Row { mix, improvement_pct: improvements });
+    for (i, &mix) in mixes.iter().enumerate() {
+        let group = &results[cfgs.len() * i..cfgs.len() * (i + 1)];
+        let baseline = &group[0];
+        let improvements = group[1..]
+            .iter()
+            .map(|r| (r.speedup_over(baseline) - 1.0) * 100.0)
+            .collect();
+        rows.push(Figure7Row {
+            mix,
+            improvement_pct: improvements,
+        });
     }
     let per_variant = |i: usize| -> Vec<(&'static Mix, f64)> {
         rows.iter()
@@ -140,7 +158,10 @@ pub fn figure7(
             .collect()
     };
     let has_hvh = mixes.iter().any(|m| {
-        matches!(m.class, stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh)
+        matches!(
+            m.class,
+            stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh
+        )
     });
     let gm_hvh_pct = has_hvh.then(|| {
         (0..variants.len())
@@ -170,7 +191,11 @@ mod tests {
     fn bigger_mshrs_help_stream_mixes() {
         let base = configs::cfg_quad_mc();
         let mixes = [Mix::by_name("VH3").unwrap()];
-        let run = RunConfig { warmup_cycles: 10_000, measure_cycles: 100_000, seed: 0xC0FFEE };
+        let run = RunConfig {
+            warmup_cycles: 10_000,
+            measure_cycles: 100_000,
+            seed: 0xC0FFEE,
+        };
         let r = figure7(&base, &run, &mixes).unwrap();
         let row = &r.rows[0];
         // 4x capacity must clearly beat the 8-entry baseline on streams.
@@ -186,7 +211,10 @@ mod tests {
         let mixes = [Mix::by_name("VH2").unwrap()];
         let r = figure7(&base, &RunConfig::quick(), &mixes).unwrap();
         let row = &r.rows[0];
-        let best_static = row.improvement_pct[..3].iter().cloned().fold(f64::MIN, f64::max);
+        let best_static = row.improvement_pct[..3]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         let dynamic = row.improvement_pct[3];
         assert!(
             dynamic > best_static - 15.0,

@@ -8,7 +8,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
-use crate::runner::{run_mix, RunConfig};
+use crate::runner::{run_matrix, RunConfig, RunPoint};
 
 use super::{gm_all, gm_memory_intensive};
 
@@ -38,15 +38,19 @@ impl MhaVariant {
 
     /// Applies this variant to a base configuration.
     pub fn apply(&self, base: &SystemConfig) -> SystemConfig {
-        let tuner = TunerConfig { sample_cycles: 2_000, apply_cycles: 30_000, divisors: vec![1, 2, 4] };
+        let tuner = TunerConfig {
+            sample_cycles: 2_000,
+            apply_cycles: 30_000,
+            divisors: vec![1, 2, 4],
+        };
         let scaled = base.with_mshr_scale(8);
         match self {
             MhaVariant::IdealCam => scaled,
             MhaVariant::Vbf => scaled.with_mshr_kind(MshrKind::Vbf),
             MhaVariant::Dynamic => scaled.with_dynamic_mshr(tuner),
-            MhaVariant::VbfDynamic => {
-                scaled.with_mshr_kind(MshrKind::Vbf).with_dynamic_mshr(tuner)
-            }
+            MhaVariant::VbfDynamic => scaled
+                .with_mshr_kind(MshrKind::Vbf)
+                .with_dynamic_mshr(tuner),
         }
     }
 }
@@ -124,24 +128,35 @@ pub fn figure9(
         MhaVariant::Dynamic,
         MhaVariant::VbfDynamic,
     ];
+    // Baseline first, then one column per variant; the full mix x column
+    // grid runs as a single matrix.
+    let mut cfgs = vec![base.clone()];
+    cfgs.extend(variants.iter().map(|v| v.apply(base)));
+    let points: Vec<RunPoint> = mixes
+        .iter()
+        .flat_map(|&mix| cfgs.iter().map(move |cfg| (cfg.clone(), mix, *run)))
+        .collect();
+    let results = run_matrix(&points)?;
     let mut rows = Vec::with_capacity(mixes.len());
     let mut vbf_probe_sum = 0.0;
     let mut vbf_probe_count = 0usize;
-    for &mix in mixes {
-        let baseline = run_mix(base, mix, run)?;
+    for (i, &mix) in mixes.iter().enumerate() {
+        let group = &results[cfgs.len() * i..cfgs.len() * (i + 1)];
+        let baseline = &group[0];
         let mut improvements = Vec::with_capacity(variants.len());
-        for v in &variants {
-            let cfg = v.apply(base);
-            let r = run_mix(&cfg, mix, run)?;
+        for (v, r) in variants.iter().zip(&group[1..]) {
             if *v == MhaVariant::Vbf {
                 if let Some(p) = r.stats.get("mshr_probes_per_access") {
                     vbf_probe_sum += p;
                     vbf_probe_count += 1;
                 }
             }
-            improvements.push((r.speedup_over(&baseline) - 1.0) * 100.0);
+            improvements.push((r.speedup_over(baseline) - 1.0) * 100.0);
         }
-        rows.push(Figure9Row { mix, improvement_pct: improvements });
+        rows.push(Figure9Row {
+            mix,
+            improvement_pct: improvements,
+        });
     }
     let per_variant = |i: usize| -> Vec<(&'static Mix, f64)> {
         rows.iter()
@@ -149,7 +164,10 @@ pub fn figure9(
             .collect()
     };
     let has_hvh = mixes.iter().any(|m| {
-        matches!(m.class, stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh)
+        matches!(
+            m.class,
+            stacksim_workload::MixClass::High | stacksim_workload::MixClass::VeryHigh
+        )
     });
     let gm_hvh_pct = has_hvh.then(|| {
         (0..variants.len())

@@ -9,7 +9,7 @@ use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
 use crate::configs;
-use crate::runner::{run_mix, RunConfig};
+use crate::runner::{run_matrix, RunConfig, RunPoint};
 
 use super::gm_memory_intensive;
 
@@ -36,7 +36,11 @@ impl HeadlineResult {
         let mut t = Table::new(vec!["comparison".into(), "paper".into(), "measured".into()]);
         t.title("Headline cumulative speedups, GM(H,VH)");
         t.numeric();
-        t.row(vec!["3D-fast / 2D".into(), "2.17x".into(), format!("{:.2}x", self.fast_over_2d)]);
+        t.row(vec![
+            "3D-fast / 2D".into(),
+            "2.17x".into(),
+            format!("{:.2}x", self.fast_over_2d),
+        ]);
         t.row(vec![
             "aggressive / 3D-fast".into(),
             "1.75x".into(),
@@ -74,19 +78,24 @@ pub fn headline(run: &RunConfig, mixes: &[&'static Mix]) -> Result<HeadlineResul
             divisors: vec![1, 2, 4],
         });
 
+    let cfgs = [cfg_2d, cfg_fast, cfg_aggr, cfg_mha];
+    let points: Vec<RunPoint> = mixes
+        .iter()
+        .flat_map(|&mix| cfgs.iter().map(move |cfg| (cfg.clone(), mix, *run)))
+        .collect();
+    let results = run_matrix(&points)?;
     let mut fast_over_2d = Vec::new();
     let mut aggr_over_fast = Vec::new();
     let mut mha_over_aggr = Vec::new();
     let mut total_over_2d = Vec::new();
-    for &mix in mixes {
-        let r2d = run_mix(&cfg_2d, mix, run)?;
-        let rfast = run_mix(&cfg_fast, mix, run)?;
-        let raggr = run_mix(&cfg_aggr, mix, run)?;
-        let rmha = run_mix(&cfg_mha, mix, run)?;
-        fast_over_2d.push((mix, rfast.speedup_over(&r2d)));
-        aggr_over_fast.push((mix, raggr.speedup_over(&rfast)));
-        mha_over_aggr.push((mix, rmha.speedup_over(&raggr)));
-        total_over_2d.push((mix, rmha.speedup_over(&r2d)));
+    for (i, &mix) in mixes.iter().enumerate() {
+        let [r2d, rfast, raggr, rmha] = &results[cfgs.len() * i..cfgs.len() * (i + 1)] else {
+            unreachable!("run_matrix preserves point count")
+        };
+        fast_over_2d.push((mix, rfast.speedup_over(r2d)));
+        aggr_over_fast.push((mix, raggr.speedup_over(rfast)));
+        mha_over_aggr.push((mix, rmha.speedup_over(raggr)));
+        total_over_2d.push((mix, rmha.speedup_over(r2d)));
     }
     Ok(HeadlineResult {
         fast_over_2d: gm_memory_intensive(&fast_over_2d),
@@ -105,7 +114,11 @@ mod tests {
         let mixes = [Mix::by_name("VH1").unwrap(), Mix::by_name("H1").unwrap()];
         let r = headline(&RunConfig::quick(), &mixes).unwrap();
         assert!(r.fast_over_2d > 1.1, "3D-fast/2D {:.2}", r.fast_over_2d);
-        assert!(r.aggressive_over_fast > 1.0, "aggr/fast {:.2}", r.aggressive_over_fast);
+        assert!(
+            r.aggressive_over_fast > 1.0,
+            "aggr/fast {:.2}",
+            r.aggressive_over_fast
+        );
         assert!(
             r.total_over_2d > r.fast_over_2d,
             "total {:.2} must exceed fast {:.2}",

@@ -16,10 +16,8 @@ mod table2;
 mod thermal;
 
 pub use ablation::{
-    ablation_cwf, ablation_energy, ablation_interleave, ablation_probing, ablation_scheduler,
-    ablation_page_policy, ablation_smart_refresh,
-    energy_table,
-    probing_table, EnergyRow, ProbingRow,
+    ablation_cwf, ablation_energy, ablation_interleave, ablation_page_policy, ablation_probing,
+    ablation_scheduler, ablation_smart_refresh, energy_table, probing_table, EnergyRow, ProbingRow,
 };
 pub use fairness::{fairness, fairness_table, FairnessRow};
 pub use figure4::{figure4, Figure4Result, Figure4Row};

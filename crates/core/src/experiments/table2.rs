@@ -7,7 +7,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::{Benchmark, Mix, SyntheticWorkload, TraceGenerator};
 
 use crate::configs;
-use crate::runner::{run_mix, RunConfig};
+use crate::runner::{default_jobs, parallel_map, run_matrix, RunConfig, RunPoint};
 use crate::system::System;
 
 /// One benchmark's characterization row.
@@ -36,8 +36,8 @@ pub fn table2a(
     cfg.core = cfg.core.without_prefetchers();
     cfg.l2 = CacheConfig::dl2_6mb();
     cfg.l2_prefetch = false;
-    let mut rows = Vec::with_capacity(benchmarks.len());
-    for &benchmark in benchmarks {
+    // Each benchmark's characterization run is independent — fan them out.
+    parallel_map(default_jobs(), benchmarks, |&benchmark| {
         let generator: Vec<Box<dyn TraceGenerator>> =
             vec![Box::new(SyntheticWorkload::new(benchmark, run.seed, 0))];
         let mut system = System::with_generators(&cfg, generator)?;
@@ -47,12 +47,13 @@ pub fn table2a(
         system.run_cycles(run.measure_cycles);
         let misses = system.stats().get("l2.misses").unwrap_or(0.0) - misses0;
         let committed = (system.core_committed(0) - committed0).max(1);
-        rows.push(Table2aRow {
+        Ok(Table2aRow {
             benchmark,
             measured_mpki: misses / committed as f64 * 1000.0,
-        });
-    }
-    Ok(rows)
+        })
+    })
+    .into_iter()
+    .collect()
 }
 
 /// Renders Table 2(a) rows.
@@ -92,13 +93,16 @@ pub struct Table2bRow {
 /// Returns [`ConfigError`] if the baseline configuration fails validation.
 pub fn table2b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Vec<Table2bRow>, ConfigError> {
     let cfg = configs::cfg_2d();
-    mixes
+    let points: Vec<RunPoint> = mixes.iter().map(|&mix| (cfg.clone(), mix, *run)).collect();
+    let results = run_matrix(&points)?;
+    Ok(mixes
         .iter()
-        .map(|&mix| {
-            let r = run_mix(&cfg, mix, run)?;
-            Ok(Table2bRow { mix, measured_hmipc: r.hmipc })
+        .zip(results)
+        .map(|(&mix, r)| Table2bRow {
+            mix,
+            measured_hmipc: r.hmipc,
         })
-        .collect()
+        .collect())
 }
 
 /// Renders Table 2(b) rows.
@@ -132,8 +136,10 @@ mod tests {
         // Spot-check the extremes of the published table: the synthetic
         // models must keep the ranking and rough magnitude.
         let names = ["S.copy", "libquantum", "mcf", "namd"];
-        let benchmarks: Vec<&'static Benchmark> =
-            names.iter().map(|n| Benchmark::by_name(n).unwrap()).collect();
+        let benchmarks: Vec<&'static Benchmark> = names
+            .iter()
+            .map(|n| Benchmark::by_name(n).unwrap())
+            .collect();
         let rows = table2a(&RunConfig::quick(), &benchmarks).unwrap();
         assert!(rows[0].measured_mpki > rows[1].measured_mpki);
         assert!(rows[1].measured_mpki > rows[2].measured_mpki);

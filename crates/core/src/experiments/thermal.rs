@@ -26,7 +26,11 @@ impl ThermalCheck {
         ));
         t.numeric();
         for (i, temp) in self.report.layer_max_c.iter().enumerate() {
-            let name = if i == 0 { "cpu".to_string() } else { format!("dram{}", i - 1) };
+            let name = if i == 0 {
+                "cpu".to_string()
+            } else {
+                format!("dram{}", i - 1)
+            };
             t.row(vec![name, format!("{temp:.1}")]);
         }
         t.row(vec![
@@ -48,7 +52,11 @@ pub fn thermal_check(cpu_power_w: f64, dram_layers: usize) -> ThermalCheck {
         grid.add_hotspot(0, x, y, 3.0);
     }
     let report = grid.solve_steady_state();
-    ThermalCheck { within_limit: report.within_dram_limit(), dram_layers, report }
+    ThermalCheck {
+        within_limit: report.within_dram_limit(),
+        dram_layers,
+        report,
+    }
 }
 
 #[cfg(test)]
@@ -58,7 +66,11 @@ mod tests {
     #[test]
     fn paper_stack_is_within_limit() {
         let check = thermal_check(65.0, 8);
-        assert!(check.within_limit, "paper's conclusion must reproduce: {:?}", check.report);
+        assert!(
+            check.within_limit,
+            "paper's conclusion must reproduce: {:?}",
+            check.report
+        );
         assert_eq!(check.report.layer_max_c.len(), 9);
         assert!(check.table().to_string().contains("yes"));
     }

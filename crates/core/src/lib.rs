@@ -12,7 +12,11 @@
 //!   organizations);
 //! * [`System`], the cycle-driven machine model;
 //! * [`runner`], the warmup + measure harness producing per-core IPC and
-//!   HMIPC exactly as the paper's methodology prescribes (§2.4);
+//!   HMIPC exactly as the paper's methodology prescribes (§2.4), plus the
+//!   parallel experiment engine — [`runner::run_matrix`] fans independent
+//!   simulation points across worker threads and memoizes each distinct
+//!   `(config, mix, window)` triple, with output bit-identical to a
+//!   sequential loop;
 //! * [`experiments`], one driver per table/figure of the evaluation
 //!   (Table 2, Figures 4, 6(a), 6(b), 7, 9, the §5.2 headline numbers and
 //!   the §2.4 thermal check).

@@ -47,9 +47,9 @@ pub fn table_to_csv<W: Write>(table: &Table, mut writer: W) -> io::Result<()> {
         }
         writeln!(writer)
     };
-    write_row(&mut writer, &table.headers().to_vec())?;
+    write_row(&mut writer, table.headers())?;
     for row in table.rows() {
-        write_row(&mut writer, &row.to_vec())?;
+        write_row(&mut writer, row)?;
     }
     Ok(())
 }
@@ -86,7 +86,10 @@ impl Comparison {
     ///
     /// Panics if `baseline_index` is out of range.
     pub fn speedup_table(&self, baseline_index: usize) -> Table {
-        assert!(baseline_index < self.labels.len(), "baseline index out of range");
+        assert!(
+            baseline_index < self.labels.len(),
+            "baseline index out of range"
+        );
         let mut headers = vec!["mix".to_string()];
         headers.extend(self.labels.iter().cloned());
         let mut t = Table::new(headers);
@@ -151,12 +154,19 @@ mod tests {
         t.row(vec!["x,y".into(), "say \"hi\"".into()]);
         let mut out = Vec::new();
         table_to_csv(&t, &mut out).unwrap();
-        assert_eq!(String::from_utf8(out).unwrap(), "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n");
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "a,b\n\"x,y\",\"say \"\"hi\"\"\"\n"
+        );
     }
 
     #[test]
     fn comparison_end_to_end() {
-        let run = RunConfig { warmup_cycles: 5_000, measure_cycles: 25_000, seed: 4 };
+        let run = RunConfig {
+            warmup_cycles: 5_000,
+            measure_cycles: 25_000,
+            seed: 4,
+        };
         let mixes = [Mix::by_name("HM3").unwrap()];
         let cmp = compare_configs(
             &[("2d", configs::cfg_2d()), ("quad", configs::cfg_quad_mc())],
@@ -182,7 +192,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "out of range")]
     fn speedup_baseline_checked() {
-        let cmp = Comparison { labels: vec!["a".into()], rows: vec![] };
+        let cmp = Comparison {
+            labels: vec!["a".into()],
+            rows: vec![],
+        };
         let _ = cmp.speedup_table(3);
     }
 }

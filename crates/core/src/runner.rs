@@ -9,6 +9,18 @@
 //! `measure_cycles`, and report each core's ∆committed / window as its IPC.
 //! Multi-programmed throughput is the harmonic mean of the four per-core
 //! IPCs (HMIPC, Table 2(b)).
+//!
+//! Each run is a pure function of `(SystemConfig, Mix, RunConfig)`: the
+//! simulator is deterministic per seed and shares no state across runs.
+//! That purity is what the parallel engine exploits — [`run_matrix`] fans
+//! independent points across worker threads with bit-identical results to
+//! a sequential loop, and [`run_mix_cached`] memoizes on the full
+//! configuration identity so baselines shared between figures simulate
+//! exactly once per process.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use stacksim_stats::{harmonic_mean, StatRecord};
 use stacksim_types::ConfigError;
@@ -18,7 +30,7 @@ use crate::config::SystemConfig;
 use crate::system::System;
 
 /// Length and seeding of one simulation run.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Cache/branch warmup cycles before measurement starts.
     pub warmup_cycles: u64,
@@ -31,13 +43,21 @@ pub struct RunConfig {
 impl RunConfig {
     /// A short window for unit tests (fast, still past the warmup knee).
     pub fn quick() -> RunConfig {
-        RunConfig { warmup_cycles: 10_000, measure_cycles: 60_000, seed: 0xC0FFEE }
+        RunConfig {
+            warmup_cycles: 10_000,
+            measure_cycles: 60_000,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { warmup_cycles: 30_000, measure_cycles: 250_000, seed: 0xC0FFEE }
+        RunConfig {
+            warmup_cycles: 30_000,
+            measure_cycles: 250_000,
+            seed: 0xC0FFEE,
+        }
     }
 }
 
@@ -52,6 +72,11 @@ pub struct RunResult {
     pub hmipc: f64,
     /// µops committed per core during the window.
     pub committed: Vec<u64>,
+    /// Cores that committed *zero* µops during the window. Their IPC is
+    /// floored to `1 / measure_cycles` in [`per_core_ipc`](Self::per_core_ipc)
+    /// so the harmonic mean stays defined, but the floor is no longer
+    /// silent: the affected cores are recorded here and warned on stderr.
+    pub zero_commit_cores: Vec<usize>,
     /// Full machine statistics at the end of the run.
     pub stats: StatRecord,
 }
@@ -81,6 +106,21 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
     let committed: Vec<u64> = (0..cfg.cores)
         .map(|i| system.core_committed(i) - before[i])
         .collect();
+    // A zero-commit core would make the harmonic mean undefined; floor it
+    // to one committed µop but report the floor instead of hiding it.
+    let zero_commit_cores: Vec<usize> = committed
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c == 0)
+        .map(|(i, _)| i)
+        .collect();
+    if !zero_commit_cores.is_empty() {
+        eprintln!(
+            "warning: mix {} seed {:#x}: cores {:?} committed zero µops in the \
+             {}-cycle window; their IPC is floored to 1/window for the harmonic mean",
+            mix.name, run.seed, zero_commit_cores, run.measure_cycles
+        );
+    }
     let per_core_ipc: Vec<f64> = committed
         .iter()
         .map(|&c| (c.max(1)) as f64 / run.measure_cycles as f64)
@@ -91,8 +131,201 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
         per_core_ipc,
         hmipc,
         committed,
+        zero_commit_cores,
         stats: system.stats(),
     })
+}
+
+// ---------------------------------------------------------------------------
+// Parallel engine
+// ---------------------------------------------------------------------------
+
+/// One point of a run matrix: a machine configuration, the mix to run on
+/// it, and the run window.
+pub type RunPoint = (SystemConfig, &'static Mix, RunConfig);
+
+/// Process-global default worker count set by `--jobs` (0 = unset).
+static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Sets the process-wide default worker count used by [`ParallelRunner::new`]
+/// (and therefore [`run_matrix`] / [`parallel_map`]). Overrides the
+/// `RAYON_NUM_THREADS` environment variable; `0` restores auto-detection.
+pub fn set_default_jobs(jobs: usize) {
+    DEFAULT_JOBS.store(jobs, Ordering::Relaxed);
+}
+
+/// Resolves the worker count: explicit [`set_default_jobs`] value, then the
+/// `RAYON_NUM_THREADS` environment variable, then the machine's available
+/// parallelism.
+pub fn default_jobs() -> usize {
+    let set = DEFAULT_JOBS.load(Ordering::Relaxed);
+    if set > 0 {
+        return set;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(usize::from)
+        .unwrap_or(1)
+}
+
+/// Fans independent work items across a fixed pool of worker threads,
+/// returning the outputs **in input order** regardless of which worker
+/// finished when.
+///
+/// Workers pull items off a shared atomic cursor, so uneven item costs
+/// balance automatically. With `jobs == 1` (or one item) this degrades to
+/// a plain in-place loop.
+pub fn parallel_map<T, U, F>(jobs: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = jobs.max(1).min(items.len());
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let out = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(out);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+/// The parallel experiment engine: fans independent [`run_mix`] points
+/// across threads and deduplicates repeated points through the process-wide
+/// memo cache.
+#[derive(Clone, Copy, Debug)]
+pub struct ParallelRunner {
+    jobs: usize,
+}
+
+impl ParallelRunner {
+    /// A runner with the default worker count (see [`set_default_jobs`]
+    /// and `RAYON_NUM_THREADS`).
+    pub fn new() -> ParallelRunner {
+        ParallelRunner {
+            jobs: default_jobs(),
+        }
+    }
+
+    /// A runner with an explicit worker count (`0` means auto-detect).
+    pub fn with_jobs(jobs: usize) -> ParallelRunner {
+        if jobs == 0 {
+            ParallelRunner::new()
+        } else {
+            ParallelRunner { jobs }
+        }
+    }
+
+    /// The worker count this runner fans out to.
+    pub fn jobs(&self) -> usize {
+        self.jobs
+    }
+
+    /// Runs every point of the matrix, in parallel and memoized, returning
+    /// results in input order.
+    ///
+    /// Scheduling cannot perturb the numbers: each point is a pure function
+    /// of its `(config, mix, run)` triple, so the output is bit-identical
+    /// to a sequential loop of [`run_mix`] calls over the same slice.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (by input order) [`ConfigError`] if any point has
+    /// an inconsistent configuration.
+    pub fn run_matrix(&self, points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigError> {
+        parallel_map(self.jobs, points, |(cfg, mix, run)| {
+            run_mix_cached(cfg, mix, run)
+        })
+        .into_iter()
+        .collect()
+    }
+}
+
+impl Default for ParallelRunner {
+    fn default() -> Self {
+        ParallelRunner::new()
+    }
+}
+
+/// Runs a matrix of points on a default-configured [`ParallelRunner`].
+///
+/// # Errors
+///
+/// Returns the first (by input order) [`ConfigError`] if any point has an
+/// inconsistent configuration.
+pub fn run_matrix(points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigError> {
+    ParallelRunner::new().run_matrix(points)
+}
+
+/// Memo cache key: full configuration identity, the (registry-unique) mix
+/// name, and the run window.
+type MemoKey = (SystemConfig, &'static str, RunConfig);
+
+/// Per-key cell: concurrent callers of the same point block on one cell
+/// while the first caller simulates, instead of duplicating the run.
+type MemoCell = Arc<OnceLock<Result<Arc<RunResult>, ConfigError>>>;
+
+/// The process-wide memo of completed runs.
+static MEMO: OnceLock<Mutex<HashMap<MemoKey, MemoCell>>> = OnceLock::new();
+
+fn memo() -> &'static Mutex<HashMap<MemoKey, MemoCell>> {
+    MEMO.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Number of distinct `(config, mix, run)` points simulated so far in this
+/// process (diagnostic; pairs with the reproduce binary's run accounting).
+pub fn memo_len() -> usize {
+    memo().lock().expect("memo poisoned").len()
+}
+
+/// Memoized [`run_mix`]: the first call for a given `(cfg, mix, run)`
+/// triple simulates, every later call — from any thread — returns the same
+/// shared [`RunResult`]. Baselines shared across experiments therefore
+/// simulate exactly once per process.
+///
+/// The mix is taken by `'static` reference (the workload registry) so the
+/// name used in the key cannot outlive or diverge from its definition.
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is inconsistent (also
+/// memoized: a bad point is validated once).
+pub fn run_mix_cached(
+    cfg: &SystemConfig,
+    mix: &'static Mix,
+    run: &RunConfig,
+) -> Result<Arc<RunResult>, ConfigError> {
+    let cell = {
+        let mut map = memo().lock().expect("memo poisoned");
+        map.entry((cfg.clone(), mix.name, *run))
+            .or_default()
+            .clone()
+    };
+    cell.get_or_init(|| run_mix(cfg, mix, run).map(Arc::new))
+        .clone()
 }
 
 #[cfg(test)]

@@ -1,14 +1,13 @@
 //! The assembled machine: cores, shared L2, banked L2 MSHRs, banked memory
 //! controllers, and the 3D (or off-chip) DRAM behind them.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
-use stacksim_cache::{AccessOutcome, BankedCache, NextLinePrefetcher, Prefetcher, StridePrefetcher};
-use stacksim_cpu::{Core, CoreRequest};
-use stacksim_memctrl::{
-    Completion, McConfig, MemRequest, MemoryController, RequestKind,
+use stacksim_cache::{
+    AccessOutcome, BankedCache, NextLinePrefetcher, Prefetcher, StridePrefetcher,
 };
+use stacksim_cpu::{Core, CoreRequest};
+use stacksim_memctrl::{Completion, McConfig, MemRequest, MemoryController, RequestKind};
 use stacksim_mshr::{
     CamMshr, DirectMappedMshr, DynamicTuner, HierarchicalMshr, MissHandler, MissKind, MissTarget,
     MshrKind, ProbeScheme, VbfMshr,
@@ -62,6 +61,10 @@ impl SendQueues {
             .or_else(|| self.writeback.pop_front())
             .or_else(|| self.prefetch.pop_front())
     }
+
+    fn is_empty(&self) -> bool {
+        self.demand.is_empty() && self.writeback.is_empty() && self.prefetch.is_empty()
+    }
 }
 
 /// Address-space stride between the programs of a mix (first-come-first-
@@ -81,30 +84,113 @@ enum EventKind {
     CoreFill { line: LineAddr, cores: Vec<CoreId> },
 }
 
+/// Initial calendar-queue span in cycles. Covers every ordinary scheduling
+/// delay (L2 latency, wire paths, probe serialization); outliers trigger a
+/// doubling growth.
+const INITIAL_WHEEL_SLOTS: usize = 256;
+
+/// Ceiling on pooled `CoreFill` core lists kept for reuse.
+const CORE_LIST_POOL_CAP: usize = 64;
+
+/// A calendar (bucket) event queue indexed by cycle: a power-of-two ring of
+/// per-cycle slots, each holding its events in insertion order.
+///
+/// This replaces a `BinaryHeap<Reverse<(at, seq)>>`: since the simulator
+/// only ever pops events due at the *current* cycle, ordering within a
+/// cycle by insertion is exactly the heap's `(at, seq)` order, with O(1)
+/// push/pop and no per-event comparisons or sequence numbers. Events
+/// scheduled mid-drain for the current cycle land in the live slot and are
+/// handled the same cycle (see [`take_due`](EventWheel::take_due)); an
+/// event left timestamped in the past — the heap allowed this for
+/// post-drain zero-delay sends — is carried at the *front* of the next
+/// cycle's slot, matching the heap's smaller-`at`-first order.
 #[derive(Debug)]
-struct Event {
-    at: Cycle,
-    seq: u64,
-    kind: EventKind,
+struct EventWheel {
+    slots: Vec<Vec<EventKind>>,
+    /// Slot index holding events due at `base`.
+    cursor: usize,
+    /// Absolute cycle of `slots[cursor]`.
+    base: u64,
+    len: usize,
 }
 
-impl PartialEq for Event {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+impl EventWheel {
+    fn new() -> EventWheel {
+        EventWheel {
+            slots: (0..INITIAL_WHEEL_SLOTS).map(|_| Vec::new()).collect(),
+            cursor: 0,
+            base: 0,
+            len: 0,
+        }
     }
-}
 
-impl Eq for Event {}
-
-impl PartialOrd for Event {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
+    /// Events pending across all slots (diagnostic; exercised by the
+    /// timeline probe test).
+    #[cfg_attr(not(test), allow(dead_code))]
+    fn len(&self) -> usize {
+        self.len
     }
-}
 
-impl Ord for Event {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
+    fn push(&mut self, at: Cycle, kind: EventKind) {
+        // `saturating_sub` folds an already-due timestamp into the current
+        // slot rather than underflowing.
+        let offset = at.raw().saturating_sub(self.base) as usize;
+        if offset >= self.slots.len() {
+            self.grow(offset + 1);
+        }
+        let mask = self.slots.len() - 1;
+        self.slots[(self.cursor + offset) & mask].push(kind);
+        self.len += 1;
+    }
+
+    /// Takes the batch of events due at the current cycle (possibly empty).
+    /// Handlers may push same-cycle events while a batch is out; callers
+    /// re-take until empty so those run this cycle too, in schedule order.
+    fn take_due(&mut self) -> Vec<EventKind> {
+        let batch = std::mem::take(&mut self.slots[self.cursor]);
+        self.len -= batch.len();
+        batch
+    }
+
+    /// Returns a drained batch's storage to the current slot so its
+    /// capacity is reused next cycle.
+    fn recycle(&mut self, storage: Vec<EventKind>) {
+        debug_assert!(storage.is_empty());
+        let slot = &mut self.slots[self.cursor];
+        if slot.is_empty() && slot.capacity() < storage.capacity() {
+            *slot = storage;
+        }
+    }
+
+    /// Moves to the next cycle. Events still in the outgoing slot (pushed
+    /// after the drain with a zero delay) keep priority over the incoming
+    /// cycle's events, as their smaller timestamp did in the heap.
+    fn advance(&mut self) {
+        let mask = self.slots.len() - 1;
+        let leftovers = std::mem::take(&mut self.slots[self.cursor]);
+        self.cursor = (self.cursor + 1) & mask;
+        self.base += 1;
+        if !leftovers.is_empty() {
+            self.slots[self.cursor].splice(0..0, leftovers);
+        }
+    }
+
+    /// Doubles the ring until it spans at least `needed` cycles, realigning
+    /// the current cycle to slot 0.
+    fn grow(&mut self, needed: usize) {
+        let old_n = self.slots.len();
+        let mut new_n = old_n * 2;
+        while new_n < needed {
+            new_n *= 2;
+        }
+        let old_mask = old_n - 1;
+        let mut new_slots: Vec<Vec<EventKind>> = (0..new_n).map(|_| Vec::new()).collect();
+        for i in 0..old_n {
+            let offset = (i + old_n - self.cursor) & old_mask;
+            new_slots[offset] = std::mem::take(&mut self.slots[i]);
+        }
+        self.slots = new_slots;
+        self.cursor = 0;
     }
 }
 
@@ -127,9 +213,15 @@ pub struct System {
     pf_cap_per_mc: usize,
     pf_inflight: Vec<std::collections::HashSet<LineAddr>>,
     mapper: AddressMapper,
-    events: BinaryHeap<Reverse<Event>>,
-    seq: u64,
+    events: EventWheel,
     req_buf: Vec<CoreRequest>,
+    completion_buf: Vec<Completion>,
+    core_list_pool: Vec<Vec<CoreId>>,
+    // Hot-loop copies of configuration fields read every cycle (the config
+    // is immutable after construction).
+    l2_latency: Cycles,
+    path_latency: Cycles,
+    mc_clock_divisor: u64,
     // Statistics.
     probe_hist: Histogram,
     mshr_full_retries: u64,
@@ -155,7 +247,11 @@ impl System {
                 // With virtual memory every program starts at virtual 0 and
                 // the FCFS allocator interleaves their physical placement;
                 // without it, disjoint physical regions stand in.
-                let base = if cfg.vm.is_some() { 0 } else { i as u64 * PER_CORE_REGION };
+                let base = if cfg.vm.is_some() {
+                    0
+                } else {
+                    i as u64 * PER_CORE_REGION
+                };
                 Box::new(SyntheticWorkload::new(
                     spec,
                     seed.wrapping_mul(31).wrapping_add(i as u64),
@@ -187,9 +283,11 @@ impl System {
         }
         let geometry = cfg.geometry()?;
         let mapper = AddressMapper::new(geometry);
-        let allocator = cfg
-            .vm
-            .map(|_| std::rc::Rc::new(std::cell::RefCell::new(PageAllocator::new(cfg.memory.total_bytes))));
+        let allocator = cfg.vm.map(|_| {
+            std::rc::Rc::new(std::cell::RefCell::new(PageAllocator::new(
+                cfg.memory.total_bytes,
+            )))
+        });
         let cores = generators
             .into_iter()
             .enumerate()
@@ -242,10 +340,10 @@ impl System {
             .map(|t| DynamicTuner::new(per_bank, t));
         let send_queues = (0..cfg.memory.mcs).map(|_| SendQueues::default()).collect();
         let pf_cap_per_mc = L2_PF_INFLIGHT_PER_MC;
-        let pf_inflight =
-            (0..cfg.memory.mcs).map(|_| std::collections::HashSet::new()).collect();
+        let pf_inflight = (0..cfg.memory.mcs)
+            .map(|_| std::collections::HashSet::new())
+            .collect();
         Ok(System {
-            cfg: cfg.clone(),
             now: Cycle::ZERO,
             cores,
             l2,
@@ -258,9 +356,14 @@ impl System {
             pf_cap_per_mc,
             pf_inflight,
             mapper,
-            events: BinaryHeap::new(),
-            seq: 0,
+            events: EventWheel::new(),
             req_buf: Vec::new(),
+            completion_buf: Vec::new(),
+            core_list_pool: Vec::new(),
+            l2_latency: cfg.l2_latency,
+            path_latency: cfg.memory.path_latency,
+            mc_clock_divisor: cfg.memory.mc_clock_divisor,
+            cfg: cfg.clone(),
             probe_hist: Histogram::new(256),
             mshr_full_retries: 0,
             dropped_prefetches: 0,
@@ -312,65 +415,86 @@ impl System {
     }
 
     fn schedule(&mut self, at: Cycle, kind: EventKind) {
-        self.seq += 1;
-        self.events.push(Reverse(Event { at, seq: self.seq, kind }));
+        self.events.push(at, kind);
     }
 
     fn tick(&mut self) {
         let now = self.now;
 
         // 1. Cores issue/commit; their requests enter the L2 pipeline.
+        let l2_arrival = now + self.l2_latency;
         let mut buf = std::mem::take(&mut self.req_buf);
         for i in 0..self.cores.len() {
             buf.clear();
             self.cores[i].cycle(now, &mut buf);
             for req in buf.drain(..) {
                 self.schedule(
-                    now + self.cfg.l2_latency,
-                    EventKind::L2Access { req, retried: false },
+                    l2_arrival,
+                    EventKind::L2Access {
+                        req,
+                        retried: false,
+                    },
                 );
             }
         }
         self.req_buf = buf;
 
-        // 2. Handle everything due this cycle.
-        while self
-            .events
-            .peek()
-            .is_some_and(|Reverse(e)| e.at <= now)
-        {
-            let Reverse(event) = self.events.pop().expect("peeked");
-            match event.kind {
-                EventKind::L2Access { req, retried } => self.handle_l2_access(req, retried),
-                EventKind::McSend(req) => {
-                    self.send_queues[req.location.mc.index()].push(req);
-                }
-                EventKind::CoreFill { line, cores } => {
-                    for c in cores {
-                        self.deliver_to_core(c, line);
+        // 2. Handle everything due this cycle. Handlers may schedule more
+        // same-cycle events (e.g. a zero-delay MC send), which land back in
+        // the live slot — keep draining until it stays empty.
+        loop {
+            let mut batch = self.events.take_due();
+            if batch.is_empty() {
+                break;
+            }
+            for kind in batch.drain(..) {
+                match kind {
+                    EventKind::L2Access { req, retried } => self.handle_l2_access(req, retried),
+                    EventKind::McSend(req) => {
+                        self.send_queues[req.location.mc.index()].push(req);
+                    }
+                    EventKind::CoreFill { line, mut cores } => {
+                        for &c in &cores {
+                            self.deliver_to_core(c, line);
+                        }
+                        cores.clear();
+                        if self.core_list_pool.len() < CORE_LIST_POOL_CAP {
+                            self.core_list_pool.push(cores);
+                        }
                     }
                 }
             }
+            self.events.recycle(batch);
         }
 
         // 3. Memory controllers issue (at their own clock) and complete.
-        if now.raw() % self.cfg.memory.mc_clock_divisor == 0 {
+        if now.raw().is_multiple_of(self.mc_clock_divisor) {
             for mc in &mut self.mcs {
                 mc.tick(now);
             }
         }
+        let mut completions = std::mem::take(&mut self.completion_buf);
         for i in 0..self.mcs.len() {
-            let completions: Vec<Completion> = self.mcs[i].drain_completions(now);
-            for c in completions {
+            completions.clear();
+            self.mcs[i].drain_completions_into(now, &mut completions);
+            for c in completions.drain(..) {
                 self.handle_completion(c);
             }
         }
+        self.completion_buf = completions;
 
         // 4. Move queued requests into controllers with free MRQ slots.
         for i in 0..self.mcs.len() {
+            if self.send_queues[i].is_empty() {
+                continue;
+            }
             while self.mcs[i].can_accept() {
-                let Some(req) = self.send_queues[i].pop() else { break };
-                self.mcs[i].enqueue(req).expect("routing checked at creation");
+                let Some(req) = self.send_queues[i].pop() else {
+                    break;
+                };
+                self.mcs[i]
+                    .enqueue(req)
+                    .expect("routing checked at creation");
             }
         }
 
@@ -385,6 +509,7 @@ impl System {
         }
 
         self.now = now + Cycles::new(1);
+        self.events.advance();
     }
 
     fn handle_l2_access(&mut self, req: CoreRequest, retried: bool) {
@@ -419,7 +544,11 @@ impl System {
                 token,
                 is_prefetch: req.is_prefetch,
             };
-            let kind = if req.is_write { MissKind::Write } else { MissKind::Read };
+            let kind = if req.is_write {
+                MissKind::Write
+            } else {
+                MissKind::Read
+            };
             if !self.allocate_l2_miss(line, target, kind) {
                 // MSHR bank full. Every core-originated request — demand or
                 // L1 prefetch — has an L1 MSHR entry waiting on this line,
@@ -459,8 +588,8 @@ impl System {
                     };
                     // Charge the extra (beyond-mandatory) probe latency plus
                     // the one-way wire path to memory.
-                    let delay = Cycles::new(outcome.probes().saturating_sub(1) as u64)
-                        + self.cfg.memory.path_latency;
+                    let delay =
+                        Cycles::new(outcome.probes().saturating_sub(1) as u64) + self.path_latency;
                     self.schedule(self.now + delay, EventKind::McSend(req));
                 }
                 true
@@ -508,7 +637,7 @@ impl System {
                 arrival: self.now,
                 token: L2_ORIGIN,
             };
-            let at = self.now + self.cfg.memory.path_latency;
+            let at = self.now + self.path_latency;
             self.schedule(at, EventKind::McSend(req));
             self.l2_prefetches_issued += 1;
         }
@@ -528,7 +657,7 @@ impl System {
             arrival: self.now,
             token: 0,
         };
-        let at = self.now + self.cfg.memory.path_latency;
+        let at = self.now + self.path_latency;
         self.schedule(at, EventKind::McSend(mem));
     }
 
@@ -563,9 +692,8 @@ impl System {
             }
         }
         if !cores.is_empty() {
-            let delay = Cycles::new(probes.saturating_sub(1) as u64)
-                + self.cfg.memory.path_latency
-                + Cycles::new(1);
+            let delay =
+                Cycles::new(probes.saturating_sub(1) as u64) + self.path_latency + Cycles::new(1);
             self.schedule(self.now + delay, EventKind::CoreFill { line, cores });
         }
     }
@@ -584,7 +712,7 @@ impl System {
                     arrival: self.now,
                     token: 0,
                 };
-                let at = self.now + self.cfg.memory.path_latency;
+                let at = self.now + self.path_latency;
                 self.schedule(at, EventKind::McSend(mem));
             }
         }
@@ -592,8 +720,14 @@ impl System {
 
     fn deliver_to_core(&mut self, core: CoreId, line: LineAddr) {
         if let Some(writeback) = self.cores[core.index()].fill(line) {
-            let at = self.now + self.cfg.l2_latency;
-            self.schedule(at, EventKind::L2Access { req: writeback, retried: false });
+            let at = self.now + self.l2_latency;
+            self.schedule(
+                at,
+                EventKind::L2Access {
+                    req: writeback,
+                    retried: false,
+                },
+            );
         }
     }
 
@@ -680,7 +814,12 @@ mod tests {
 
     fn generators_of(instrs: Vec<Instr>, cores: usize) -> Vec<Box<dyn TraceGenerator>> {
         (0..cores)
-            .map(|_| Box::new(Looping { instrs: instrs.clone(), pos: 0 }) as Box<dyn TraceGenerator>)
+            .map(|_| {
+                Box::new(Looping {
+                    instrs: instrs.clone(),
+                    pos: 0,
+                }) as Box<dyn TraceGenerator>
+            })
             .collect()
     }
 
@@ -716,7 +855,10 @@ mod tests {
         let stats = sys.stats();
         assert!(sys.total_committed() > 0, "cores must make progress");
         assert!(stats.get("l2.misses").unwrap() > 0.0, "L2 must miss");
-        assert!(stats.get("mc0.issued").unwrap() > 0.0, "memory must be accessed");
+        assert!(
+            stats.get("mc0.issued").unwrap() > 0.0,
+            "memory must be accessed"
+        );
         assert_eq!(stats.get("spurious_completions"), Some(0.0));
     }
 
@@ -795,7 +937,13 @@ mod tests {
         let mut sys = System::for_mix(&cfg, mix, 2).unwrap();
         sys.run_cycles(5_000);
         let stats = sys.stats();
-        for key in ["cycles", "committed", "l2.hits", "core0.committed", "mc0.issued"] {
+        for key in [
+            "cycles",
+            "committed",
+            "l2.hits",
+            "core0.committed",
+            "mc0.issued",
+        ] {
             assert!(stats.get(key).is_some(), "missing stat {key}");
         }
     }
@@ -803,11 +951,13 @@ mod tests {
     #[test]
     fn dynamic_tuner_adjusts_limits() {
         use stacksim_mshr::TunerConfig;
-        let cfg = configs::cfg_dual_mc().with_mshr_scale(8).with_dynamic_mshr(TunerConfig {
-            sample_cycles: 500,
-            apply_cycles: 5_000,
-            divisors: vec![1, 2, 4],
-        });
+        let cfg = configs::cfg_dual_mc()
+            .with_mshr_scale(8)
+            .with_dynamic_mshr(TunerConfig {
+                sample_cycles: 500,
+                apply_cycles: 5_000,
+                divisors: vec![1, 2, 4],
+            });
         let mix = Mix::by_name("VH1").unwrap();
         let mut sys = System::for_mix(&cfg, mix, 3).unwrap();
         sys.run_cycles(10_000);

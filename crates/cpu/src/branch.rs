@@ -9,7 +9,7 @@
 use stacksim_stats::StatRecord;
 
 /// Geometry of the TAGE predictor.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TageConfig {
     /// Entries in the base bimodal table.
     pub base_entries: usize,
@@ -26,10 +26,10 @@ impl TageConfig {
     /// sized to ~4 KB of state total.
     pub fn penryn_4kb() -> TageConfig {
         TageConfig {
-            base_entries: 4096,                       // 4096 x 2b = 1 KB
+            base_entries: 4096, // 4096 x 2b = 1 KB
             tagged: vec![
-                (5, 1024, 8),                         // ~1.4 KB across the
-                (15, 512, 9),                         //  four tagged tables
+                (5, 1024, 8), // ~1.4 KB across the
+                (15, 512, 9), //  four tagged tables
                 (44, 512, 10),
                 (130, 256, 11),
             ],
@@ -44,11 +44,17 @@ impl TageConfig {
     /// Panics if any table is empty, not a power of two, or history lengths
     /// are not strictly increasing.
     pub fn validate(&self) {
-        assert!(self.base_entries.is_power_of_two() && self.base_entries > 0, "base table size");
+        assert!(
+            self.base_entries.is_power_of_two() && self.base_entries > 0,
+            "base table size"
+        );
         let mut prev = 0;
         for &(hist, entries, tag) in &self.tagged {
             assert!(hist > prev, "history lengths must strictly increase");
-            assert!(entries.is_power_of_two() && entries > 0, "tagged table size");
+            assert!(
+                entries.is_power_of_two() && entries > 0,
+                "tagged table size"
+            );
             assert!(tag > 0 && tag <= 16, "tag width");
             prev = hist;
         }
@@ -100,7 +106,11 @@ impl Tage {
         config.validate();
         Tage {
             base: vec![1; config.base_entries], // weakly not-taken
-            tables: config.tagged.iter().map(|&(_, n, _)| vec![TaggedEntry::default(); n]).collect(),
+            tables: config
+                .tagged
+                .iter()
+                .map(|&(_, n, _)| vec![TaggedEntry::default(); n])
+                .collect(),
             config,
             history: 0,
             predictions: 0,
@@ -141,10 +151,16 @@ impl Tage {
             let (index, tag) = self.tagged_index(table, pc);
             let e = &self.tables[table][index];
             if e.tag == tag && e.useful != u8::MAX {
-                return Prediction { taken: e.counter >= 4, provider: Some(table) };
+                return Prediction {
+                    taken: e.counter >= 4,
+                    provider: Some(table),
+                };
             }
         }
-        Prediction { taken: self.base[self.base_index(pc)] >= 2, provider: None }
+        Prediction {
+            taken: self.base[self.base_index(pc)] >= 2,
+            provider: None,
+        }
     }
 
     /// Updates the predictor with the resolved outcome. Returns whether the
@@ -180,7 +196,11 @@ impl Tage {
                 let (index, tag) = self.tagged_index(table, pc);
                 let e = &mut self.tables[table][index];
                 if e.useful == 0 {
-                    *e = TaggedEntry { tag, counter: if taken { 4 } else { 3 }, useful: 0 };
+                    *e = TaggedEntry {
+                        tag,
+                        counter: if taken { 4 } else { 3 },
+                        useful: 0,
+                    };
                     break;
                 }
                 // Age the blocker so allocation eventually succeeds.
@@ -250,7 +270,10 @@ mod tests {
         let mut tage = Tage::new(TageConfig::penryn_4kb());
         let outcomes = vec![true; 200];
         let wrong = train(&mut tage, 0x400, &outcomes);
-        assert!(wrong <= 3, "always-taken should be learned quickly: {wrong} wrong");
+        assert!(
+            wrong <= 3,
+            "always-taken should be learned quickly: {wrong} wrong"
+        );
     }
 
     #[test]
@@ -261,7 +284,10 @@ mod tests {
         let outcomes: Vec<bool> = (0..2000).map(|i| i % 4 != 3).collect();
         let early = train(&mut tage, 0x500, &outcomes[..1000]);
         let late = train(&mut tage, 0x500, &outcomes[1000..]);
-        assert!(late * 2 < early.max(1) * 2, "accuracy must improve with training");
+        assert!(
+            late * 2 < early.max(1) * 2,
+            "accuracy must improve with training"
+        );
         assert!(
             late < 60,
             "a period-4 loop should be nearly perfect after warmup: {late} wrong in 1000"
@@ -286,7 +312,10 @@ mod tests {
             })
             .collect();
         let wrong = train(&mut tage, 0x600, &outcomes);
-        assert!(wrong > 200, "near-random outcomes cannot be predicted: {wrong}");
+        assert!(
+            wrong > 200,
+            "near-random outcomes cannot be predicted: {wrong}"
+        );
     }
 
     #[test]

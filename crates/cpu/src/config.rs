@@ -5,7 +5,7 @@ use stacksim_cache::CacheConfig;
 use crate::branch::TageConfig;
 
 /// Static configuration of one core.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct CoreConfig {
     /// µops dispatched per cycle (4 in the paper).
     pub issue_width: usize,
@@ -43,12 +43,19 @@ impl CoreConfig {
 
     /// Disables both DL1 prefetchers (for workload characterization runs).
     pub fn without_prefetchers(self) -> CoreConfig {
-        CoreConfig { nextline_degree: 0, stride_entries: 0, ..self }
+        CoreConfig {
+            nextline_degree: 0,
+            stride_entries: 0,
+            ..self
+        }
     }
 
     /// Disables the branch predictor (perfect prediction).
     pub fn without_branch_predictor(self) -> CoreConfig {
-        CoreConfig { branch: None, ..self }
+        CoreConfig {
+            branch: None,
+            ..self
+        }
     }
 
     /// Validates internal consistency.
@@ -60,7 +67,10 @@ impl CoreConfig {
     pub fn validate(&self) {
         assert!(self.issue_width > 0, "issue width must be non-zero");
         assert!(self.commit_width > 0, "commit width must be non-zero");
-        assert!(self.window >= self.issue_width, "window smaller than issue width");
+        assert!(
+            self.window >= self.issue_width,
+            "window smaller than issue width"
+        );
         assert!(self.l1_mshrs > 0, "core needs at least one L1 MSHR");
     }
 }
@@ -97,7 +107,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "window smaller")]
     fn validate_rejects_tiny_window() {
-        let c = CoreConfig { window: 2, ..CoreConfig::penryn() };
+        let c = CoreConfig {
+            window: 2,
+            ..CoreConfig::penryn()
+        };
         c.validate();
     }
 }

@@ -4,7 +4,9 @@ use std::cell::RefCell;
 use std::collections::VecDeque;
 use std::rc::Rc;
 
-use stacksim_cache::{AccessOutcome, NextLinePrefetcher, Prefetcher, SetAssocCache, StridePrefetcher};
+use stacksim_cache::{
+    AccessOutcome, NextLinePrefetcher, Prefetcher, SetAssocCache, StridePrefetcher,
+};
 use stacksim_mshr::{CamMshr, MissHandler, MissKind, MissTarget};
 use stacksim_stats::StatRecord;
 use stacksim_types::{CoreId, Cycle, Cycles, LineAddr};
@@ -110,8 +112,17 @@ impl Core {
     /// addresses, translated through a private DTLB and the machine's
     /// shared first-come-first-serve [`PageAllocator`] under address space
     /// `asid`. TLB misses charge the configured page-walk latency.
-    pub fn attach_vm(&mut self, config: TlbConfig, allocator: Rc<RefCell<PageAllocator>>, asid: u16) {
-        self.vm = Some(CoreVm { tlb: Tlb::new(config), allocator, asid });
+    pub fn attach_vm(
+        &mut self,
+        config: TlbConfig,
+        allocator: Rc<RefCell<PageAllocator>>,
+        asid: u16,
+    ) {
+        self.vm = Some(CoreVm {
+            tlb: Tlb::new(config),
+            allocator,
+            asid,
+        });
     }
 
     /// This core's identifier.
@@ -169,8 +180,7 @@ impl Core {
             }
             self.window.pop_front();
             self.committed += 1;
-            if self.finish_cycle.is_none()
-                && self.instr_limit.is_some_and(|l| self.committed >= l)
+            if self.finish_cycle.is_none() && self.instr_limit.is_some_and(|l| self.committed >= l)
             {
                 self.finish_cycle = Some(now);
             }
@@ -290,7 +300,11 @@ impl Core {
         self.token += 1;
         let token = (self.token << 1) | u64::from(is_write);
         let target = MissTarget::demand(self.id, token);
-        let kind = if is_write { MissKind::Write } else { MissKind::Read };
+        let kind = if is_write {
+            MissKind::Write
+        } else {
+            MissKind::Read
+        };
         match self.mshr.allocate(line, target, kind, Cycle::ZERO) {
             Ok(outcome) => {
                 self.window.push_back(Slot::Waiting(line));
@@ -345,7 +359,9 @@ impl Core {
         }
         let dirty = entry.targets().iter().any(|t| t.token & 1 == 1);
         let victim = self.dl1.fill(line, dirty)?;
-        victim.dirty.then(|| CoreRequest::writeback(self.id, victim.line))
+        victim
+            .dirty
+            .then(|| CoreRequest::writeback(self.id, victim.line))
     }
 
     /// Outstanding L1 misses.
@@ -418,11 +434,17 @@ mod tests {
     }
 
     fn load(line: u64) -> Instr {
-        Instr::Load { pc: 0x100, addr: stacksim_types::LineAddr::new(line).base() }
+        Instr::Load {
+            pc: 0x100,
+            addr: stacksim_types::LineAddr::new(line).base(),
+        }
     }
 
     fn store(line: u64) -> Instr {
-        Instr::Store { pc: 0x200, addr: stacksim_types::LineAddr::new(line).base() }
+        Instr::Store {
+            pc: 0x200,
+            addr: stacksim_types::LineAddr::new(line).base(),
+        }
     }
 
     fn bare_core(instrs: Vec<Instr>) -> Core {
@@ -495,7 +517,7 @@ mod tests {
         // One miss, then endless compute: the window fills to capacity and
         // issue stalls (in-order commit blocks behind the miss).
         let mut instrs = vec![load(3)];
-        instrs.extend(std::iter::repeat(Instr::Compute).take(500));
+        instrs.extend(std::iter::repeat_n(Instr::Compute, 500));
         let mut core = bare_core(instrs);
         let mut reqs = Vec::new();
         for c in 0..200u64 {
@@ -536,7 +558,10 @@ mod tests {
             core.cycle(now, &mut reqs);
         }
         let ipc = core.frozen_ipc().unwrap();
-        assert!(ipc > 2.0 && ipc <= 4.0, "compute-bound IPC near width: {ipc}");
+        assert!(
+            ipc > 2.0 && ipc <= 4.0,
+            "compute-bound IPC near width: {ipc}"
+        );
         // The core keeps running past the freeze point.
         let before = core.committed();
         core.cycle(now + Cycles::new(1), &mut reqs);
@@ -546,11 +571,14 @@ mod tests {
     #[test]
     fn prefetcher_emits_nextline_requests() {
         let cfg = CoreConfig::penryn(); // prefetchers on
-        let instrs: Vec<Instr> = (0..64).map(|i| load(i)).collect();
+        let instrs: Vec<Instr> = (0..64).map(load).collect();
         let mut core = Core::new(CoreId::new(0), cfg, Box::new(Script::new(instrs)));
         let mut reqs = Vec::new();
         core.cycle(Cycle::ZERO, &mut reqs);
-        assert!(reqs.iter().any(|r| r.is_prefetch), "next-line prefetch expected");
+        assert!(
+            reqs.iter().any(|r| r.is_prefetch),
+            "next-line prefetch expected"
+        );
     }
 
     #[test]
@@ -564,7 +592,9 @@ mod tests {
         /// Test helper: force-fill a line as if a prefetch returned.
         fn fill_for_test(&mut self, line: LineAddr) -> Option<CoreRequest> {
             let victim = self.dl1.fill(line, false)?;
-            victim.dirty.then(|| CoreRequest::writeback(self.id, victim.line))
+            victim
+                .dirty
+                .then(|| CoreRequest::writeback(self.id, victim.line))
         }
     }
 }

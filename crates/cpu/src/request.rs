@@ -25,17 +25,38 @@ pub struct CoreRequest {
 impl CoreRequest {
     /// A demand fetch.
     pub const fn demand(core: CoreId, line: LineAddr, pc: u64, is_write: bool) -> Self {
-        CoreRequest { core, line, pc, is_write, is_prefetch: false, is_writeback: false }
+        CoreRequest {
+            core,
+            line,
+            pc,
+            is_write,
+            is_prefetch: false,
+            is_writeback: false,
+        }
     }
 
     /// A hardware prefetch.
     pub const fn prefetch(core: CoreId, line: LineAddr) -> Self {
-        CoreRequest { core, line, pc: 0, is_write: false, is_prefetch: true, is_writeback: false }
+        CoreRequest {
+            core,
+            line,
+            pc: 0,
+            is_write: false,
+            is_prefetch: true,
+            is_writeback: false,
+        }
     }
 
     /// A dirty writeback.
     pub const fn writeback(core: CoreId, line: LineAddr) -> Self {
-        CoreRequest { core, line, pc: 0, is_write: true, is_prefetch: false, is_writeback: true }
+        CoreRequest {
+            core,
+            line,
+            pc: 0,
+            is_write: true,
+            is_prefetch: false,
+            is_writeback: true,
+        }
     }
 }
 
@@ -74,8 +95,12 @@ mod tests {
     fn display_kinds() {
         let c = CoreId::new(0);
         let l = LineAddr::new(1);
-        assert!(CoreRequest::demand(c, l, 0, false).to_string().contains("ld"));
-        assert!(CoreRequest::demand(c, l, 0, true).to_string().contains("st"));
+        assert!(CoreRequest::demand(c, l, 0, false)
+            .to_string()
+            .contains("ld"));
+        assert!(CoreRequest::demand(c, l, 0, true)
+            .to_string()
+            .contains("st"));
         assert!(CoreRequest::prefetch(c, l).to_string().contains("pf"));
         assert!(CoreRequest::writeback(c, l).to_string().contains("wb"));
     }

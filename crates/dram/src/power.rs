@@ -26,15 +26,23 @@ pub struct EnergyModel {
 
 impl EnergyModel {
     /// DDR2-class default energies.
-    pub const DDR2: EnergyModel =
-        EnergyModel { activate_nj: 3.0, read_nj: 1.0, write_nj: 1.1, refresh_nj: 3.2 };
+    pub const DDR2: EnergyModel = EnergyModel {
+        activate_nj: 3.0,
+        read_nj: 1.0,
+        write_nj: 1.1,
+        refresh_nj: 3.2,
+    };
 
     /// A model scaled for the smaller banks of a higher-rank-count
     /// organization: activation energy shrinks roughly with bank size
     /// (shorter wordlines/bitlines, §4.1).
     pub fn with_bank_scale(self, scale: f64) -> EnergyModel {
         assert!(scale > 0.0, "scale must be positive");
-        EnergyModel { activate_nj: self.activate_nj * scale, refresh_nj: self.refresh_nj * scale, ..self }
+        EnergyModel {
+            activate_nj: self.activate_nj * scale,
+            refresh_nj: self.refresh_nj * scale,
+            ..self
+        }
     }
 
     /// Estimates the energy one bank consumed, from its activity counters.
@@ -43,7 +51,12 @@ impl EnergyModel {
         let read = bank.reads() as f64 * self.read_nj;
         let write = bank.writes() as f64 * self.write_nj;
         let refresh = bank.refreshes() as f64 * self.refresh_nj;
-        EnergyReport { activate_nj: activate, read_nj: read, write_nj: write, refresh_nj: refresh }
+        EnergyReport {
+            activate_nj: activate,
+            read_nj: read,
+            write_nj: write,
+            refresh_nj: refresh,
+        }
     }
 }
 
@@ -99,8 +112,11 @@ mod tests {
     use stacksim_types::{Cycle, DramTiming};
 
     fn active_bank(row_buffers: usize, accesses: &[u64]) -> Bank {
-        let cfg =
-            BankConfig::new(DramTiming::COMMODITY_2D.to_cycles(3.333e9), row_buffers, None);
+        let cfg = BankConfig::new(
+            DramTiming::COMMODITY_2D.to_cycles(3.333e9),
+            row_buffers,
+            None,
+        );
         let mut b = Bank::new(cfg, 1024);
         let mut now = Cycle::ZERO;
         for &row in accesses {
@@ -126,7 +142,12 @@ mod tests {
 
     #[test]
     fn accumulate_and_total() {
-        let mut a = EnergyReport { activate_nj: 1.0, read_nj: 2.0, write_nj: 3.0, refresh_nj: 4.0 };
+        let mut a = EnergyReport {
+            activate_nj: 1.0,
+            read_nj: 2.0,
+            write_nj: 3.0,
+            refresh_nj: 4.0,
+        };
         let b = a;
         a.accumulate(&b);
         assert_eq!(a.total_nj(), 20.0);

@@ -36,7 +36,11 @@ impl Rank {
     /// Panics if `banks` is zero.
     pub fn new(config: BankConfig, banks: usize, rows_per_bank: u64) -> Self {
         assert!(banks > 0, "rank needs at least one bank");
-        Rank { banks: (0..banks).map(|_| Bank::new(config, rows_per_bank)).collect() }
+        Rank {
+            banks: (0..banks)
+                .map(|_| Bank::new(config, rows_per_bank))
+                .collect(),
+        }
     }
 
     /// Number of banks.

@@ -48,7 +48,10 @@ impl RowBufferCache {
     /// Panics if `entries` is zero.
     pub fn new(entries: usize) -> Self {
         assert!(entries > 0, "a bank needs at least one row buffer");
-        RowBufferCache { rows: Vec::with_capacity(entries), entries }
+        RowBufferCache {
+            rows: Vec::with_capacity(entries),
+            entries,
+        }
     }
 
     /// Number of buffers.
@@ -127,7 +130,13 @@ impl RowBufferCache {
 
 impl fmt::Display for RowBufferCache {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "rbc[{}/{}]{:?}", self.rows.len(), self.entries, self.rows)
+        write!(
+            f,
+            "rbc[{}/{}]{:?}",
+            self.rows.len(),
+            self.entries,
+            self.rows
+        )
     }
 }
 

@@ -23,8 +23,7 @@ struct Access {
 }
 
 fn access_strategy() -> impl Strategy<Value = Access> {
-    (0u64..64, any::<bool>(), 0u64..300)
-        .prop_map(|(row, write, gap)| Access { row, write, gap })
+    (0u64..64, any::<bool>(), 0u64..300).prop_map(|(row, write, gap)| Access { row, write, gap })
 }
 
 proptest! {
@@ -42,7 +41,7 @@ proptest! {
         let mut now = Cycle::ZERO;
         let mut last_free = Cycle::ZERO;
         for (i, a) in accesses.iter().enumerate() {
-            now = now + Cycles::new(a.gap);
+            now += Cycles::new(a.gap);
             let r = if a.write { b.write(a.row, now) } else { b.read(a.row, now) };
             // Causality: nothing completes before it was requested.
             prop_assert!(r.data_ready >= now, "step {i}: data before request");

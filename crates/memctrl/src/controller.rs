@@ -88,10 +88,13 @@ impl MemoryController {
     pub fn new(id: McId, config: McConfig) -> Self {
         assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
         assert!(config.ranks > 0, "controller needs at least one rank");
-        let bank_cfg =
-            BankConfig::new(config.timing, config.row_buffer_entries, config.refresh_interval)
-                .with_smart_refresh(config.smart_refresh)
-                .with_page_policy(config.page_policy);
+        let bank_cfg = BankConfig::new(
+            config.timing,
+            config.row_buffer_entries,
+            config.refresh_interval,
+        )
+        .with_smart_refresh(config.smart_refresh)
+        .with_page_policy(config.page_policy);
         let ranks = (0..config.ranks)
             .map(|_| Rank::new(bank_cfg, config.banks_per_rank, config.rows_per_bank))
             .collect();
@@ -164,6 +167,9 @@ impl MemoryController {
     /// whose bank is ready, per the configured policy.
     pub fn tick(&mut self, now: Cycle) {
         self.queue_depth.record(self.queue.len() as u64);
+        if self.queue.is_empty() {
+            return; // nothing to schedule; skip the pick machinery entirely
+        }
         let pick = {
             // VecDeque -> slice; the scheduler sees arrival order.
             self.queue.make_contiguous();
@@ -171,7 +177,10 @@ impl MemoryController {
             self.config.policy.pick(slice, &self.ranks, now)
         };
         let Some(idx) = pick else { return };
-        let request = self.queue.remove(idx).expect("scheduler picked a valid index");
+        let request = self
+            .queue
+            .remove(idx)
+            .expect("scheduler picked a valid index");
         let rank = &mut self.ranks[request.location.rank_in_mc as usize];
         let transfer = self
             .config
@@ -210,24 +219,40 @@ impl MemoryController {
         if row_hit {
             self.row_hits += 1;
         }
-        self.queue_wait.record(now.saturating_since(request.arrival).raw() as f64);
+        self.queue_wait
+            .record(now.saturating_since(request.arrival).raw() as f64);
         self.service_time.record((finished - now).raw() as f64);
-        self.in_flight.push(Completion { request, finished, row_hit });
+        self.in_flight.push(Completion {
+            request,
+            finished,
+            row_hit,
+        });
     }
 
     /// Removes and returns every request that has finished by `now`.
     pub fn drain_completions(&mut self, now: Cycle) -> Vec<Completion> {
         let mut done = Vec::new();
+        self.drain_completions_into(now, &mut done);
+        done
+    }
+
+    /// [`drain_completions`](Self::drain_completions) into a caller-owned
+    /// buffer, so per-cycle drain loops reuse one allocation. Appends the
+    /// finished requests (ordered by finish cycle) to `out`.
+    pub fn drain_completions_into(&mut self, now: Cycle, out: &mut Vec<Completion>) {
+        if self.in_flight.is_empty() {
+            return;
+        }
+        let start = out.len();
         let mut i = 0;
         while i < self.in_flight.len() {
             if self.in_flight[i].finished <= now {
-                done.push(self.in_flight.swap_remove(i));
+                out.push(self.in_flight.swap_remove(i));
             } else {
                 i += 1;
             }
         }
-        done.sort_by_key(|c| c.finished);
-        done
+        out[start..].sort_by_key(|c| c.finished);
     }
 
     /// The earliest cycle at which any in-flight request finishes, if any —
@@ -295,7 +320,10 @@ mod tests {
             policy,
         };
         let geom = MemoryGeometry::new(8 << 30, 4, 8, 4096, 1).unwrap();
-        (MemoryController::new(McId::new(0), cfg), AddressMapper::new(geom))
+        (
+            MemoryController::new(McId::new(0), cfg),
+            AddressMapper::new(geom),
+        )
     }
 
     fn read_req(mapper: &AddressMapper, page: u64, now: u64) -> MemRequest {
@@ -318,7 +346,7 @@ mod tests {
             if mc.is_idle() {
                 return (done, now);
             }
-            now = now + Cycles::new(1);
+            now += Cycles::new(1);
         }
         panic!("controller did not drain");
     }
@@ -415,10 +443,18 @@ mod tests {
         let first = |v: &[Completion]| v.iter().map(|x| x.finished).min().unwrap();
         // The first waiter wakes 7 beats earlier under CWF (8-byte bus,
         // 8 beats per line, first beat only).
-        assert!(first(&c) < first(&p), "cwf {:?} vs plain {:?}", first(&c), first(&p));
+        assert!(
+            first(&c) < first(&p),
+            "cwf {:?} vs plain {:?}",
+            first(&c),
+            first(&p)
+        );
         // But the bus occupancy — and therefore the second request's
         // serialization — is identical.
-        assert_eq!(plain.stats().get("bus_busy_cycles"), cwf.stats().get("bus_busy_cycles"));
+        assert_eq!(
+            plain.stats().get("bus_busy_cycles"),
+            cwf.stats().get("bus_busy_cycles")
+        );
     }
 
     #[test]

@@ -42,8 +42,13 @@ impl fmt::Display for MemRequest {
         write!(
             f,
             "{:?} {} {}/{}/row{} from {} {}",
-            self.kind, self.line, self.location.mc, self.location.bank, self.location.row,
-            self.core, self.arrival
+            self.kind,
+            self.line,
+            self.location.mc,
+            self.location.bank,
+            self.location.row,
+            self.core,
+            self.arrival
         )
     }
 }
@@ -67,7 +72,10 @@ mod tests {
             token: 7,
         };
         assert!(req.needs_reply());
-        let wb = MemRequest { kind: RequestKind::Writeback, ..req };
+        let wb = MemRequest {
+            kind: RequestKind::Writeback,
+            ..req
+        };
         assert!(!wb.needs_reply());
         assert!(req.to_string().contains("mc"));
     }

@@ -67,9 +67,7 @@ impl SchedulerPolicy {
 mod tests {
     use super::*;
     use stacksim_dram::{BankConfig, Rank};
-    use stacksim_types::{
-        AddressMapper, BankId, CoreId, DramTiming, MemoryGeometry, PhysAddr,
-    };
+    use stacksim_types::{AddressMapper, BankId, CoreId, DramTiming, MemoryGeometry, PhysAddr};
 
     use crate::request::RequestKind;
 
@@ -117,7 +115,10 @@ mod tests {
         let loc = mapper.decode(PhysAddr::new(3 * 4096));
         ranks[0].read(loc.bank, loc.row, Cycle::ZERO); // bank 3 busy for a while
         let q = vec![req(&mapper, 3, 0)];
-        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::new(1)), None);
+        assert_eq!(
+            SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::new(1)),
+            None
+        );
         assert_eq!(SchedulerPolicy::Fifo.pick(&q, &ranks, Cycle::new(1)), None);
         let free = ranks[0].bank_free_at(BankId::new(3));
         assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, free), Some(0));
@@ -128,7 +129,10 @@ mod tests {
         let (ranks, mapper) = setup();
         // No rows open anywhere: oldest ready request wins.
         let q = vec![req(&mapper, 2, 0), req(&mapper, 3, 1)];
-        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::ZERO), Some(0));
+        assert_eq!(
+            SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::ZERO),
+            Some(0)
+        );
     }
 
     #[test]

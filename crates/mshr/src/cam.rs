@@ -41,7 +41,11 @@ impl CamMshr {
     /// Panics if `capacity` is zero.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "mshr capacity must be non-zero");
-        CamMshr { entries: HashMap::with_capacity(capacity), capacity, limit: capacity }
+        CamMshr {
+            entries: HashMap::with_capacity(capacity),
+            capacity,
+            limit: capacity,
+        }
     }
 
     /// Iterates over all outstanding entries in unspecified order.
@@ -56,7 +60,10 @@ impl MissHandler for CamMshr {
     }
 
     fn lookup(&mut self, line: LineAddr) -> LookupResult {
-        LookupResult { found: self.entries.contains_key(&line), probes: 1 }
+        LookupResult {
+            found: self.entries.contains_key(&line),
+            probes: 1,
+        }
     }
 
     fn allocate(
@@ -68,12 +75,16 @@ impl MissHandler for CamMshr {
     ) -> Result<AllocOutcome, AllocError> {
         if let Some(e) = self.entries.get_mut(&line) {
             e.merge(target);
-            return Ok(AllocOutcome::Merged { probes: 1, targets: e.target_count() });
+            return Ok(AllocOutcome::Merged {
+                probes: 1,
+                targets: e.target_count(),
+            });
         }
         if self.entries.len() >= self.limit {
             return Err(AllocError::Full { probes: 1 });
         }
-        self.entries.insert(line, MshrEntry::new(line, target, kind, now));
+        self.entries
+            .insert(line, MshrEntry::new(line, target, kind, now));
         Ok(AllocOutcome::Primary { probes: 1 })
     }
 
@@ -131,19 +142,27 @@ mod tests {
     #[test]
     fn secondary_misses_merge() {
         let mut m = CamMshr::new(1);
-        m.allocate(LineAddr::new(9), target(0), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(9), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         // A second miss to the same line merges even though the CAM is full.
         let out = m
             .allocate(LineAddr::new(9), target(1), MissKind::Read, Cycle::new(5))
             .unwrap();
-        assert_eq!(out, AllocOutcome::Merged { probes: 1, targets: 2 });
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                probes: 1,
+                targets: 2
+            }
+        );
         assert_eq!(m.entry(LineAddr::new(9)).unwrap().target_count(), 2);
     }
 
     #[test]
     fn full_rejects_new_lines() {
         let mut m = CamMshr::new(1);
-        m.allocate(LineAddr::new(1), target(0), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(1), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         let err = m
             .allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO)
             .unwrap_err();
@@ -156,15 +175,18 @@ mod tests {
         let mut m = CamMshr::new(8);
         m.set_capacity_limit(2);
         assert_eq!(m.capacity_limit(), 2);
-        m.allocate(LineAddr::new(1), target(0), MissKind::Read, Cycle::ZERO).unwrap();
-        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(1), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(m
             .allocate(LineAddr::new(3), target(2), MissKind::Read, Cycle::ZERO)
             .is_err());
         // Raising the limit allows the allocation again.
         m.set_capacity_limit(100);
         assert_eq!(m.capacity_limit(), 8); // clamped to capacity
-        m.allocate(LineAddr::new(3), target(2), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(3), target(2), MissKind::Read, Cycle::ZERO)
+            .unwrap();
     }
 
     #[test]

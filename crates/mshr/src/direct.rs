@@ -106,7 +106,9 @@ impl DirectMappedMshr {
     fn free_slot(&self, line: LineAddr) -> Option<usize> {
         let n = self.slots.len();
         let home = self.home(line);
-        (0..n).map(|i| self.scheme.slot(home, i, n)).find(|&s| self.slots[s].is_none())
+        (0..n)
+            .map(|i| self.scheme.slot(home, i, n))
+            .find(|&s| self.slots[s].is_none())
     }
 }
 
@@ -120,7 +122,10 @@ impl MissHandler for DirectMappedMshr {
 
     fn lookup(&mut self, line: LineAddr) -> LookupResult {
         let (slot, probes) = self.find(line);
-        LookupResult { found: slot.is_some(), probes }
+        LookupResult {
+            found: slot.is_some(),
+            probes,
+        }
     }
 
     fn allocate(
@@ -134,12 +139,17 @@ impl MissHandler for DirectMappedMshr {
         if let Some(s) = slot {
             let e = self.slots[s].as_mut().expect("found slot is occupied");
             e.merge(target);
-            return Ok(AllocOutcome::Merged { probes, targets: e.target_count() });
+            return Ok(AllocOutcome::Merged {
+                probes,
+                targets: e.target_count(),
+            });
         }
         if self.occupancy >= self.limit {
             return Err(AllocError::Full { probes });
         }
-        let s = self.free_slot(line).expect("occupancy below capacity implies a free slot");
+        let s = self
+            .free_slot(line)
+            .expect("occupancy below capacity implies a free slot");
         self.slots[s] = Some(MshrEntry::new(line, target, kind, now));
         self.occupancy += 1;
         Ok(AllocOutcome::Primary { probes })
@@ -186,14 +196,26 @@ mod tests {
     }
 
     fn alloc(m: &mut DirectMappedMshr, line: u64) -> AllocOutcome {
-        m.allocate(LineAddr::new(line), target(line), MissKind::Read, Cycle::ZERO).unwrap()
+        m.allocate(
+            LineAddr::new(line),
+            target(line),
+            MissKind::Read,
+            Cycle::ZERO,
+        )
+        .unwrap()
     }
 
     #[test]
     fn home_slot_hit_is_one_probe() {
         let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
         alloc(&mut m, 13); // home 5
-        assert_eq!(m.lookup(LineAddr::new(13)), LookupResult { found: true, probes: 1 });
+        assert_eq!(
+            m.lookup(LineAddr::new(13)),
+            LookupResult {
+                found: true,
+                probes: 1
+            }
+        );
     }
 
     #[test]
@@ -206,8 +228,8 @@ mod tests {
         alloc(&mut m, 29); // home 5 -> next free is 7
         alloc(&mut m, 45); // home 5 -> wraps to 0
         assert_eq!(m.lookup(LineAddr::new(29)).probes, 3); // 5,6,7
-        // Plain linear probing needs 4 probes for 45 (5,6,7,0) — the case
-        // the paper uses to motivate the VBF.
+                                                           // Plain linear probing needs 4 probes for 45 (5,6,7,0) — the case
+                                                           // the paper uses to motivate the VBF.
         assert_eq!(m.lookup(LineAddr::new(45)).probes, 4);
         assert_eq!(m.occupancy(), 4);
     }
@@ -242,7 +264,13 @@ mod tests {
         let out = m
             .allocate(LineAddr::new(13), target(99), MissKind::Read, Cycle::new(3))
             .unwrap();
-        assert_eq!(out, AllocOutcome::Merged { probes: 1, targets: 2 });
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                probes: 1,
+                targets: 2
+            }
+        );
         assert_eq!(m.occupancy(), 1);
     }
 
@@ -274,7 +302,10 @@ mod tests {
         for i in 0..n {
             seen[ProbeScheme::Quadratic.slot(3, i, n)] = true;
         }
-        assert!(seen.iter().all(|&s| s), "triangular probing must cover every slot");
+        assert!(
+            seen.iter().all(|&s| s),
+            "triangular probing must cover every slot"
+        );
     }
 
     #[test]
@@ -299,7 +330,10 @@ mod tests {
     fn entry_access() {
         let mut m = DirectMappedMshr::new(8, ProbeScheme::Linear);
         alloc(&mut m, 13);
-        assert_eq!(m.entry(LineAddr::new(13)).unwrap().line(), LineAddr::new(13));
+        assert_eq!(
+            m.entry(LineAddr::new(13)).unwrap().line(),
+            LineAddr::new(13)
+        );
         assert!(m.entry(LineAddr::new(14)).is_none());
     }
 }

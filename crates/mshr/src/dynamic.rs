@@ -9,7 +9,7 @@
 use stacksim_types::Cycle;
 
 /// Configuration of the [`DynamicTuner`].
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct TunerConfig {
     /// Cycles each candidate limit is sampled for.
     pub sample_cycles: u64,
@@ -23,7 +23,11 @@ pub struct TunerConfig {
 
 impl Default for TunerConfig {
     fn default() -> Self {
-        TunerConfig { sample_cycles: 50_000, apply_cycles: 2_000_000, divisors: vec![1, 2, 4] }
+        TunerConfig {
+            sample_cycles: 50_000,
+            apply_cycles: 2_000_000,
+            divisors: vec![1, 2, 4],
+        }
     }
 }
 
@@ -78,7 +82,10 @@ impl DynamicTuner {
     /// produce a zero-entry limit).
     pub fn new(max_capacity: usize, config: TunerConfig) -> Self {
         assert!(max_capacity > 0, "mshr capacity must be non-zero");
-        assert!(!config.divisors.is_empty(), "tuner needs at least one candidate");
+        assert!(
+            !config.divisors.is_empty(),
+            "tuner needs at least one candidate"
+        );
         assert!(
             config.divisors.iter().all(|&d| d > 0 && d <= max_capacity),
             "divisors must be in 1..=capacity"
@@ -135,7 +142,9 @@ impl DynamicTuner {
                 self.phase_start = now;
                 self.committed_at_phase_start = committed_uops;
                 if candidate + 1 < self.config.divisors.len() {
-                    self.phase = TunerPhase::Sampling { candidate: candidate + 1 };
+                    self.phase = TunerPhase::Sampling {
+                        candidate: candidate + 1,
+                    };
                 } else {
                     // Training complete: lock in the best-scoring candidate.
                     self.chosen = self
@@ -167,7 +176,11 @@ mod tests {
     use super::*;
 
     fn cfg() -> TunerConfig {
-        TunerConfig { sample_cycles: 10, apply_cycles: 50, divisors: vec![1, 2, 4] }
+        TunerConfig {
+            sample_cycles: 10,
+            apply_cycles: 50,
+            divisors: vec![1, 2, 4],
+        }
     }
 
     #[test]
@@ -214,19 +227,37 @@ mod tests {
 
     #[test]
     fn limit_never_zero() {
-        let t = DynamicTuner::new(3, TunerConfig { divisors: vec![3], ..cfg() });
+        let t = DynamicTuner::new(
+            3,
+            TunerConfig {
+                divisors: vec![3],
+                ..cfg()
+            },
+        );
         assert_eq!(t.current_limit(), 1);
     }
 
     #[test]
     #[should_panic(expected = "divisors")]
     fn oversized_divisor_panics() {
-        let _ = DynamicTuner::new(2, TunerConfig { divisors: vec![4], ..cfg() });
+        let _ = DynamicTuner::new(
+            2,
+            TunerConfig {
+                divisors: vec![4],
+                ..cfg()
+            },
+        );
     }
 
     #[test]
     #[should_panic(expected = "at least one candidate")]
     fn empty_divisors_panic() {
-        let _ = DynamicTuner::new(8, TunerConfig { divisors: vec![], ..cfg() });
+        let _ = DynamicTuner::new(
+            8,
+            TunerConfig {
+                divisors: vec![],
+                ..cfg()
+            },
+        );
     }
 }

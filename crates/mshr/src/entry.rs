@@ -33,12 +33,20 @@ pub struct MissTarget {
 impl MissTarget {
     /// A demand-miss target.
     pub const fn demand(core: CoreId, token: u64) -> Self {
-        MissTarget { core, token, is_prefetch: false }
+        MissTarget {
+            core,
+            token,
+            is_prefetch: false,
+        }
     }
 
     /// A prefetch target.
     pub const fn prefetch(core: CoreId, token: u64) -> Self {
-        MissTarget { core, token, is_prefetch: true }
+        MissTarget {
+            core,
+            token,
+            is_prefetch: true,
+        }
     }
 }
 
@@ -66,7 +74,12 @@ pub struct MshrEntry {
 impl MshrEntry {
     /// Creates an entry for a primary miss.
     pub fn new(line: LineAddr, first: MissTarget, kind: MissKind, now: Cycle) -> Self {
-        MshrEntry { line, kind, allocated_at: now, targets: vec![first] }
+        MshrEntry {
+            line,
+            kind,
+            allocated_at: now,
+            targets: vec![first],
+        }
     }
 
     /// The missed line address.
@@ -107,7 +120,14 @@ impl MshrEntry {
 
 impl fmt::Display for MshrEntry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} x{} {:?} {}", self.line, self.targets.len(), self.kind, self.allocated_at)
+        write!(
+            f,
+            "{} x{} {:?} {}",
+            self.line,
+            self.targets.len(),
+            self.kind,
+            self.allocated_at
+        )
     }
 }
 

@@ -173,7 +173,10 @@ mod tests {
         let p = AllocOutcome::Primary { probes: 2 };
         assert!(p.is_primary());
         assert_eq!(p.probes(), 2);
-        let m = AllocOutcome::Merged { probes: 3, targets: 2 };
+        let m = AllocOutcome::Merged {
+            probes: 3,
+            targets: 2,
+        };
         assert!(!m.is_primary());
         assert_eq!(m.probes(), 3);
     }

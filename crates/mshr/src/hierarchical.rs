@@ -47,7 +47,10 @@ impl HierarchicalMshr {
     ///
     /// Panics if any count is zero.
     pub fn new(banks: usize, entries_per_bank: usize, shared_entries: usize) -> Self {
-        assert!(banks > 0 && entries_per_bank > 0 && shared_entries > 0, "counts must be non-zero");
+        assert!(
+            banks > 0 && entries_per_bank > 0 && shared_entries > 0,
+            "counts must be non-zero"
+        );
         let capacity = banks * entries_per_bank + shared_entries;
         HierarchicalMshr {
             banks: (0..banks).map(|_| CamMshr::new(entries_per_bank)).collect(),
@@ -75,9 +78,15 @@ impl MissHandler for HierarchicalMshr {
     fn lookup(&mut self, line: LineAddr) -> LookupResult {
         let b = self.bank_of(line);
         if self.banks[b].lookup(line).found {
-            return LookupResult { found: true, probes: 1 };
+            return LookupResult {
+                found: true,
+                probes: 1,
+            };
         }
-        LookupResult { found: self.shared.lookup(line).found, probes: 2 }
+        LookupResult {
+            found: self.shared.lookup(line).found,
+            probes: 2,
+        }
     }
 
     fn allocate(
@@ -127,7 +136,9 @@ impl MissHandler for HierarchicalMshr {
 
     fn entry(&self, line: LineAddr) -> Option<&MshrEntry> {
         let b = self.bank_of(line);
-        self.banks[b].entry(line).or_else(|| self.shared.entry(line))
+        self.banks[b]
+            .entry(line)
+            .or_else(|| self.shared.entry(line))
     }
 
     fn occupancy(&self) -> usize {
@@ -161,34 +172,57 @@ mod tests {
     fn spills_into_shared_level() {
         let mut m = HierarchicalMshr::new(2, 1, 2);
         // Lines 0 and 2 both hash to bank 0 (even lines).
-        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         let out = m
             .allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO)
             .unwrap();
         assert_eq!(out, AllocOutcome::Primary { probes: 2 });
         // Found in the shared level: two probes.
-        assert_eq!(m.lookup(LineAddr::new(2)), LookupResult { found: true, probes: 2 });
+        assert_eq!(
+            m.lookup(LineAddr::new(2)),
+            LookupResult {
+                found: true,
+                probes: 2
+            }
+        );
         // Found in the bank: one probe.
-        assert_eq!(m.lookup(LineAddr::new(0)), LookupResult { found: true, probes: 1 });
+        assert_eq!(
+            m.lookup(LineAddr::new(0)),
+            LookupResult {
+                found: true,
+                probes: 1
+            }
+        );
     }
 
     #[test]
     fn merges_wherever_the_entry_lives() {
         let mut m = HierarchicalMshr::new(2, 1, 2);
-        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO).unwrap();
-        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         // Secondary miss on the spilled entry merges in the shared level.
         let out = m
             .allocate(LineAddr::new(2), target(2), MissKind::Read, Cycle::ZERO)
             .unwrap();
-        assert_eq!(out, AllocOutcome::Merged { probes: 2, targets: 2 });
+        assert_eq!(
+            out,
+            AllocOutcome::Merged {
+                probes: 2,
+                targets: 2
+            }
+        );
     }
 
     #[test]
     fn full_when_bank_and_shared_full() {
         let mut m = HierarchicalMshr::new(1, 1, 1);
-        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO).unwrap();
-        m.allocate(LineAddr::new(1), target(1), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        m.allocate(LineAddr::new(1), target(1), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(m
             .allocate(LineAddr::new(2), target(2), MissKind::Read, Cycle::ZERO)
             .is_err());
@@ -198,8 +232,10 @@ mod tests {
     #[test]
     fn deallocate_finds_both_levels() {
         let mut m = HierarchicalMshr::new(2, 1, 2);
-        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO).unwrap();
-        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        m.allocate(LineAddr::new(2), target(1), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         let (_, probes_shared) = m.deallocate(LineAddr::new(2)).unwrap();
         assert_eq!(probes_shared, 2);
         let (_, probes_bank) = m.deallocate(LineAddr::new(0)).unwrap();
@@ -212,7 +248,8 @@ mod tests {
         let mut m = HierarchicalMshr::new(2, 2, 4);
         assert_eq!(m.capacity(), 8);
         m.set_capacity_limit(1);
-        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(LineAddr::new(0), target(0), MissKind::Read, Cycle::ZERO)
+            .unwrap();
         assert!(m
             .allocate(LineAddr::new(1), target(1), MissKind::Read, Cycle::ZERO)
             .is_err());

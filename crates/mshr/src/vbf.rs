@@ -46,7 +46,11 @@ impl VectorBloomFilter {
     pub fn new(n: usize) -> Self {
         assert!(n > 0, "vbf dimension must be non-zero");
         let words_per_row = n.div_ceil(64);
-        VectorBloomFilter { rows: vec![vec![0u64; words_per_row]; n], n, words_per_row }
+        VectorBloomFilter {
+            rows: vec![vec![0u64; words_per_row]; n],
+            n,
+            words_per_row,
+        }
     }
 
     /// Filter dimension (rows == columns == MSHR entries).
@@ -65,7 +69,10 @@ impl VectorBloomFilter {
     ///
     /// Panics if either index is out of range.
     pub fn set(&mut self, row: usize, displacement: usize) {
-        assert!(row < self.n && displacement < self.n, "vbf index out of range");
+        assert!(
+            row < self.n && displacement < self.n,
+            "vbf index out of range"
+        );
         self.rows[row][displacement / 64] |= 1u64 << (displacement % 64);
     }
 
@@ -75,13 +82,19 @@ impl VectorBloomFilter {
     ///
     /// Panics if either index is out of range.
     pub fn clear(&mut self, row: usize, displacement: usize) {
-        assert!(row < self.n && displacement < self.n, "vbf index out of range");
+        assert!(
+            row < self.n && displacement < self.n,
+            "vbf index out of range"
+        );
         self.rows[row][displacement / 64] &= !(1u64 << (displacement % 64));
     }
 
     /// Tests bit `(row, displacement)`.
     pub fn bit(&self, row: usize, displacement: usize) -> bool {
-        assert!(row < self.n && displacement < self.n, "vbf index out of range");
+        assert!(
+            row < self.n && displacement < self.n,
+            "vbf index out of range"
+        );
         self.rows[row][displacement / 64] & (1u64 << (displacement % 64)) != 0
     }
 
@@ -202,7 +215,9 @@ impl VbfMshr {
     /// sequentially available entry" rule of Figure 8(c)).
     fn free_slot(&self, home: usize) -> Option<usize> {
         let n = self.slots.len();
-        (0..n).map(|i| (home + i) % n).find(|&s| self.slots[s].is_none())
+        (0..n)
+            .map(|i| (home + i) % n)
+            .find(|&s| self.slots[s].is_none())
     }
 }
 
@@ -213,7 +228,10 @@ impl MissHandler for VbfMshr {
 
     fn lookup(&mut self, line: LineAddr) -> LookupResult {
         let (slot, probes) = self.find(line);
-        LookupResult { found: slot.is_some(), probes }
+        LookupResult {
+            found: slot.is_some(),
+            probes,
+        }
     }
 
     fn allocate(
@@ -227,13 +245,18 @@ impl MissHandler for VbfMshr {
         if let Some(s) = slot {
             let e = self.slots[s].as_mut().expect("found slot is occupied");
             e.merge(target);
-            return Ok(AllocOutcome::Merged { probes, targets: e.target_count() });
+            return Ok(AllocOutcome::Merged {
+                probes,
+                targets: e.target_count(),
+            });
         }
         if self.occupancy >= self.limit {
             return Err(AllocError::Full { probes });
         }
         let home = self.home(line);
-        let s = self.free_slot(home).expect("occupancy below capacity implies a free slot");
+        let s = self
+            .free_slot(home)
+            .expect("occupancy below capacity implies a free slot");
         let displacement = (s + self.slots.len() - home) % self.slots.len();
         self.slots[s] = Some(MshrEntry::new(line, target, kind, now));
         self.vbf.set(home, displacement);
@@ -285,7 +308,13 @@ mod tests {
     }
 
     fn alloc(m: &mut VbfMshr, line: u64) {
-        m.allocate(LineAddr::new(line), target(line), MissKind::Read, Cycle::ZERO).unwrap();
+        m.allocate(
+            LineAddr::new(line),
+            target(line),
+            MissKind::Read,
+            Cycle::ZERO,
+        )
+        .unwrap();
     }
 
     /// Step-by-step reproduction of the paper's Figure 8.
@@ -309,7 +338,13 @@ mod tests {
         assert!(m.filter().bit(5, 3));
 
         // (d) search 29: probe 5 (miss), filter says +2 -> probe 7 (hit).
-        assert_eq!(m.lookup(LineAddr::new(29)), LookupResult { found: true, probes: 2 });
+        assert_eq!(
+            m.lookup(LineAddr::new(29)),
+            LookupResult {
+                found: true,
+                probes: 2
+            }
+        );
 
         // (e) deallocate 29: slot invalidated, VBF[5][2] cleared.
         m.deallocate(LineAddr::new(29)).unwrap();
@@ -317,15 +352,27 @@ mod tests {
 
         // (f) search 45: probe 5, next set bit is column 3 -> slot (5+3)%8=0,
         // hit in 2 probes where plain linear probing would need 4.
-        assert_eq!(m.lookup(LineAddr::new(45)), LookupResult { found: true, probes: 2 });
+        assert_eq!(
+            m.lookup(LineAddr::new(45)),
+            LookupResult {
+                found: true,
+                probes: 2
+            }
+        );
     }
 
     #[test]
     fn all_zero_row_is_definite_miss_in_one_probe() {
         let mut m = VbfMshr::new(8);
         alloc(&mut m, 13); // home 5
-        // Line 2 -> home 2; row 2 is all zero -> 1 mandatory probe only.
-        assert_eq!(m.lookup(LineAddr::new(2)), LookupResult { found: false, probes: 1 });
+                           // Line 2 -> home 2; row 2 is all zero -> 1 mandatory probe only.
+        assert_eq!(
+            m.lookup(LineAddr::new(2)),
+            LookupResult {
+                found: false,
+                probes: 1
+            }
+        );
     }
 
     #[test]
@@ -333,8 +380,8 @@ mod tests {
         let mut m = VbfMshr::new(8);
         alloc(&mut m, 13); // home 5, slot 5
         alloc(&mut m, 29); // home 5, slot 6
-        // Search for 21 (home 5, not present): must probe home (5) and the
-        // set displacement 1 (slot 6) before declaring a miss.
+                           // Search for 21 (home 5, not present): must probe home (5) and the
+                           // set displacement 1 (slot 6) before declaring a miss.
         let r = m.lookup(LineAddr::new(21));
         assert!(!r.found);
         assert_eq!(r.probes, 2);
@@ -347,8 +394,10 @@ mod tests {
         let mut lin = DirectMappedMshr::new(16, ProbeScheme::Linear);
         let lines: Vec<u64> = vec![3, 19, 35, 51, 4, 20, 7, 100, 116, 2];
         for &l in &lines {
-            vbf.allocate(LineAddr::new(l), target(l), MissKind::Read, Cycle::ZERO).unwrap();
-            lin.allocate(LineAddr::new(l), target(l), MissKind::Read, Cycle::ZERO).unwrap();
+            vbf.allocate(LineAddr::new(l), target(l), MissKind::Read, Cycle::ZERO)
+                .unwrap();
+            lin.allocate(LineAddr::new(l), target(l), MissKind::Read, Cycle::ZERO)
+                .unwrap();
         }
         for probe in 0..200u64 {
             let rv = vbf.lookup(LineAddr::new(probe));

@@ -65,9 +65,16 @@ fn run_against_model<M: MissHandler>(mut mshr: M, ops: &[Op]) {
             }
             Op::Lookup(line) => {
                 let r = mshr.lookup(LineAddr::new(line));
-                assert_eq!(r.found, model.contains_key(&line), "step {step}: lookup {line}");
+                assert_eq!(
+                    r.found,
+                    model.contains_key(&line),
+                    "step {step}: lookup {line}"
+                );
                 assert!(r.probes >= 1, "first probe is mandatory");
-                assert!(r.probes as usize <= capacity.max(2), "probes bounded by capacity");
+                assert!(
+                    r.probes as usize <= capacity.max(2),
+                    "probes bounded by capacity"
+                );
             }
         }
         assert_eq!(mshr.occupancy(), model.len(), "step {step}: occupancy");

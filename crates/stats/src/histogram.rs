@@ -37,7 +37,10 @@ impl Histogram {
     ///
     /// Panics if `max_value` exceeds 1 << 20 (use a coarser summary instead).
     pub fn new(max_value: u64) -> Self {
-        assert!(max_value <= 1 << 20, "histogram too wide; bucket it coarser");
+        assert!(
+            max_value <= 1 << 20,
+            "histogram too wide; bucket it coarser"
+        );
         Histogram {
             buckets: vec![0; (max_value + 1) as usize],
             overflow: 0,
@@ -123,7 +126,11 @@ impl Histogram {
     ///
     /// Panics if the dense ranges differ.
     pub fn merge(&mut self, other: &Histogram) {
-        assert_eq!(self.buckets.len(), other.buckets.len(), "histogram width mismatch");
+        assert_eq!(
+            self.buckets.len(),
+            other.buckets.len(),
+            "histogram width mismatch"
+        );
         for (a, b) in self.buckets.iter_mut().zip(&other.buckets) {
             *a += b;
         }

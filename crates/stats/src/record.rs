@@ -28,7 +28,10 @@ pub struct StatRecord {
 impl StatRecord {
     /// Creates an empty record for a named component.
     pub fn new(component: impl Into<String>) -> Self {
-        StatRecord { component: component.into(), entries: Vec::new() }
+        StatRecord {
+            component: component.into(),
+            entries: Vec::new(),
+        }
     }
 
     /// The owning component's name.
@@ -48,7 +51,10 @@ impl StatRecord {
 
     /// Looks up a statistic by name.
     pub fn get(&self, name: &str) -> Option<f64> {
-        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| *v)
+        self.entries
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
     }
 
     /// Number of statistics stored.

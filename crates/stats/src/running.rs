@@ -32,7 +32,13 @@ pub struct RunningStats {
 impl RunningStats {
     /// Creates an empty accumulator.
     pub fn new() -> Self {
-        RunningStats { count: 0, mean: 0.0, m2: 0.0, min: f64::INFINITY, max: f64::NEG_INFINITY }
+        RunningStats {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
     }
 
     /// Records one sample.
@@ -84,7 +90,11 @@ impl RunningStats {
 impl fmt::Display for RunningStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self.mean() {
-            Some(m) => write!(f, "n={} mean={:.4} [{:.4},{:.4}]", self.count, m, self.min, self.max),
+            Some(m) => write!(
+                f,
+                "n={} mean={:.4} [{:.4},{:.4}]",
+                self.count, m, self.min, self.max
+            ),
             None => write!(f, "n=0"),
         }
     }

@@ -42,7 +42,12 @@ impl Table {
     /// Creates a table with the given column headers.
     pub fn new(headers: Vec<String>) -> Self {
         let aligns = vec![Align::Left; headers.len()];
-        Table { headers, aligns, rows: Vec::new(), title: None }
+        Table {
+            headers,
+            aligns,
+            rows: Vec::new(),
+            title: None,
+        }
     }
 
     /// Sets a title rendered above the table.
@@ -192,7 +197,10 @@ mod tests {
         t.title("T");
         t.row(vec!["1".into(), "2".into()]);
         assert_eq!(t.headers(), &["a".to_string(), "b".to_string()]);
-        assert_eq!(t.rows().next().unwrap(), &["1".to_string(), "2".to_string()]);
+        assert_eq!(
+            t.rows().next().unwrap(),
+            &["1".to_string(), "2".to_string()]
+        );
         assert_eq!(t.title_text(), Some("T"));
     }
 }

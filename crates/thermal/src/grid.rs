@@ -72,7 +72,11 @@ impl ThermalGrid {
             }
         }
         let temps = vec![config.ambient_c; cells];
-        ThermalGrid { config, temps, powers }
+        ThermalGrid {
+            config,
+            temps,
+            powers,
+        }
     }
 
     /// The configuration in force.
@@ -93,7 +97,10 @@ impl ThermalGrid {
     /// Panics if the coordinates are out of range.
     pub fn add_hotspot(&mut self, layer: usize, x: usize, y: usize, watts: f64) {
         let n = self.config.grid;
-        assert!(layer < self.config.layers.len() && x < n && y < n, "hotspot out of range");
+        assert!(
+            layer < self.config.layers.len() && x < n && y < n,
+            "hotspot out of range"
+        );
         let i = self.idx(layer, x, y);
         self.powers[i] += watts;
     }
@@ -212,7 +219,11 @@ impl ThermalGrid {
                 dram_max = Some(dram_max.map_or(m, |d| d.max(m)));
             }
         }
-        ThermalReport { max_c, layer_max_c: layer_max, dram_max_c: dram_max }
+        ThermalReport {
+            max_c,
+            layer_max_c: layer_max,
+            dram_max_c: dram_max,
+        }
     }
 }
 
@@ -285,13 +296,20 @@ mod tests {
             transient.step_transient(1e-4);
         }
         let got = transient.report().max_c;
-        assert!((got - target).abs() < 0.5, "transient {got} vs steady {target}");
+        assert!(
+            (got - target).abs() < 0.5,
+            "transient {got} vs steady {target}"
+        );
     }
 
     #[test]
     fn no_dram_layer_reports_none() {
         let cfg = StackConfig {
-            layers: vec![LayerSpec { name: "cpu", power_w: 10.0, is_dram: false }],
+            layers: vec![LayerSpec {
+                name: "cpu",
+                power_w: 10.0,
+                is_dram: false,
+            }],
             ..StackConfig::dram_on_cpu(10.0, 1, 0.1)
         };
         let mut g = ThermalGrid::new(cfg);

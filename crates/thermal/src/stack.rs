@@ -43,9 +43,17 @@ impl StackConfig {
     /// `cpu_power_w` of ~65 W and ~0.6 W per 1 GB DRAM die are
     /// representative mid-2000s numbers.
     pub fn dram_on_cpu(cpu_power_w: f64, dram_layers: usize, dram_power_w: f64) -> StackConfig {
-        let mut layers = vec![LayerSpec { name: "cpu", power_w: cpu_power_w, is_dram: false }];
+        let mut layers = vec![LayerSpec {
+            name: "cpu",
+            power_w: cpu_power_w,
+            is_dram: false,
+        }];
         for _ in 0..dram_layers {
-            layers.push(LayerSpec { name: "dram", power_w: dram_power_w, is_dram: true });
+            layers.push(LayerSpec {
+                name: "dram",
+                power_w: dram_power_w,
+                is_dram: true,
+            });
         }
         StackConfig {
             layers,
@@ -73,7 +81,10 @@ impl StackConfig {
             self.r_vertical > 0.0 && self.r_lateral > 0.0 && self.r_sink > 0.0,
             "resistances must be positive"
         );
-        assert!(self.layers.iter().all(|l| l.power_w >= 0.0), "negative power");
+        assert!(
+            self.layers.iter().all(|l| l.power_w >= 0.0),
+            "negative power"
+        );
     }
 
     /// Number of cells in the whole stack.

@@ -116,6 +116,22 @@ impl Default for DramTiming {
     }
 }
 
+// Timing parameters are fixed design points (never NaN), so bitwise
+// float identity is a sound equality — required for use in memoization
+// keys over whole system configurations.
+impl Eq for DramTiming {}
+
+impl core::hash::Hash for DramTiming {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.t_ras_ns.to_bits().hash(state);
+        self.t_rcd_ns.to_bits().hash(state);
+        self.t_cas_ns.to_bits().hash(state);
+        self.t_wr_ns.to_bits().hash(state);
+        self.t_rp_ns.to_bits().hash(state);
+        self.t_ccd_ns.to_bits().hash(state);
+    }
+}
+
 /// [`DramTiming`] pre-converted to integral CPU cycles.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct DramTimingCycles {
@@ -158,9 +174,13 @@ pub struct RefreshConfig {
 
 impl RefreshConfig {
     /// 64 ms refresh (commodity off-chip DDR2).
-    pub const OFF_CHIP: RefreshConfig = RefreshConfig { period_ms: Some(64.0) };
+    pub const OFF_CHIP: RefreshConfig = RefreshConfig {
+        period_ms: Some(64.0),
+    };
     /// 32 ms refresh (on-stack, higher temperature).
-    pub const ON_STACK: RefreshConfig = RefreshConfig { period_ms: Some(32.0) };
+    pub const ON_STACK: RefreshConfig = RefreshConfig {
+        period_ms: Some(32.0),
+    };
     /// Refresh disabled.
     pub const DISABLED: RefreshConfig = RefreshConfig { period_ms: None };
 
@@ -182,6 +202,15 @@ impl Default for RefreshConfig {
     }
 }
 
+// Refresh periods are fixed design points (never NaN); see [`DramTiming`].
+impl Eq for RefreshConfig {}
+
+impl core::hash::Hash for RefreshConfig {
+    fn hash<H: core::hash::Hasher>(&self, state: &mut H) {
+        self.period_ms.map(f64::to_bits).hash(state);
+    }
+}
+
 /// A data bus between the memory controller(s) and the DRAM, or the
 /// front-side bus between the processor and an off-chip controller.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -197,12 +226,18 @@ impl BusConfig {
     /// 833.3 MHz DDR — an effective 1.66 GHz transfer rate, i.e. one
     /// transfer edge every 2 CPU cycles at 3.333 GHz.
     pub fn fsb_2d() -> BusConfig {
-        BusConfig { width_bytes: 8, clock: ClockDomain::new(2) }
+        BusConfig {
+            width_bytes: 8,
+            clock: ClockDomain::new(2),
+        }
     }
 
     /// An on-stack bus at core clock with the given width.
     pub fn on_stack(width_bytes: u32) -> BusConfig {
-        BusConfig { width_bytes, clock: ClockDomain::CORE }
+        BusConfig {
+            width_bytes,
+            clock: ClockDomain::CORE,
+        }
     }
 
     /// Number of CPU cycles the bus is occupied transferring `bytes`.
@@ -257,11 +292,17 @@ mod tests {
     #[test]
     fn refresh_row_interval() {
         // 64 ms over 32768 rows/bank-group -> ~1953 ns per row.
-        let r = RefreshConfig::OFF_CHIP.row_interval(32768, CORE_HZ).unwrap();
+        let r = RefreshConfig::OFF_CHIP
+            .row_interval(32768, CORE_HZ)
+            .unwrap();
         assert!(r.raw() > 6000 && r.raw() < 7000);
-        assert!(RefreshConfig::DISABLED.row_interval(32768, CORE_HZ).is_none());
+        assert!(RefreshConfig::DISABLED
+            .row_interval(32768, CORE_HZ)
+            .is_none());
         // on-stack refreshes twice as often
-        let s = RefreshConfig::ON_STACK.row_interval(32768, CORE_HZ).unwrap();
+        let s = RefreshConfig::ON_STACK
+            .row_interval(32768, CORE_HZ)
+            .unwrap();
         assert!(s.raw() < r.raw());
     }
 
@@ -280,7 +321,10 @@ mod tests {
 
     #[test]
     fn zero_width_bus_is_error() {
-        let b = BusConfig { width_bytes: 0, clock: ClockDomain::CORE };
+        let b = BusConfig {
+            width_bytes: 0,
+            clock: ClockDomain::CORE,
+        };
         assert!(b.transfer_cycles(64).is_err());
     }
 

@@ -12,7 +12,9 @@ pub struct ConfigError {
 impl ConfigError {
     /// Creates a configuration error with a human-readable reason.
     pub fn new(message: impl Into<String>) -> Self {
-        ConfigError { message: message.into() }
+        ConfigError {
+            message: message.into(),
+        }
     }
 }
 
@@ -31,7 +33,10 @@ mod tests {
     #[test]
     fn display_includes_reason() {
         let e = ConfigError::new("ranks must divide MCs");
-        assert_eq!(e.to_string(), "invalid configuration: ranks must divide MCs");
+        assert_eq!(
+            e.to_string(),
+            "invalid configuration: ranks must divide MCs"
+        );
     }
 
     #[test]

@@ -35,7 +35,9 @@ mod ids;
 mod mapping;
 mod time;
 
-pub use addr::{LineAddr, PageIndex, PhysAddr, LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS};
+pub use addr::{
+    LineAddr, PageIndex, PhysAddr, LINE_BYTES, LINE_OFFSET_BITS, PAGE_BYTES, PAGE_OFFSET_BITS,
+};
 pub use config::{BusConfig, DramTiming, DramTimingCycles, MemoryKind, RefreshConfig};
 pub use error::ConfigError;
 pub use ids::{BankId, CoreId, L2BankId, McId, MshrBankId, RankId, ThreadId};

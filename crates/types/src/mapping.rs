@@ -58,20 +58,28 @@ impl MemoryGeometry {
         if total_bytes == 0 || ranks == 0 || banks_per_rank == 0 || row_bytes == 0 || mcs == 0 {
             return Err(ConfigError::new("geometry counts must be non-zero"));
         }
-        if ranks % mcs != 0 {
+        if !ranks.is_multiple_of(mcs) {
             return Err(ConfigError::new(format!(
                 "{ranks} ranks do not divide evenly among {mcs} memory controllers"
             )));
         }
         if !row_bytes.is_power_of_two() || !total_bytes.is_power_of_two() {
-            return Err(ConfigError::new("row and total sizes must be powers of two"));
+            return Err(ConfigError::new(
+                "row and total sizes must be powers of two",
+            ));
         }
         let rows_total = total_bytes / row_bytes;
         let banks_total = ranks as u64 * banks_per_rank as u64;
         if rows_total < banks_total {
             return Err(ConfigError::new("fewer rows than banks"));
         }
-        Ok(MemoryGeometry { total_bytes, ranks, banks_per_rank, row_bytes, mcs })
+        Ok(MemoryGeometry {
+            total_bytes,
+            ranks,
+            banks_per_rank,
+            row_bytes,
+            mcs,
+        })
     }
 
     /// Total physical memory in bytes.
@@ -222,7 +230,7 @@ impl AddressMapper {
     /// *b* can only allocate in MSHR bank `b mod mcs` and only access the
     /// ranks of MC `b mod mcs`.
     pub fn mc_for_l2_bank(&self, bank: L2BankId, l2_banks: u16) -> Option<McId> {
-        if l2_banks % self.geom.mcs != 0 {
+        if !l2_banks.is_multiple_of(self.geom.mcs) {
             return None;
         }
         Some(McId::new((bank.index() as u16) % self.geom.mcs))

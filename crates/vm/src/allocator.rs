@@ -50,7 +50,11 @@ pub struct OutOfMemory {
 
 impl fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "physical memory exhausted ({} frames)", self.total_frames)
+        write!(
+            f,
+            "physical memory exhausted ({} frames)",
+            self.total_frames
+        )
     }
 }
 
@@ -79,7 +83,11 @@ impl PageAllocator {
     pub fn new(total_bytes: u64) -> Self {
         let total_frames = total_bytes / PAGE_BYTES;
         assert!(total_frames > 0, "need at least one physical frame");
-        PageAllocator { tables: HashMap::new(), next_frame: 0, total_frames }
+        PageAllocator {
+            tables: HashMap::new(),
+            next_frame: 0,
+            total_frames,
+        }
     }
 
     /// Translates a virtual address for address space `asid`, allocating a
@@ -94,7 +102,9 @@ impl PageAllocator {
             Some(&f) => f,
             None => {
                 if self.next_frame >= self.total_frames {
-                    return Err(OutOfMemory { total_frames: self.total_frames });
+                    return Err(OutOfMemory {
+                        total_frames: self.total_frames,
+                    });
                 }
                 let f = self.next_frame;
                 self.next_frame += 1;

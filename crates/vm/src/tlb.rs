@@ -4,7 +4,7 @@ use stacksim_stats::StatRecord;
 use stacksim_types::Cycles;
 
 /// TLB geometry and miss cost.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct TlbConfig {
     /// Total entries.
     pub entries: usize,
@@ -18,7 +18,11 @@ impl TlbConfig {
     /// The paper's DTLB: 64 entries, 4-way (Table 1), with a
     /// representative 30-cycle hardware page walk.
     pub fn dtlb_penryn() -> TlbConfig {
-        TlbConfig { entries: 64, associativity: 4, walk_latency: Cycles::new(30) }
+        TlbConfig {
+            entries: 64,
+            associativity: 4,
+            walk_latency: Cycles::new(30),
+        }
     }
 
     /// Sets per TLB.
@@ -28,7 +32,7 @@ impl TlbConfig {
     /// Panics if the geometry is not a whole number of sets.
     pub fn sets(&self) -> usize {
         assert!(
-            self.associativity > 0 && self.entries % self.associativity == 0,
+            self.associativity > 0 && self.entries.is_multiple_of(self.associativity),
             "TLB entries must divide into whole sets"
         );
         self.entries / self.associativity
@@ -107,7 +111,10 @@ impl Tlb {
     pub fn access(&mut self, vpage: u64) -> TlbOutcome {
         self.clock += 1;
         let set = (vpage % self.sets.len() as u64) as usize;
-        if let Some(e) = self.sets[set].iter_mut().find(|e| e.valid && e.vpage == vpage) {
+        if let Some(e) = self.sets[set]
+            .iter_mut()
+            .find(|e| e.valid && e.vpage == vpage)
+        {
             e.last_use = self.clock;
             self.hits += 1;
             return TlbOutcome::Hit;
@@ -118,8 +125,14 @@ impl Tlb {
             .iter_mut()
             .min_by_key(|e| if e.valid { e.last_use } else { 0 })
             .expect("associativity is non-zero");
-        *victim = TlbEntry { vpage, valid: true, last_use: clock };
-        TlbOutcome::Miss { walk: self.config.walk_latency }
+        *victim = TlbEntry {
+            vpage,
+            valid: true,
+            last_use: clock,
+        };
+        TlbOutcome::Miss {
+            walk: self.config.walk_latency,
+        }
     }
 
     /// Whether `vpage`'s translation is cached (no state change).
@@ -165,13 +178,22 @@ mod tests {
     use super::*;
 
     fn tiny() -> Tlb {
-        Tlb::new(TlbConfig { entries: 4, associativity: 2, walk_latency: Cycles::new(30) })
+        Tlb::new(TlbConfig {
+            entries: 4,
+            associativity: 2,
+            walk_latency: Cycles::new(30),
+        })
     }
 
     #[test]
     fn miss_then_hit() {
         let mut t = tiny();
-        assert_eq!(t.access(10), TlbOutcome::Miss { walk: Cycles::new(30) });
+        assert_eq!(
+            t.access(10),
+            TlbOutcome::Miss {
+                walk: Cycles::new(30)
+            }
+        );
         assert_eq!(t.access(10), TlbOutcome::Hit);
         assert_eq!(t.hits(), 1);
         assert_eq!(t.misses(), 1);
@@ -228,6 +250,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "whole sets")]
     fn ragged_geometry_panics() {
-        let _ = Tlb::new(TlbConfig { entries: 5, associativity: 2, walk_latency: Cycles::ZERO });
+        let _ = Tlb::new(TlbConfig {
+            entries: 5,
+            associativity: 2,
+            walk_latency: Cycles::ZERO,
+        });
     }
 }

@@ -90,8 +90,14 @@ mod tests {
 
     #[test]
     fn classification() {
-        let l = Instr::Load { pc: 1, addr: PhysAddr::new(64) };
-        let s = Instr::Store { pc: 2, addr: PhysAddr::new(128) };
+        let l = Instr::Load {
+            pc: 1,
+            addr: PhysAddr::new(64),
+        };
+        let s = Instr::Store {
+            pc: 2,
+            addr: PhysAddr::new(128),
+        };
         assert!(l.is_mem() && !l.is_store());
         assert!(s.is_mem() && s.is_store());
         assert!(!Instr::Compute.is_mem());
@@ -108,8 +114,18 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(Instr::Compute.to_string(), "nop");
-        let l = Instr::Load { pc: 16, addr: PhysAddr::new(64) };
+        let l = Instr::Load {
+            pc: 16,
+            addr: PhysAddr::new(64),
+        };
         assert_eq!(l.to_string(), "ld[0x10] 0x40");
-        assert_eq!(Instr::Branch { pc: 16, taken: false }.to_string(), "br[0x10] N");
+        assert_eq!(
+            Instr::Branch {
+                pc: 16,
+                taken: false
+            }
+            .to_string(),
+            "br[0x10] N"
+        );
     }
 }

@@ -47,18 +47,78 @@ pub struct Mix {
 
 /// All twelve mixes of Table 2(b).
 pub const MIXES: &[Mix] = &[
-    Mix { name: "H1", class: MixClass::High, programs: ["S.all", "libquantum", "wupwise", "mcf"], paper_hmipc: 0.153 },
-    Mix { name: "H2", class: MixClass::High, programs: ["tigr", "soplex", "equake", "mummer"], paper_hmipc: 0.105 },
-    Mix { name: "H3", class: MixClass::High, programs: ["qsort", "milc", "lbm", "swim"], paper_hmipc: 0.406 },
-    Mix { name: "VH1", class: MixClass::VeryHigh, programs: ["S.all", "S.all", "S.all", "S.all"], paper_hmipc: 0.065 },
-    Mix { name: "VH2", class: MixClass::VeryHigh, programs: ["S.copy", "S.scale", "S.add", "S.triad"], paper_hmipc: 0.058 },
-    Mix { name: "VH3", class: MixClass::VeryHigh, programs: ["tigr", "libquantum", "qsort", "soplex"], paper_hmipc: 0.098 },
-    Mix { name: "HM1", class: MixClass::HighModerate, programs: ["tigr", "equake", "applu", "astar"], paper_hmipc: 0.138 },
-    Mix { name: "HM2", class: MixClass::HighModerate, programs: ["libquantum", "mcf", "apsi", "bzip2"], paper_hmipc: 0.386 },
-    Mix { name: "HM3", class: MixClass::HighModerate, programs: ["milc", "swim", "mesa", "namd"], paper_hmipc: 0.907 },
-    Mix { name: "M1", class: MixClass::Moderate, programs: ["omnetpp", "apsi", "gzip", "bzip2"], paper_hmipc: 1.323 },
-    Mix { name: "M2", class: MixClass::Moderate, programs: ["applu", "h264", "astar", "vortex"], paper_hmipc: 1.319 },
-    Mix { name: "M3", class: MixClass::Moderate, programs: ["mgrid", "mesa", "zeusmp", "namd"], paper_hmipc: 1.523 },
+    Mix {
+        name: "H1",
+        class: MixClass::High,
+        programs: ["S.all", "libquantum", "wupwise", "mcf"],
+        paper_hmipc: 0.153,
+    },
+    Mix {
+        name: "H2",
+        class: MixClass::High,
+        programs: ["tigr", "soplex", "equake", "mummer"],
+        paper_hmipc: 0.105,
+    },
+    Mix {
+        name: "H3",
+        class: MixClass::High,
+        programs: ["qsort", "milc", "lbm", "swim"],
+        paper_hmipc: 0.406,
+    },
+    Mix {
+        name: "VH1",
+        class: MixClass::VeryHigh,
+        programs: ["S.all", "S.all", "S.all", "S.all"],
+        paper_hmipc: 0.065,
+    },
+    Mix {
+        name: "VH2",
+        class: MixClass::VeryHigh,
+        programs: ["S.copy", "S.scale", "S.add", "S.triad"],
+        paper_hmipc: 0.058,
+    },
+    Mix {
+        name: "VH3",
+        class: MixClass::VeryHigh,
+        programs: ["tigr", "libquantum", "qsort", "soplex"],
+        paper_hmipc: 0.098,
+    },
+    Mix {
+        name: "HM1",
+        class: MixClass::HighModerate,
+        programs: ["tigr", "equake", "applu", "astar"],
+        paper_hmipc: 0.138,
+    },
+    Mix {
+        name: "HM2",
+        class: MixClass::HighModerate,
+        programs: ["libquantum", "mcf", "apsi", "bzip2"],
+        paper_hmipc: 0.386,
+    },
+    Mix {
+        name: "HM3",
+        class: MixClass::HighModerate,
+        programs: ["milc", "swim", "mesa", "namd"],
+        paper_hmipc: 0.907,
+    },
+    Mix {
+        name: "M1",
+        class: MixClass::Moderate,
+        programs: ["omnetpp", "apsi", "gzip", "bzip2"],
+        paper_hmipc: 1.323,
+    },
+    Mix {
+        name: "M2",
+        class: MixClass::Moderate,
+        programs: ["applu", "h264", "astar", "vortex"],
+        paper_hmipc: 1.319,
+    },
+    Mix {
+        name: "M3",
+        class: MixClass::Moderate,
+        programs: ["mgrid", "mesa", "zeusmp", "namd"],
+        paper_hmipc: 1.523,
+    },
 ];
 
 impl Mix {
@@ -74,7 +134,9 @@ impl Mix {
 
     /// The mixes of the paper's primary metric: classes H and VH.
     pub fn memory_intensive() -> impl Iterator<Item = &'static Mix> {
-        MIXES.iter().filter(|m| matches!(m.class, MixClass::High | MixClass::VeryHigh))
+        MIXES
+            .iter()
+            .filter(|m| matches!(m.class, MixClass::High | MixClass::VeryHigh))
     }
 
     /// Resolves the four program names to benchmark specs.
@@ -85,14 +147,21 @@ impl Mix {
     /// tables are covered by tests, so this indicates a typo in new code).
     pub fn benchmarks(&self) -> [&'static Benchmark; 4] {
         self.programs.map(|p| {
-            Benchmark::by_name(p).unwrap_or_else(|| panic!("unknown benchmark {p} in mix {}", self.name))
+            Benchmark::by_name(p)
+                .unwrap_or_else(|| panic!("unknown benchmark {p} in mix {}", self.name))
         })
     }
 }
 
 impl fmt::Display for Mix {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} [{}]: {}", self.name, self.class, self.programs.join(", "))
+        write!(
+            f,
+            "{} [{}]: {}",
+            self.name,
+            self.class,
+            self.programs.join(", ")
+        )
     }
 }
 
@@ -103,7 +172,12 @@ mod tests {
     #[test]
     fn twelve_mixes_three_per_class() {
         assert_eq!(MIXES.len(), 12);
-        for class in [MixClass::High, MixClass::VeryHigh, MixClass::HighModerate, MixClass::Moderate] {
+        for class in [
+            MixClass::High,
+            MixClass::VeryHigh,
+            MixClass::HighModerate,
+            MixClass::Moderate,
+        ] {
             assert_eq!(MIXES.iter().filter(|m| m.class == class).count(), 3);
         }
     }
@@ -139,8 +213,16 @@ mod tests {
     #[test]
     fn paper_hmipc_ordering_h_vs_m() {
         // Moderate mixes run much faster than very-high-miss mixes.
-        let vh_max = MIXES.iter().filter(|m| m.class == MixClass::VeryHigh).map(|m| m.paper_hmipc).fold(0.0, f64::max);
-        let m_min = MIXES.iter().filter(|m| m.class == MixClass::Moderate).map(|m| m.paper_hmipc).fold(f64::INFINITY, f64::min);
+        let vh_max = MIXES
+            .iter()
+            .filter(|m| m.class == MixClass::VeryHigh)
+            .map(|m| m.paper_hmipc)
+            .fold(0.0, f64::max);
+        let m_min = MIXES
+            .iter()
+            .filter(|m| m.class == MixClass::Moderate)
+            .map(|m| m.paper_hmipc)
+            .fold(f64::INFINITY, f64::min);
         assert!(vh_max < m_min);
     }
 }

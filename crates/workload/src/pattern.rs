@@ -72,9 +72,14 @@ impl FreshStream {
         let cursors = match pattern {
             AccessPattern::Sequential { streams } => {
                 assert!(streams > 0, "need at least one stream");
-                assert!(footprint_lines >= streams as u64, "footprint smaller than stream count");
+                assert!(
+                    footprint_lines >= streams as u64,
+                    "footprint smaller than stream count"
+                );
                 // Spread stream bases evenly through the footprint.
-                (0..streams as u64).map(|s| s * (footprint_lines / streams as u64)).collect()
+                (0..streams as u64)
+                    .map(|s| s * (footprint_lines / streams as u64))
+                    .collect()
             }
             AccessPattern::Strided { stride_lines } => {
                 assert!(stride_lines > 0, "stride must be non-zero");
@@ -89,7 +94,13 @@ impl FreshStream {
                 vec![1]
             }
         };
-        FreshStream { pattern, footprint_lines, cursors, next_stream: 0, last_slot: 0 }
+        FreshStream {
+            pattern,
+            footprint_lines,
+            cursors,
+            next_stream: 0,
+            last_slot: 0,
+        }
     }
 
     /// The pattern in force.
@@ -142,7 +153,10 @@ impl FreshStream {
                 // (Hull–Dobell: c odd, a ≡ 1 mod 4).
                 let m = self.footprint_lines;
                 let line = self.cursors[0];
-                self.cursors[0] = (self.cursors[0].wrapping_mul(1_664_525).wrapping_add(1_013_904_223)) % m;
+                self.cursors[0] = (self.cursors[0]
+                    .wrapping_mul(1_664_525)
+                    .wrapping_add(1_013_904_223))
+                    % m;
                 LineAddr::new(line)
             }
         }
@@ -204,7 +218,11 @@ mod tests {
         let mut s = FreshStream::new(AccessPattern::PointerChase, n);
         let mut r = rng();
         let seen: HashSet<u64> = (0..n).map(|_| s.next_line(&mut r).index()).collect();
-        assert_eq!(seen.len() as u64, n, "full-period walk must visit every line");
+        assert_eq!(
+            seen.len() as u64,
+            n,
+            "full-period walk must visit every line"
+        );
     }
 
     #[test]
@@ -220,7 +238,10 @@ mod tests {
             }
             prev = cur;
         }
-        assert!(sequential_pairs < 5, "walk must defeat a next-line prefetcher");
+        assert!(
+            sequential_pairs < 5,
+            "walk must defeat a next-line prefetcher"
+        );
     }
 
     #[test]
@@ -231,8 +252,14 @@ mod tests {
 
     #[test]
     fn display_forms() {
-        assert_eq!(AccessPattern::Sequential { streams: 3 }.to_string(), "seq x3");
-        assert_eq!(AccessPattern::Strided { stride_lines: 8 }.to_string(), "stride 8");
+        assert_eq!(
+            AccessPattern::Sequential { streams: 3 }.to_string(),
+            "seq x3"
+        );
+        assert_eq!(
+            AccessPattern::Strided { stride_lines: 8 }.to_string(),
+            "stride 8"
+        );
         assert_eq!(AccessPattern::Random.to_string(), "random");
         assert_eq!(AccessPattern::PointerChase.to_string(), "pointer");
     }

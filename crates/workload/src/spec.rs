@@ -85,40 +85,266 @@ const fn seq(streams: u8) -> AccessPattern {
 }
 
 const fn stride(lines: u16) -> AccessPattern {
-    AccessPattern::Strided { stride_lines: lines }
+    AccessPattern::Strided {
+        stride_lines: lines,
+    }
 }
 
 /// All 28 benchmarks of Table 2(a), ordered by descending MPKI as printed
 /// in the paper.
 pub const BENCHMARKS: &[Benchmark] = &[
-    Benchmark { name: "S.copy", suite: Suite::Stream, mpki_6mb: 326.9, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.60, write_fraction: 0.50 },
-    Benchmark { name: "S.add", suite: Suite::Stream, mpki_6mb: 313.2, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.60, write_fraction: 0.33 },
-    Benchmark { name: "S.all", suite: Suite::Stream, mpki_6mb: 282.2, pattern: seq(5), footprint_lines: BIG, mem_fraction: 0.58, write_fraction: 0.40 },
-    Benchmark { name: "S.triad", suite: Suite::Stream, mpki_6mb: 254.0, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.55, write_fraction: 0.33 },
-    Benchmark { name: "S.scale", suite: Suite::Stream, mpki_6mb: 252.1, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.55, write_fraction: 0.50 },
-    Benchmark { name: "tigr", suite: Suite::BioBench, mpki_6mb: 170.6, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.50, write_fraction: 0.15 },
-    Benchmark { name: "qsort", suite: Suite::MiBench, mpki_6mb: 153.6, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.45, write_fraction: 0.40 },
-    Benchmark { name: "libquantum", suite: Suite::SpecInt2006, mpki_6mb: 134.5, pattern: seq(1), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.25 },
-    Benchmark { name: "soplex", suite: Suite::SpecFp2006, mpki_6mb: 80.2, pattern: AccessPattern::Random, footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.20 },
-    Benchmark { name: "milc", suite: Suite::SpecFp2006, mpki_6mb: 52.6, pattern: stride(2), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.30 },
-    Benchmark { name: "wupwise", suite: Suite::SpecFp2000, mpki_6mb: 40.4, pattern: seq(2), footprint_lines: BIG, mem_fraction: 0.38, write_fraction: 0.30 },
-    Benchmark { name: "equake", suite: Suite::SpecFp2000, mpki_6mb: 37.3, pattern: AccessPattern::Random, footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.20 },
-    Benchmark { name: "lbm", suite: Suite::SpecFp2006, mpki_6mb: 36.5, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.40, write_fraction: 0.45 },
-    Benchmark { name: "mcf", suite: Suite::SpecInt2006, mpki_6mb: 35.1, pattern: AccessPattern::PointerChase, footprint_lines: BIG_POW2, mem_fraction: 0.40, write_fraction: 0.15 },
-    Benchmark { name: "mummer", suite: Suite::BioBench, mpki_6mb: 29.2, pattern: AccessPattern::PointerChase, footprint_lines: BIG_POW2, mem_fraction: 0.42, write_fraction: 0.10 },
-    Benchmark { name: "swim", suite: Suite::SpecFp2000, mpki_6mb: 18.7, pattern: seq(3), footprint_lines: BIG, mem_fraction: 0.38, write_fraction: 0.35 },
-    Benchmark { name: "omnetpp", suite: Suite::SpecInt2006, mpki_6mb: 14.6, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.38, write_fraction: 0.25 },
-    Benchmark { name: "applu", suite: Suite::SpecFp2006, mpki_6mb: 12.2, pattern: stride(4), footprint_lines: MID, mem_fraction: 0.38, write_fraction: 0.30 },
-    Benchmark { name: "mgrid", suite: Suite::SpecFp2006, mpki_6mb: 9.2, pattern: stride(8), footprint_lines: MID, mem_fraction: 0.38, write_fraction: 0.25 },
-    Benchmark { name: "apsi", suite: Suite::SpecFp2006, mpki_6mb: 3.9, pattern: stride(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.25 },
-    Benchmark { name: "h264", suite: Suite::MediaBench2, mpki_6mb: 2.9, pattern: seq(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
-    Benchmark { name: "mesa", suite: Suite::MediaBench1, mpki_6mb: 2.4, pattern: seq(1), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
-    Benchmark { name: "gzip", suite: Suite::SpecInt2000, mpki_6mb: 1.4, pattern: seq(1), footprint_lines: MID, mem_fraction: 0.33, write_fraction: 0.30 },
-    Benchmark { name: "astar", suite: Suite::SpecInt2006, mpki_6mb: 1.4, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.35, write_fraction: 0.20 },
-    Benchmark { name: "zeusmp", suite: Suite::SpecFp2006, mpki_6mb: 1.4, pattern: stride(2), footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.30 },
-    Benchmark { name: "bzip2", suite: Suite::SpecInt2006, mpki_6mb: 1.4, pattern: AccessPattern::Random, footprint_lines: MID, mem_fraction: 0.33, write_fraction: 0.30 },
-    Benchmark { name: "vortex", suite: Suite::SpecInt2000, mpki_6mb: 1.3, pattern: AccessPattern::PointerChase, footprint_lines: MID_POW2, mem_fraction: 0.33, write_fraction: 0.25 },
-    Benchmark { name: "namd", suite: Suite::SpecFp2006, mpki_6mb: 1.0, pattern: AccessPattern::Random, footprint_lines: MID, mem_fraction: 0.35, write_fraction: 0.15 },
+    Benchmark {
+        name: "S.copy",
+        suite: Suite::Stream,
+        mpki_6mb: 326.9,
+        pattern: seq(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.60,
+        write_fraction: 0.50,
+    },
+    Benchmark {
+        name: "S.add",
+        suite: Suite::Stream,
+        mpki_6mb: 313.2,
+        pattern: seq(3),
+        footprint_lines: BIG,
+        mem_fraction: 0.60,
+        write_fraction: 0.33,
+    },
+    Benchmark {
+        name: "S.all",
+        suite: Suite::Stream,
+        mpki_6mb: 282.2,
+        pattern: seq(5),
+        footprint_lines: BIG,
+        mem_fraction: 0.58,
+        write_fraction: 0.40,
+    },
+    Benchmark {
+        name: "S.triad",
+        suite: Suite::Stream,
+        mpki_6mb: 254.0,
+        pattern: seq(3),
+        footprint_lines: BIG,
+        mem_fraction: 0.55,
+        write_fraction: 0.33,
+    },
+    Benchmark {
+        name: "S.scale",
+        suite: Suite::Stream,
+        mpki_6mb: 252.1,
+        pattern: seq(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.55,
+        write_fraction: 0.50,
+    },
+    Benchmark {
+        name: "tigr",
+        suite: Suite::BioBench,
+        mpki_6mb: 170.6,
+        pattern: seq(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.50,
+        write_fraction: 0.15,
+    },
+    Benchmark {
+        name: "qsort",
+        suite: Suite::MiBench,
+        mpki_6mb: 153.6,
+        pattern: seq(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.45,
+        write_fraction: 0.40,
+    },
+    Benchmark {
+        name: "libquantum",
+        suite: Suite::SpecInt2006,
+        mpki_6mb: 134.5,
+        pattern: seq(1),
+        footprint_lines: BIG,
+        mem_fraction: 0.40,
+        write_fraction: 0.25,
+    },
+    Benchmark {
+        name: "soplex",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 80.2,
+        pattern: AccessPattern::Random,
+        footprint_lines: BIG,
+        mem_fraction: 0.40,
+        write_fraction: 0.20,
+    },
+    Benchmark {
+        name: "milc",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 52.6,
+        pattern: stride(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.40,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "wupwise",
+        suite: Suite::SpecFp2000,
+        mpki_6mb: 40.4,
+        pattern: seq(2),
+        footprint_lines: BIG,
+        mem_fraction: 0.38,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "equake",
+        suite: Suite::SpecFp2000,
+        mpki_6mb: 37.3,
+        pattern: AccessPattern::Random,
+        footprint_lines: BIG,
+        mem_fraction: 0.40,
+        write_fraction: 0.20,
+    },
+    Benchmark {
+        name: "lbm",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 36.5,
+        pattern: seq(3),
+        footprint_lines: BIG,
+        mem_fraction: 0.40,
+        write_fraction: 0.45,
+    },
+    Benchmark {
+        name: "mcf",
+        suite: Suite::SpecInt2006,
+        mpki_6mb: 35.1,
+        pattern: AccessPattern::PointerChase,
+        footprint_lines: BIG_POW2,
+        mem_fraction: 0.40,
+        write_fraction: 0.15,
+    },
+    Benchmark {
+        name: "mummer",
+        suite: Suite::BioBench,
+        mpki_6mb: 29.2,
+        pattern: AccessPattern::PointerChase,
+        footprint_lines: BIG_POW2,
+        mem_fraction: 0.42,
+        write_fraction: 0.10,
+    },
+    Benchmark {
+        name: "swim",
+        suite: Suite::SpecFp2000,
+        mpki_6mb: 18.7,
+        pattern: seq(3),
+        footprint_lines: BIG,
+        mem_fraction: 0.38,
+        write_fraction: 0.35,
+    },
+    Benchmark {
+        name: "omnetpp",
+        suite: Suite::SpecInt2006,
+        mpki_6mb: 14.6,
+        pattern: AccessPattern::PointerChase,
+        footprint_lines: MID_POW2,
+        mem_fraction: 0.38,
+        write_fraction: 0.25,
+    },
+    Benchmark {
+        name: "applu",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 12.2,
+        pattern: stride(4),
+        footprint_lines: MID,
+        mem_fraction: 0.38,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "mgrid",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 9.2,
+        pattern: stride(8),
+        footprint_lines: MID,
+        mem_fraction: 0.38,
+        write_fraction: 0.25,
+    },
+    Benchmark {
+        name: "apsi",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 3.9,
+        pattern: stride(2),
+        footprint_lines: MID,
+        mem_fraction: 0.35,
+        write_fraction: 0.25,
+    },
+    Benchmark {
+        name: "h264",
+        suite: Suite::MediaBench2,
+        mpki_6mb: 2.9,
+        pattern: seq(2),
+        footprint_lines: MID,
+        mem_fraction: 0.35,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "mesa",
+        suite: Suite::MediaBench1,
+        mpki_6mb: 2.4,
+        pattern: seq(1),
+        footprint_lines: MID,
+        mem_fraction: 0.35,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "gzip",
+        suite: Suite::SpecInt2000,
+        mpki_6mb: 1.4,
+        pattern: seq(1),
+        footprint_lines: MID,
+        mem_fraction: 0.33,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "astar",
+        suite: Suite::SpecInt2006,
+        mpki_6mb: 1.4,
+        pattern: AccessPattern::PointerChase,
+        footprint_lines: MID_POW2,
+        mem_fraction: 0.35,
+        write_fraction: 0.20,
+    },
+    Benchmark {
+        name: "zeusmp",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 1.4,
+        pattern: stride(2),
+        footprint_lines: MID,
+        mem_fraction: 0.35,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "bzip2",
+        suite: Suite::SpecInt2006,
+        mpki_6mb: 1.4,
+        pattern: AccessPattern::Random,
+        footprint_lines: MID,
+        mem_fraction: 0.33,
+        write_fraction: 0.30,
+    },
+    Benchmark {
+        name: "vortex",
+        suite: Suite::SpecInt2000,
+        mpki_6mb: 1.3,
+        pattern: AccessPattern::PointerChase,
+        footprint_lines: MID_POW2,
+        mem_fraction: 0.33,
+        write_fraction: 0.25,
+    },
+    Benchmark {
+        name: "namd",
+        suite: Suite::SpecFp2006,
+        mpki_6mb: 1.0,
+        pattern: AccessPattern::Random,
+        footprint_lines: MID,
+        mem_fraction: 0.35,
+        write_fraction: 0.15,
+    },
 ];
 
 impl Benchmark {
@@ -146,7 +372,11 @@ impl Benchmark {
 
 impl fmt::Display for Benchmark {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} ({}, {:.1} MPKI)", self.name, self.suite, self.mpki_6mb)
+        write!(
+            f,
+            "{} ({}, {:.1} MPKI)",
+            self.name, self.suite, self.mpki_6mb
+        )
     }
 }
 
@@ -158,7 +388,10 @@ mod tests {
     fn registry_is_complete_and_ordered() {
         assert_eq!(BENCHMARKS.len(), 28);
         for pair in BENCHMARKS.windows(2) {
-            assert!(pair[0].mpki_6mb >= pair[1].mpki_6mb, "must be sorted by MPKI");
+            assert!(
+                pair[0].mpki_6mb >= pair[1].mpki_6mb,
+                "must be sorted by MPKI"
+            );
         }
     }
 
@@ -174,14 +407,18 @@ mod tests {
         let mcf = Benchmark::by_name("mcf").unwrap();
         assert_eq!(mcf.suite, Suite::SpecInt2006);
         assert_eq!(mcf.mpki_6mb, 35.1);
-        assert!(Benchmark::by_name("doom") .is_none());
+        assert!(Benchmark::by_name("doom").is_none());
     }
 
     #[test]
     fn fresh_probability_is_consistent() {
         for b in BENCHMARKS {
             let p = b.fresh_probability();
-            assert!(p > 0.0 && p < b.mem_fraction, "{}: fresh rate must fit in mem ops", b.name);
+            assert!(
+                p > 0.0 && p < b.mem_fraction,
+                "{}: fresh rate must fit in mem ops",
+                b.name
+            );
         }
     }
 

@@ -88,7 +88,10 @@ impl SyntheticWorkload {
     ///
     /// Panics if `base` is not 64-byte aligned.
     pub fn new(spec: &'static Benchmark, seed: u64, base: u64) -> Self {
-        assert!(base % LINE_BYTES == 0, "base address must be line-aligned");
+        assert!(
+            base.is_multiple_of(LINE_BYTES),
+            "base address must be line-aligned"
+        );
         let mut rng = SmallRng::seed_from_u64(seed ^ 0x5374_6163_6b53_696d);
         let mut fresh = FreshStream::new(spec.pattern, spec.footprint_lines);
         fresh.randomize_phase(&mut rng);
@@ -129,7 +132,10 @@ impl SyntheticWorkload {
     fn branch_instr(&mut self) -> Instr {
         if self.rng.gen::<f64>() < HARD_BRANCH_FRACTION {
             let pc = self.pc_base + 0x2000;
-            return Instr::Branch { pc, taken: self.rng.gen::<bool>() };
+            return Instr::Branch {
+                pc,
+                taken: self.rng.gen::<bool>(),
+            };
         }
         let slot = self.next_loop;
         self.next_loop = (self.next_loop + 1) % LOOP_BRANCHES;
@@ -141,7 +147,10 @@ impl SyntheticWorkload {
         } else {
             true // back edge
         };
-        Instr::Branch { pc: self.pc_base + 0x3000 + 16 * slot as u64, taken }
+        Instr::Branch {
+            pc: self.pc_base + 0x3000 + 16 * slot as u64,
+            taken,
+        }
     }
 
     fn mem_instr(&mut self, rel_line: u64, pc: u64) -> Instr {
@@ -203,7 +212,9 @@ mod tests {
         let spec = Benchmark::by_name("soplex").unwrap();
         let mut a = SyntheticWorkload::new(spec, 1, 0);
         let mut b = SyntheticWorkload::new(spec, 2, 0);
-        let same = (0..1000).filter(|_| a.next_instr() == b.next_instr()).count();
+        let same = (0..1000)
+            .filter(|_| a.next_instr() == b.next_instr())
+            .count();
         assert!(same < 1000);
     }
 
@@ -289,7 +300,10 @@ mod tests {
         assert!(branches > 0, "programs must contain branches");
         let taken_rate = taken as f64 / branches as f64;
         // Loop back-edges dominate: branches are mostly taken.
-        assert!(taken_rate > 0.75 && taken_rate < 0.99, "taken rate {taken_rate}");
+        assert!(
+            taken_rate > 0.75 && taken_rate < 0.99,
+            "taken rate {taken_rate}"
+        );
     }
 
     #[test]

@@ -141,7 +141,12 @@ impl TraceReplay {
     /// Panics if the trace is empty.
     pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> Self {
         assert!(!instrs.is_empty(), "cannot replay an empty trace");
-        TraceReplay { name: name.into(), instrs, pos: 0, laps: 0 }
+        TraceReplay {
+            name: name.into(),
+            instrs,
+            pos: 0,
+            laps: 0,
+        }
     }
 
     /// Creates a replay by parsing `reader`.
@@ -215,9 +220,27 @@ mod tests {
         let text = "# header\n\nC\nL 0x10 0x40\n  \nS 20 80\nB 0x30 T\n";
         let instrs = parse_trace(text.as_bytes()).unwrap();
         assert_eq!(instrs.len(), 4);
-        assert_eq!(instrs[3], Instr::Branch { pc: 0x30, taken: true });
-        assert_eq!(instrs[1], Instr::Load { pc: 0x10, addr: PhysAddr::new(0x40) });
-        assert_eq!(instrs[2], Instr::Store { pc: 0x20, addr: PhysAddr::new(0x80) });
+        assert_eq!(
+            instrs[3],
+            Instr::Branch {
+                pc: 0x30,
+                taken: true
+            }
+        );
+        assert_eq!(
+            instrs[1],
+            Instr::Load {
+                pc: 0x10,
+                addr: PhysAddr::new(0x40)
+            }
+        );
+        assert_eq!(
+            instrs[2],
+            Instr::Store {
+                pc: 0x20,
+                addr: PhysAddr::new(0x80)
+            }
+        );
     }
 
     #[test]

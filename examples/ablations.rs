@@ -7,8 +7,8 @@
 //! ```
 
 use stacksim::experiments::{
-    ablation_cwf, ablation_energy, ablation_interleave, ablation_probing, ablation_scheduler,
-    ablation_page_policy, ablation_smart_refresh, energy_table, probing_table,
+    ablation_cwf, ablation_energy, ablation_interleave, ablation_page_policy, ablation_probing,
+    ablation_scheduler, ablation_smart_refresh, energy_table, probing_table,
 };
 use stacksim::runner::RunConfig;
 use stacksim_workload::Mix;

@@ -5,9 +5,9 @@
 //! cargo run --release --example fairness
 //! ```
 
+use stacksim::configs;
 use stacksim::experiments::{fairness, fairness_table};
 use stacksim::runner::RunConfig;
-use stacksim::configs;
 use stacksim_workload::Mix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {

@@ -16,16 +16,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Baseline quad-core (Table 1):");
     println!("  cores                : {}", cfg.cores);
     println!("  core clock           : {:.3} GHz", cfg.core_hz / 1e9);
-    println!("  issue width          : {} uops/cycle", cfg.core.issue_width);
+    println!(
+        "  issue width          : {} uops/cycle",
+        cfg.core.issue_width
+    );
     println!("  reorder window       : {} entries", cfg.core.window);
-    println!("  DL1                  : {} KB, {}-way, {} MSHRs",
-        cfg.core.dl1.size_bytes >> 10, cfg.core.dl1.associativity, cfg.core.l1_mshrs);
-    println!("  L2                   : {} MB, {}-way, {} banks, {} MSHRs",
-        cfg.l2.size_bytes >> 20, cfg.l2.associativity, cfg.l2_banks, cfg.mshr.total_entries);
-    println!("  memory               : {} GB, {} ranks, {} banks/rank, {} MC(s)",
-        cfg.memory.total_bytes >> 30, cfg.memory.ranks, cfg.memory.banks_per_rank, cfg.memory.mcs);
-    println!("  DRAM timing          : tRAS={}ns tRCD/tCAS/tWR/tRP={}ns",
-        cfg.memory.timing.t_ras_ns, cfg.memory.timing.t_cas_ns);
+    println!(
+        "  DL1                  : {} KB, {}-way, {} MSHRs",
+        cfg.core.dl1.size_bytes >> 10,
+        cfg.core.dl1.associativity,
+        cfg.core.l1_mshrs
+    );
+    println!(
+        "  L2                   : {} MB, {}-way, {} banks, {} MSHRs",
+        cfg.l2.size_bytes >> 20,
+        cfg.l2.associativity,
+        cfg.l2_banks,
+        cfg.mshr.total_entries
+    );
+    println!(
+        "  memory               : {} GB, {} ranks, {} banks/rank, {} MC(s)",
+        cfg.memory.total_bytes >> 30,
+        cfg.memory.ranks,
+        cfg.memory.banks_per_rank,
+        cfg.memory.mcs
+    );
+    println!(
+        "  DRAM timing          : tRAS={}ns tRCD/tCAS/tWR/tRP={}ns",
+        cfg.memory.timing.t_ras_ns, cfg.memory.timing.t_cas_ns
+    );
     println!();
 
     // Run one high-miss mix on the 2D baseline and on the full 3D proposal.
@@ -43,7 +62,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ]);
     t.title(format!("{} on three machines", mix.name));
     t.numeric();
-    for (name, r) in [("2D off-chip", &base), ("3D-fast", &fast), ("aggressive 3D (4 MC)", &quad)] {
+    for (name, r) in [
+        ("2D off-chip", &base),
+        ("3D-fast", &fast),
+        ("aggressive 3D (4 MC)", &quad),
+    ] {
         t.row(vec![
             name.into(),
             format!("{:.3}", r.hmipc),
@@ -57,7 +80,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     system.run_cycles(50_000);
     let stats = system.stats();
     println!("Selected machine statistics after 50k cycles:");
-    for key in ["committed", "l2.misses", "l2.miss_rate", "mc0.row_hit_rate", "mshr_probes_per_access"] {
+    for key in [
+        "committed",
+        "l2.misses",
+        "l2.miss_rate",
+        "mc0.row_hit_rate",
+        "mshr_probes_per_access",
+    ] {
         if let Some(v) = stats.get(key) {
             println!("  {key:>24} = {v:.4}");
         }

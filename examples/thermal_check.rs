@@ -20,7 +20,11 @@ fn main() {
         println!(
             "  {watts:>5.0} W -> dram max {:>6.1} C  {}",
             c.report.dram_max_c.unwrap_or(f64::NAN),
-            if c.within_limit { "ok" } else { "EXCEEDS 85C LIMIT" }
+            if c.within_limit {
+                "ok"
+            } else {
+                "EXCEEDS 85C LIMIT"
+            }
         );
     }
 }

@@ -24,16 +24,26 @@ fn main() {
     println!("Figure 8 walkthrough: 8-entry direct-mapped MSHR + Vector Bloom Filter\n");
 
     for (step, line) in [(b'a', 13u64), (b'b', 22), (b'c', 29), (b'c', 45)] {
-        vbf.allocate(LineAddr::new(line), t(line), MissKind::Read, Cycle::ZERO).unwrap();
-        plain.allocate(LineAddr::new(line), t(line), MissKind::Read, Cycle::ZERO).unwrap();
-        println!("({}) miss on address {line}: home slot {}", step as char, line % 8);
+        vbf.allocate(LineAddr::new(line), t(line), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        plain
+            .allocate(LineAddr::new(line), t(line), MissKind::Read, Cycle::ZERO)
+            .unwrap();
+        println!(
+            "({}) miss on address {line}: home slot {}",
+            step as char,
+            line % 8
+        );
         print_filter(&vbf, (line % 8) as usize);
     }
 
     println!("\n(d) search for 29:");
     let with_filter = vbf.lookup(LineAddr::new(29));
     let without = plain.lookup(LineAddr::new(29));
-    println!("    VBF: {} probes, plain linear probing: {} probes", with_filter.probes, without.probes);
+    println!(
+        "    VBF: {} probes, plain linear probing: {} probes",
+        with_filter.probes, without.probes
+    );
 
     println!("\n(e) miss for 29 serviced; entry deallocated, filter bit cleared");
     vbf.deallocate(LineAddr::new(29)).unwrap();
@@ -43,7 +53,10 @@ fn main() {
     println!("\n(f) search for 45:");
     let with_filter = vbf.lookup(LineAddr::new(45));
     let without = plain.lookup(LineAddr::new(45));
-    println!("    VBF: {} probes, plain linear probing: {} probes", with_filter.probes, without.probes);
+    println!(
+        "    VBF: {} probes, plain linear probing: {} probes",
+        with_filter.probes, without.probes
+    );
     println!("\nThe filter skips the probes of slots 6 and 7 that plain linear");
     println!("probing must make — the mechanism behind the paper's measured");
     println!("2.2-2.3 probes per access at L2 scale.");

@@ -22,8 +22,10 @@ fn arbitrary_config() -> impl Strategy<Value = SystemConfig> {
         Just(MshrKind::DirectQuadratic),
         Just(MshrKind::Hierarchical),
     ];
-    let interleave =
-        prop_oneof![Just(InterleaveGranularity::Line), Just(InterleaveGranularity::Page)];
+    let interleave = prop_oneof![
+        Just(InterleaveGranularity::Line),
+        Just(InterleaveGranularity::Page)
+    ];
     let bus = prop_oneof![Just(8u32), Just(16), Just(64)];
     (mcs, ranks, rbe, mshr_scale, kind, interleave, bus).prop_map(
         |(mcs, ranks, rbe, scale, kind, interleave, bus)| {

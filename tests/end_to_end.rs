@@ -15,14 +15,23 @@ fn all_machine_shapes() -> Vec<(&'static str, SystemConfig)> {
         ("3d_fast", configs::cfg_3d_fast()),
         ("dual_mc", configs::cfg_dual_mc()),
         ("quad_mc", configs::cfg_quad_mc()),
-        ("quad_vbf", configs::cfg_quad_mc().with_mshr_scale(8).with_mshr_kind(MshrKind::Vbf)),
+        (
+            "quad_vbf",
+            configs::cfg_quad_mc()
+                .with_mshr_scale(8)
+                .with_mshr_kind(MshrKind::Vbf),
+        ),
         (
             "dual_hier",
-            configs::cfg_dual_mc().with_mshr_scale(4).with_mshr_kind(MshrKind::Hierarchical),
+            configs::cfg_dual_mc()
+                .with_mshr_scale(4)
+                .with_mshr_kind(MshrKind::Hierarchical),
         ),
         (
             "quad_quadratic",
-            configs::cfg_quad_mc().with_mshr_scale(8).with_mshr_kind(MshrKind::DirectQuadratic),
+            configs::cfg_quad_mc()
+                .with_mshr_scale(8)
+                .with_mshr_kind(MshrKind::DirectQuadratic),
         ),
     ]
 }
@@ -92,7 +101,11 @@ fn request_conservation_under_stream_load() {
 #[test]
 fn identical_runs_are_bit_identical() {
     let cfg = configs::cfg_dual_mc();
-    let run = RunConfig { warmup_cycles: 5_000, measure_cycles: 30_000, seed: 42 };
+    let run = RunConfig {
+        warmup_cycles: 5_000,
+        measure_cycles: 30_000,
+        seed: 42,
+    };
     let mix = Mix::by_name("VH3").unwrap();
     let a = run_mix(&cfg, mix, &run).unwrap();
     let b = run_mix(&cfg, mix, &run).unwrap();
@@ -117,13 +130,20 @@ fn different_seeds_change_timing_but_not_validity() {
         assert_eq!(sys.stats().get("spurious_completions"), Some(0.0));
         totals.push(sys.total_committed());
     }
-    assert!(totals.windows(2).any(|w| w[0] != w[1]), "seeds must matter: {totals:?}");
+    assert!(
+        totals.windows(2).any(|w| w[0] != w[1]),
+        "seeds must matter: {totals:?}"
+    );
 }
 
 #[test]
 fn hmipc_equals_harmonic_mean_of_core_ipcs() {
     let cfg = configs::cfg_3d_fast();
-    let run = RunConfig { warmup_cycles: 5_000, measure_cycles: 30_000, seed: 8 };
+    let run = RunConfig {
+        warmup_cycles: 5_000,
+        measure_cycles: 30_000,
+        seed: 8,
+    };
     let r = run_mix(&cfg, Mix::by_name("HM1").unwrap(), &run).unwrap();
     let inv: f64 = r.per_core_ipc.iter().map(|i| 1.0 / i).sum();
     let expect = r.per_core_ipc.len() as f64 / inv;

@@ -2,14 +2,18 @@
 //! §5.2): the cumulative speedup chain must reproduce in *shape* — who
 //! wins, ordering, and rough factors — across the memory-intensive mixes.
 
+use stacksim::configs;
 use stacksim::experiments::headline;
 use stacksim::runner::{run_mix, RunConfig};
-use stacksim::configs;
 use stacksim_stats::geometric_mean;
 use stacksim_workload::Mix;
 
 fn run() -> RunConfig {
-    RunConfig { warmup_cycles: 15_000, measure_cycles: 90_000, seed: 11 }
+    RunConfig {
+        warmup_cycles: 15_000,
+        measure_cycles: 90_000,
+        seed: 11,
+    }
 }
 
 #[test]
