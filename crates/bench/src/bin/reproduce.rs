@@ -12,12 +12,25 @@
 //!   `--list` prints the names).
 //! * `--jobs <n>` — worker threads for the parallel run engine (default:
 //!   `RAYON_NUM_THREADS` or all available cores).
+//! * `--out <dir>` — save one JSON metric tree per experiment plus a
+//!   `manifest.json` into `<dir>` (schema in `docs/METRICS.md`).
+//! * `--baseline <dir>` — diff this run's metrics against a directory
+//!   previously saved with `--out`; any metric diverging beyond the
+//!   tolerance makes the process exit non-zero.
+//! * `--tol <rel>` — relative tolerance for `--baseline` comparisons
+//!   (default 1e-9; the simulator is deterministic, so matching windows
+//!   agree exactly).
+//! * `--quick` — use the short CI window instead of publication windows
+//!   (for artifact smoke runs; baselines must use matching windows).
 //! * `--list` — list experiment names and exit.
 //!
 //! Every simulation point is a pure function of its configuration, so the
 //! parallel engine's output is bit-identical to a sequential run and to any
 //! `--jobs` value; shared baselines are memoized and simulate exactly once.
+//! Per-point progress is reported on stderr as the matrix drains.
 
+use std::io::Write;
+use std::path::PathBuf;
 use std::time::Instant;
 
 use stacksim::configs;
@@ -25,10 +38,12 @@ use stacksim::experiments::{
     ablation_cwf, ablation_energy, ablation_interleave, ablation_page_policy, ablation_probing,
     ablation_scheduler, ablation_smart_refresh, energy_table, figure4, figure6a, figure6b, figure7,
     figure9, headline, probing_table, table2a, table2a_table, table2b, table2b_table,
-    thermal_check,
+    thermal_check, Figure7Result, Figure9Result,
 };
 use stacksim::runner::{self, RunConfig};
 use stacksim_bench::full_run;
+use stacksim_bench::obs;
+use stacksim_stats::MetricsSink;
 use stacksim_workload::{Benchmark, Mix};
 
 /// Everything an experiment closure needs: the run window and the mix sets.
@@ -38,101 +53,264 @@ struct Ctx {
     hv: Vec<&'static Mix>,
 }
 
-type ExpResult = Result<String, Box<dyn std::error::Error>>;
+type ExpResult = Result<(String, MetricsSink), Box<dyn std::error::Error>>;
 type ExpFn = fn(&Ctx) -> ExpResult;
 
+/// Metric tree of a Figure 7-style variant sweep (shared with Figure 9,
+/// whose result has the same row shape).
+fn sweep_sink(
+    name: &str,
+    rows: &[(&'static Mix, &[f64])],
+    labels: &[String],
+    gm_hvh: Option<&[f64]>,
+    gm_all: &[f64],
+) -> MetricsSink {
+    let mut sink = MetricsSink::new(name);
+    for (mix, pcts) in rows {
+        for (label, pct) in labels.iter().zip(*pcts) {
+            sink.gauge(format!("{}.{label}_pct", mix.name), *pct);
+        }
+    }
+    if let Some(gm) = gm_hvh {
+        for (label, pct) in labels.iter().zip(gm) {
+            sink.gauge(format!("gm_hvh.{label}_pct"), *pct);
+        }
+    }
+    for (label, pct) in labels.iter().zip(gm_all) {
+        sink.gauge(format!("gm_all.{label}_pct"), *pct);
+    }
+    sink
+}
+
+fn figure7_sink(name: &str, r: &Figure7Result) -> MetricsSink {
+    let labels: Vec<String> = r.variants.iter().map(|v| v.label()).collect();
+    let rows: Vec<(&'static Mix, &[f64])> = r
+        .rows
+        .iter()
+        .map(|row| (row.mix, row.improvement_pct.as_slice()))
+        .collect();
+    sweep_sink(name, &rows, &labels, r.gm_hvh_pct.as_deref(), &r.gm_all_pct)
+}
+
+fn figure9_sink(name: &str, r: &Figure9Result) -> MetricsSink {
+    let labels: Vec<String> = r.variants.iter().map(|v| v.label().to_string()).collect();
+    let rows: Vec<(&'static Mix, &[f64])> = r
+        .rows
+        .iter()
+        .map(|row| (row.mix, row.improvement_pct.as_slice()))
+        .collect();
+    let mut sink = sweep_sink(name, &rows, &labels, r.gm_hvh_pct.as_deref(), &r.gm_all_pct);
+    sink.gauge("vbf_probes_per_access", r.vbf_probes_per_access);
+    sink
+}
+
+/// Metric tree for a single-number ablation.
+fn scalar_sink(name: &str, metric: &str, value: f64) -> MetricsSink {
+    let mut sink = MetricsSink::new(name);
+    sink.gauge(metric, value);
+    sink
+}
+
 /// The experiment registry, in the paper's presentation order. Each entry
-/// renders its tables/figures to a string so the driver can time it.
+/// renders its tables/figures to a string for the console and reduces its
+/// result to a [`MetricsSink`] for `--out` / `--baseline`.
 const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("table2a", |ctx| {
         let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-        Ok(table2a_table(&table2a(&ctx.run, &benchmarks)?).to_string())
+        let rows = table2a(&ctx.run, &benchmarks)?;
+        let mut sink = MetricsSink::new("table2a");
+        for row in &rows {
+            sink.gauge(format!("{}.mpki", row.benchmark.name), row.measured_mpki);
+        }
+        Ok((table2a_table(&rows).to_string(), sink))
     }),
     ("table2b", |ctx| {
-        Ok(table2b_table(&table2b(&ctx.run, &ctx.mixes)?).to_string())
+        let rows = table2b(&ctx.run, &ctx.mixes)?;
+        let mut sink = MetricsSink::new("table2b");
+        for row in &rows {
+            sink.gauge(format!("{}.hmipc", row.mix.name), row.measured_hmipc);
+        }
+        Ok((table2b_table(&rows).to_string(), sink))
     }),
     ("figure4", |ctx| {
-        Ok(figure4(&ctx.run, &ctx.mixes)?.table().to_string())
+        let r = figure4(&ctx.run, &ctx.mixes)?;
+        let mut sink = MetricsSink::new("figure4");
+        for row in &r.rows {
+            sink.gauge(format!("{}.hmipc_2d", row.mix.name), row.hmipc_2d);
+            sink.gauge(format!("{}.speedup_3d", row.mix.name), row.speedup_3d);
+            sink.gauge(format!("{}.speedup_wide", row.mix.name), row.speedup_wide);
+            sink.gauge(format!("{}.speedup_fast", row.mix.name), row.speedup_fast);
+        }
+        for (i, col) in ["3d", "wide", "fast"].iter().enumerate() {
+            if let Some(gm) = r.gm_hvh {
+                sink.gauge(format!("gm_hvh.{col}"), gm[i]);
+            }
+            sink.gauge(format!("gm_all.{col}"), r.gm_all[i]);
+        }
+        Ok((r.table().to_string(), sink))
     }),
     ("figure6a", |ctx| {
-        Ok(figure6a(&ctx.run, &ctx.mixes)?.table().to_string())
+        let r = figure6a(&ctx.run, &ctx.mixes)?;
+        let mut sink = MetricsSink::new("figure6a");
+        for c in &r.grid {
+            sink.gauge(format!("{}mc_{}r.hvh", c.mcs, c.ranks), c.speedup_hvh);
+            sink.gauge(format!("{}mc_{}r.all", c.mcs, c.ranks), c.speedup_all);
+        }
+        for &(bytes, hvh, all) in &r.extra_l2 {
+            sink.gauge(format!("extra_l2_{}kb.hvh", bytes >> 10), hvh);
+            sink.gauge(format!("extra_l2_{}kb.all", bytes >> 10), all);
+        }
+        Ok((r.table().to_string(), sink))
     }),
     ("figure6b", |ctx| {
-        Ok(figure6b(&ctx.run, &ctx.mixes)?.table().to_string())
+        let r = figure6b(&ctx.run, &ctx.mixes)?;
+        let mut sink = MetricsSink::new("figure6b");
+        for c in &r.cells {
+            sink.gauge(
+                format!("{}mc_rb{}.hvh", c.mcs, c.row_buffers),
+                c.speedup_hvh,
+            );
+            sink.gauge(
+                format!("{}mc_rb{}.all", c.mcs, c.row_buffers),
+                c.speedup_all,
+            );
+        }
+        Ok((r.table().to_string(), sink))
     }),
     ("figure7-dual", |ctx| {
-        Ok(figure7(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?
-            .table()
-            .to_string())
+        let r = figure7(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?;
+        Ok((r.table().to_string(), figure7_sink("figure7-dual", &r)))
     }),
     ("figure7-quad", |ctx| {
-        Ok(figure7(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?
-            .table()
-            .to_string())
+        let r = figure7(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?;
+        Ok((r.table().to_string(), figure7_sink("figure7-quad", &r)))
     }),
     ("figure9-dual", |ctx| {
-        Ok(figure9(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?
-            .table()
-            .to_string())
+        let r = figure9(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?;
+        Ok((r.table().to_string(), figure9_sink("figure9-dual", &r)))
     }),
     ("figure9-quad", |ctx| {
-        Ok(figure9(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?
-            .table()
-            .to_string())
+        let r = figure9(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?;
+        Ok((r.table().to_string(), figure9_sink("figure9-quad", &r)))
     }),
     ("headline", |ctx| {
-        Ok(headline(&ctx.run, &ctx.hv)?.table().to_string())
+        let r = headline(&ctx.run, &ctx.hv)?;
+        let mut sink = MetricsSink::new("headline");
+        sink.gauge("fast_over_2d", r.fast_over_2d);
+        sink.gauge("aggressive_over_fast", r.aggressive_over_fast);
+        sink.gauge("mha_over_aggressive", r.mha_over_aggressive);
+        sink.gauge("total_over_2d", r.total_over_2d);
+        Ok((r.table().to_string(), sink))
     }),
     ("thermal", |_ctx| {
-        Ok(thermal_check(65.0, 8).table().to_string())
+        let r = thermal_check(65.0, 8);
+        let mut sink = MetricsSink::new("thermal");
+        sink.gauge("max_c", r.report.max_c);
+        if let Some(t) = r.report.dram_max_c {
+            sink.gauge("dram_max_c", t);
+        }
+        for (i, t) in r.report.layer_max_c.iter().enumerate() {
+            sink.gauge(format!("layer{i}.max_c"), *t);
+        }
+        sink.counter("within_limit", u64::from(r.within_limit));
+        Ok((r.table().to_string(), sink))
     }),
     ("ablation-scheduler", |ctx| {
-        Ok(format!(
-            "Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {:.3}x\n",
-            ablation_scheduler(&ctx.run, &ctx.hv)?
+        let v = ablation_scheduler(&ctx.run, &ctx.hv)?;
+        Ok((
+            format!("Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {v:.3}x\n"),
+            scalar_sink("ablation-scheduler", "speedup", v),
         ))
     }),
     ("ablation-interleave", |ctx| {
-        Ok(format!(
-            "Ablation: page over line L2 interleave (quad-MC, GM H/VH): {:.3}x\n",
-            ablation_interleave(&ctx.run, &ctx.hv)?
+        let v = ablation_interleave(&ctx.run, &ctx.hv)?;
+        Ok((
+            format!("Ablation: page over line L2 interleave (quad-MC, GM H/VH): {v:.3}x\n"),
+            scalar_sink("ablation-interleave", "speedup", v),
         ))
     }),
     ("ablation-cwf", |ctx| {
-        Ok(format!(
-            "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {:.3}x\n",
-            ablation_cwf(&ctx.run, &ctx.hv)?
+        let v = ablation_cwf(&ctx.run, &ctx.hv)?;
+        Ok((
+            format!(
+                "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {v:.3}x\n"
+            ),
+            scalar_sink("ablation-cwf", "speedup", v),
         ))
     }),
     ("ablation-page-policy", |ctx| {
-        Ok(format!(
-            "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {:.3}x\n",
-            ablation_page_policy(&ctx.run, &ctx.hv)?
+        let v = ablation_page_policy(&ctx.run, &ctx.hv)?;
+        Ok((
+            format!(
+                "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {v:.3}x\n"
+            ),
+            scalar_sink("ablation-page-policy", "speedup", v),
         ))
     }),
     ("ablation-smart-refresh", |ctx| {
         let (speedup, plain, smart) =
             ablation_smart_refresh(&ctx.run, Mix::by_name("VH1").expect("known mix"))?;
-        Ok(format!(
-            "Ablation: Smart Refresh on VH1 (quad-MC): {speedup:.3}x speedup, refreshes {plain:.0} -> {smart:.0}\n",
+        let mut sink = MetricsSink::new("ablation-smart-refresh");
+        sink.gauge("speedup", speedup);
+        sink.gauge("refreshes_plain", plain);
+        sink.gauge("refreshes_smart", smart);
+        Ok((
+            format!(
+                "Ablation: Smart Refresh on VH1 (quad-MC): {speedup:.3}x speedup, refreshes {plain:.0} -> {smart:.0}\n",
+            ),
+            sink,
         ))
     }),
     ("ablation-probing", |ctx| {
-        Ok(probing_table(&ablation_probing(&ctx.run, &ctx.hv)?).to_string())
+        let rows = ablation_probing(&ctx.run, &ctx.hv)?;
+        let mut sink = MetricsSink::new("ablation-probing");
+        for row in &rows {
+            sink.gauge(
+                format!("{}.speedup_vs_linear", row.kind),
+                row.speedup_vs_linear,
+            );
+            sink.gauge(
+                format!("{}.probes_per_access", row.kind),
+                row.probes_per_access,
+            );
+        }
+        Ok((probing_table(&rows).to_string(), sink))
     }),
     ("ablation-energy", |ctx| {
-        Ok(energy_table(&ablation_energy(
-            &ctx.run,
-            Mix::by_name("H2").expect("known mix"),
-        )?)
-        .to_string())
+        let rows = ablation_energy(&ctx.run, Mix::by_name("H2").expect("known mix"))?;
+        let mut sink = MetricsSink::new("ablation-energy");
+        for row in &rows {
+            sink.gauge(
+                format!("rb{}.row_hit_rate", row.row_buffers),
+                row.row_hit_rate,
+            );
+            sink.gauge(
+                format!("rb{}.nj_per_kilo_instruction", row.row_buffers),
+                row.nj_per_kilo_instruction,
+            );
+        }
+        Ok((energy_table(&rows).to_string(), sink))
     }),
 ];
+
+/// Whether a `--only` selector picks this experiment: either its exact
+/// name or a group prefix ("figure7" selects figure7-dual and
+/// figure7-quad).
+fn selects(only: &str, experiment: &str) -> bool {
+    experiment == only
+        || experiment
+            .strip_prefix(only)
+            .is_some_and(|rest| rest.starts_with('-'))
+}
 
 /// Command-line options.
 struct Options {
     only: Vec<String>,
     jobs: Option<usize>,
+    out: Option<PathBuf>,
+    baseline: Option<PathBuf>,
+    tol: f64,
+    quick: bool,
     list: bool,
 }
 
@@ -140,6 +318,10 @@ fn parse_args() -> Result<Options, String> {
     let mut opts = Options {
         only: Vec::new(),
         jobs: None,
+        out: None,
+        baseline: None,
+        tol: obs::DEFAULT_TOLERANCE,
+        quick: false,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -147,7 +329,7 @@ fn parse_args() -> Result<Options, String> {
         match arg.as_str() {
             "--only" => {
                 let name = args.next().ok_or("--only needs an experiment name")?;
-                if !EXPERIMENTS.iter().any(|(n, _)| *n == name) {
+                if !EXPERIMENTS.iter().any(|(n, _)| selects(&name, n)) {
                     return Err(format!(
                         "unknown experiment '{name}' (--list prints the names)"
                     ));
@@ -161,6 +343,25 @@ fn parse_args() -> Result<Options, String> {
                     .map_err(|_| format!("--jobs: '{n}' is not a number"))?;
                 opts.jobs = Some(n);
             }
+            "--out" => {
+                let dir = args.next().ok_or("--out needs a directory")?;
+                opts.out = Some(PathBuf::from(dir));
+            }
+            "--baseline" => {
+                let dir = args.next().ok_or("--baseline needs a directory")?;
+                opts.baseline = Some(PathBuf::from(dir));
+            }
+            "--tol" => {
+                let t = args.next().ok_or("--tol needs a relative tolerance")?;
+                let t: f64 = t
+                    .parse()
+                    .map_err(|_| format!("--tol: '{t}' is not a number"))?;
+                if !(t.is_finite() && t >= 0.0) {
+                    return Err(format!("--tol: '{t}' must be finite and non-negative"));
+                }
+                opts.tol = t;
+            }
+            "--quick" => opts.quick = true,
             "--list" => opts.list = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -173,7 +374,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Ok(o) => o,
         Err(e) => {
             eprintln!("reproduce: {e}");
-            eprintln!("usage: reproduce [--only <experiment>]... [--jobs <n>] [--list]");
+            eprintln!(
+                "usage: reproduce [--only <experiment>]... [--jobs <n>] [--out <dir>] \
+                 [--baseline <dir>] [--tol <rel>] [--quick] [--list]"
+            );
             std::process::exit(2);
         }
     };
@@ -189,7 +393,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t0 = Instant::now();
     let ctx = Ctx {
-        run: full_run(),
+        run: if opts.quick {
+            RunConfig::quick()
+        } else {
+            full_run()
+        },
         mixes: Mix::all().iter().collect(),
         hv: Mix::memory_intensive().collect(),
     };
@@ -202,14 +410,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runner::default_jobs()
     );
 
+    // Per-point progress on stderr as each experiment's matrix drains.
+    runner::set_progress_reporter(Some(Box::new(|done, total| {
+        eprint!("\r  [{done}/{total} points]");
+        if done == total {
+            eprintln!();
+        }
+        let _ = std::io::stderr().flush();
+    })));
+
+    let mut results: Vec<(String, MetricsSink)> = Vec::new();
     for (name, exp) in EXPERIMENTS {
-        if !opts.only.is_empty() && !opts.only.iter().any(|o| o == name) {
+        if !opts.only.is_empty() && !opts.only.iter().any(|o| selects(o, name)) {
             continue;
         }
         let t = Instant::now();
-        let output = exp(&ctx)?;
+        let (output, sink) = exp(&ctx)?;
         println!("{output}");
         println!("[{name}: {:.1?}]\n", t.elapsed());
+        results.push((name.to_string(), sink));
+    }
+    runner::set_progress_reporter(None);
+
+    if let Some(dir) = &opts.out {
+        let manifest = obs::write_outputs(dir, &ctx.run, &results)?;
+        println!(
+            "wrote {} experiment file(s) + {}",
+            results.len(),
+            manifest.display()
+        );
+    }
+
+    let mut regression = false;
+    if let Some(dir) = &opts.baseline {
+        let report = obs::diff_against_baseline(dir, &ctx.run, &results, opts.tol)?;
+        print!("{report}");
+        regression = !report.is_clean();
     }
 
     println!(
@@ -217,5 +453,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed(),
         runner::memo_len()
     );
+    if regression {
+        std::process::exit(1);
+    }
     Ok(())
 }

@@ -13,6 +13,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod obs;
+
 use stacksim::runner::RunConfig;
 use stacksim_workload::Mix;
 
@@ -23,6 +25,7 @@ pub fn bench_run() -> RunConfig {
         warmup_cycles: 5_000,
         measure_cycles: 25_000,
         seed: 0xBE7C,
+        ..RunConfig::default()
     }
 }
 
@@ -32,6 +35,7 @@ pub fn full_run() -> RunConfig {
         warmup_cycles: 30_000,
         measure_cycles: 250_000,
         seed: 0xC0FFEE,
+        ..RunConfig::default()
     }
 }
 

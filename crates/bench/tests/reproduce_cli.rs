@@ -1,0 +1,117 @@
+//! End-to-end exit-code contract of the `reproduce` binary's
+//! `--out`/`--baseline` workflow, driven through the real executable.
+//!
+//! Uses the `thermal` experiment (no simulations) so each invocation is
+//! near-instant; the diff machinery is identical for every experiment.
+
+use std::fs;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn reproduce() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_reproduce"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-cli-{name}-{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn out_then_identical_baseline_exits_zero() {
+    let dir = tmp("identical");
+    let save = reproduce()
+        .args(["--only", "thermal", "--quick", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run reproduce --out");
+    assert!(
+        save.status.success(),
+        "{}",
+        String::from_utf8_lossy(&save.stderr)
+    );
+    assert!(dir.join("manifest.json").is_file());
+    assert!(dir.join("thermal.json").is_file());
+
+    let check = reproduce()
+        .args(["--only", "thermal", "--quick", "--baseline"])
+        .arg(&dir)
+        .output()
+        .expect("run reproduce --baseline");
+    assert!(
+        check.status.success(),
+        "identical baseline must pass: {}",
+        String::from_utf8_lossy(&check.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(stdout.contains("0 regression metric(s)"), "{stdout}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn perturbed_baseline_exits_nonzero() {
+    let dir = tmp("perturbed");
+    let save = reproduce()
+        .args(["--only", "thermal", "--quick", "--out"])
+        .arg(&dir)
+        .output()
+        .expect("run reproduce --out");
+    assert!(save.status.success());
+
+    // Inject a regression into one saved metric.
+    let path = dir.join("thermal.json");
+    let text = fs::read_to_string(&path).unwrap();
+    let needle = "\"max_c\": ";
+    let at = text.find(needle).expect("thermal.json has max_c") + needle.len();
+    let mut perturbed = text[..at].to_string();
+    perturbed.push_str("999.0");
+    perturbed.push_str(&text[at + text[at..].find([',', '\n']).unwrap()..]);
+    fs::write(&path, perturbed).unwrap();
+
+    let check = reproduce()
+        .args(["--only", "thermal", "--quick", "--baseline"])
+        .arg(&dir)
+        .output()
+        .expect("run reproduce --baseline");
+    assert_eq!(
+        check.status.code(),
+        Some(1),
+        "perturbed baseline must fail: {}",
+        String::from_utf8_lossy(&check.stdout)
+    );
+    let stdout = String::from_utf8_lossy(&check.stdout);
+    assert!(stdout.contains("[FAIL] thermal: max_c"), "{stdout}");
+    fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn bad_flags_exit_with_usage() {
+    let out = reproduce()
+        .args(["--only", "no-such-experiment"])
+        .output()
+        .expect("run reproduce");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("--list"));
+
+    let out = reproduce()
+        .args(["--tol", "-1"])
+        .output()
+        .expect("run reproduce");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn missing_baseline_directory_is_an_error() {
+    let out = reproduce()
+        .args([
+            "--only",
+            "thermal",
+            "--quick",
+            "--baseline",
+            "/nonexistent/stacksim-base",
+        ])
+        .output()
+        .expect("run reproduce");
+    assert!(!out.status.success());
+}

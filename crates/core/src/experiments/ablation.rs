@@ -30,8 +30,8 @@ fn gm_speedup(
     let results = run_matrix(&points)?;
     let vals: Vec<f64> = results
         .chunks(2)
-        .map(|pair| pair[1].speedup_over(&pair[0]))
-        .collect();
+        .map(|pair| pair[1].speedup_over(&pair[0]).map_err(ConfigError::from))
+        .collect::<Result<_, _>>()?;
     Ok(geometric_mean(&vals).expect("speedups are positive"))
 }
 
@@ -128,7 +128,7 @@ pub fn ablation_probing(
         let mut vals = Vec::with_capacity(mixes.len());
         for pair in group.chunks(2) {
             let (b, c) = (&pair[0], &pair[1]);
-            vals.push(c.speedup_over(b));
+            vals.push(c.speedup_over(b)?);
             probe_sum += c.stats.get("mshr_probes_per_access").unwrap_or(1.0);
         }
         rows.push(ProbingRow {
@@ -291,6 +291,7 @@ mod tests {
             warmup_cycles: 8_000,
             measure_cycles: 50_000,
             seed: 3,
+            ..RunConfig::default()
         }
     }
 

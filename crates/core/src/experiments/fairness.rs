@@ -135,6 +135,7 @@ mod tests {
             warmup_cycles: 8_000,
             measure_cycles: 40_000,
             seed: 6,
+            ..RunConfig::default()
         };
         let mixes = [Mix::by_name("HM3").unwrap()];
         let rows = fairness(&configs::cfg_3d_fast(), &run, &mixes).unwrap();
@@ -163,6 +164,7 @@ mod tests {
             warmup_cycles: 8_000,
             measure_cycles: 40_000,
             seed: 6,
+            ..RunConfig::default()
         };
         let mixes = [Mix::by_name("VH3").unwrap()];
         let slow = fairness(&configs::cfg_2d(), &run, &mixes).unwrap();

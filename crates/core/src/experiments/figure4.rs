@@ -103,9 +103,9 @@ pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result,
         rows.push(Figure4Row {
             mix,
             hmipc_2d: base.hmipc,
-            speedup_3d: d3.speedup_over(base),
-            speedup_wide: wide.speedup_over(base),
-            speedup_fast: fast.speedup_over(base),
+            speedup_3d: d3.speedup_over(base)?,
+            speedup_wide: wide.speedup_over(base)?,
+            speedup_fast: fast.speedup_over(base)?,
         });
     }
     let columns = |f: fn(&Figure4Row) -> f64| -> Vec<(&'static Mix, f64)> {

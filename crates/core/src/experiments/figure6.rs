@@ -133,12 +133,15 @@ fn baselines(
 
 /// Speedup GMs of one configuration's per-mix results over the prepared
 /// baselines.
-fn gms_vs(results: &[Arc<RunResult>], baselines: &[(&'static Mix, Arc<RunResult>)]) -> (f64, f64) {
+fn gms_vs(
+    results: &[Arc<RunResult>],
+    baselines: &[(&'static Mix, Arc<RunResult>)],
+) -> Result<(f64, f64), ConfigError> {
     let rows: Vec<(&'static Mix, f64)> = baselines
         .iter()
         .zip(results)
-        .map(|((mix, base), r)| (*mix, r.speedup_over(base)))
-        .collect();
+        .map(|((mix, base), r)| Ok((*mix, r.speedup_over(base)?)))
+        .collect::<Result<_, ConfigError>>()?;
     let hvh = if rows.iter().any(|(m, _)| {
         matches!(
             m.class,
@@ -149,7 +152,7 @@ fn gms_vs(results: &[Arc<RunResult>], baselines: &[(&'static Mix, Arc<RunResult>
     } else {
         gm_all(&rows)
     };
-    (hvh, gm_all(&rows))
+    Ok((hvh, gm_all(&rows)))
 }
 
 /// Runs every listed configuration over every mix as one matrix (so the
@@ -165,10 +168,10 @@ fn gms_per_config(
         .flat_map(|cfg| baselines.iter().map(|&(mix, _)| (cfg.clone(), mix, *run)))
         .collect();
     let results = run_matrix(&points)?;
-    Ok(results
+    results
         .chunks(baselines.len())
         .map(|chunk| gms_vs(chunk, baselines))
-        .collect())
+        .collect()
 }
 
 /// Runs the Figure 6(a) experiment.

@@ -113,8 +113,8 @@ impl Figure7Result {
     }
 }
 
-/// Runs the Figure 7 sweep on `base` (use [`configs::cfg_dual_mc`] for (a)
-/// and [`configs::cfg_quad_mc`] for (b)).
+/// Runs the Figure 7 sweep on `base` (use [`crate::configs::cfg_dual_mc`]
+/// for (a) and [`crate::configs::cfg_quad_mc`] for (b)).
 ///
 /// # Errors
 ///
@@ -145,8 +145,8 @@ pub fn figure7(
         let baseline = &group[0];
         let improvements = group[1..]
             .iter()
-            .map(|r| (r.speedup_over(baseline) - 1.0) * 100.0)
-            .collect();
+            .map(|r| Ok((r.speedup_over(baseline)? - 1.0) * 100.0))
+            .collect::<Result<_, ConfigError>>()?;
         rows.push(Figure7Row {
             mix,
             improvement_pct: improvements,
@@ -195,6 +195,7 @@ mod tests {
             warmup_cycles: 10_000,
             measure_cycles: 100_000,
             seed: 0xC0FFEE,
+            ..RunConfig::default()
         };
         let r = figure7(&base, &run, &mixes).unwrap();
         let row = &r.rows[0];

@@ -151,7 +151,7 @@ pub fn figure9(
                     vbf_probe_count += 1;
                 }
             }
-            improvements.push((r.speedup_over(baseline) - 1.0) * 100.0);
+            improvements.push((r.speedup_over(baseline)? - 1.0) * 100.0);
         }
         rows.push(Figure9Row {
             mix,

@@ -92,10 +92,10 @@ pub fn headline(run: &RunConfig, mixes: &[&'static Mix]) -> Result<HeadlineResul
         let [r2d, rfast, raggr, rmha] = &results[cfgs.len() * i..cfgs.len() * (i + 1)] else {
             unreachable!("run_matrix preserves point count")
         };
-        fast_over_2d.push((mix, rfast.speedup_over(r2d)));
-        aggr_over_fast.push((mix, raggr.speedup_over(rfast)));
-        mha_over_aggr.push((mix, rmha.speedup_over(raggr)));
-        total_over_2d.push((mix, rmha.speedup_over(r2d)));
+        fast_over_2d.push((mix, rfast.speedup_over(r2d)?));
+        aggr_over_fast.push((mix, raggr.speedup_over(rfast)?));
+        mha_over_aggr.push((mix, rmha.speedup_over(raggr)?));
+        total_over_2d.push((mix, rmha.speedup_over(r2d)?));
     }
     Ok(HeadlineResult {
         fast_over_2d: gm_memory_intensive(&fast_over_2d),

@@ -43,6 +43,7 @@ pub mod experiments;
 pub mod report;
 pub mod runner;
 mod system;
+pub mod trace;
 
 pub use config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
 pub use system::System;

@@ -166,6 +166,7 @@ mod tests {
             warmup_cycles: 5_000,
             measure_cycles: 25_000,
             seed: 4,
+            ..RunConfig::default()
         };
         let mixes = [Mix::by_name("HM3").unwrap()];
         let cmp = compare_configs(

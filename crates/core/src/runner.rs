@@ -18,18 +18,20 @@
 //! configuration identity so baselines shared between figures simulate
 //! exactly once per process.
 
+use core::fmt;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use stacksim_stats::{harmonic_mean, StatRecord};
+use stacksim_stats::{harmonic_mean, MetricsSink};
 use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
 use crate::system::System;
+use crate::trace::{Trace, TraceConfig};
 
-/// Length and seeding of one simulation run.
+/// Length, seeding and tracing of one simulation run.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct RunConfig {
     /// Cache/branch warmup cycles before measurement starts.
@@ -38,6 +40,10 @@ pub struct RunConfig {
     pub measure_cycles: u64,
     /// Seed for the workload generators.
     pub seed: u64,
+    /// Event streams to record during the measured window (off by default).
+    /// Part of the run identity, so traced and untraced runs of the same
+    /// point never share a memo entry.
+    pub trace: TraceConfig,
 }
 
 impl RunConfig {
@@ -47,7 +53,24 @@ impl RunConfig {
             warmup_cycles: 10_000,
             measure_cycles: 60_000,
             seed: 0xC0FFEE,
+            trace: TraceConfig::off(),
         }
+    }
+
+    /// This configuration with the given trace streams enabled.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim::runner::RunConfig;
+    /// use stacksim::trace::TraceConfig;
+    ///
+    /// let run = RunConfig::quick().with_trace(TraceConfig::all());
+    /// assert!(run.trace.any());
+    /// ```
+    pub fn with_trace(mut self, trace: TraceConfig) -> RunConfig {
+        self.trace = trace;
+        self
     }
 }
 
@@ -57,6 +80,7 @@ impl Default for RunConfig {
             warmup_cycles: 30_000,
             measure_cycles: 250_000,
             seed: 0xC0FFEE,
+            trace: TraceConfig::off(),
         }
     }
 }
@@ -77,19 +101,74 @@ pub struct RunResult {
     /// so the harmonic mean stays defined, but the floor is no longer
     /// silent: the affected cores are recorded here and warned on stderr.
     pub zero_commit_cores: Vec<usize>,
-    /// Full machine statistics at the end of the run.
-    pub stats: StatRecord,
+    /// Full machine statistics at the end of the run, as a hierarchical
+    /// metrics tree (use [`MetricsSink::get`] with the same dotted names
+    /// the old flat record used, e.g. `"l2.misses"`).
+    pub stats: MetricsSink,
+    /// Event streams recorded during the run; `None` unless
+    /// [`RunConfig::trace`] enabled at least one stream.
+    pub trace: Option<Trace>,
+}
+
+/// A speedup was requested between runs of *different* mixes, which is
+/// meaningless — HMIPC ratios only compare like against like.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MixMismatch {
+    /// Mix of the run the speedup was asked of.
+    pub ours: &'static str,
+    /// Mix of the baseline it was compared against.
+    pub baseline: &'static str,
+}
+
+impl fmt::Display for MixMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "speedup across different mixes: {} vs baseline {}",
+            self.ours, self.baseline
+        )
+    }
+}
+
+impl std::error::Error for MixMismatch {}
+
+impl From<MixMismatch> for ConfigError {
+    fn from(e: MixMismatch) -> ConfigError {
+        ConfigError::new(e.to_string())
+    }
 }
 
 impl RunResult {
     /// Speedup of this run over a baseline run of the same mix.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the runs are for different mixes.
-    pub fn speedup_over(&self, baseline: &RunResult) -> f64 {
-        assert_eq!(self.mix, baseline.mix, "speedup across different mixes");
-        self.hmipc / baseline.hmipc
+    /// Returns [`MixMismatch`] if the runs are for different mixes — a
+    /// cross-mix HMIPC ratio compares unrelated workloads and is never
+    /// meaningful, so the contract is an error, not a number.
+    ///
+    /// # Examples
+    ///
+    /// ```no_run
+    /// use stacksim::configs;
+    /// use stacksim::runner::{run_mix, RunConfig};
+    /// use stacksim_workload::Mix;
+    ///
+    /// let run = RunConfig::quick();
+    /// let mix = Mix::by_name("VH1").unwrap();
+    /// let base = run_mix(&configs::cfg_2d(), mix, &run).unwrap();
+    /// let fast = run_mix(&configs::cfg_3d_fast(), mix, &run).unwrap();
+    /// let speedup = fast.speedup_over(&base).unwrap();
+    /// assert!(speedup > 1.0);
+    /// ```
+    pub fn speedup_over(&self, baseline: &RunResult) -> Result<f64, MixMismatch> {
+        if self.mix != baseline.mix {
+            return Err(MixMismatch {
+                ours: self.mix,
+                baseline: baseline.mix,
+            });
+        }
+        Ok(self.hmipc / baseline.hmipc)
     }
 }
 
@@ -101,6 +180,11 @@ impl RunResult {
 pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResult, ConfigError> {
     let mut system = System::for_mix(cfg, mix, run.seed)?;
     system.run_cycles(run.warmup_cycles);
+    if run.trace.any() {
+        // Trace the measured window only; warmup events are not evaluation
+        // artifacts.
+        system.enable_tracing(run.trace);
+    }
     let before: Vec<u64> = (0..cfg.cores).map(|i| system.core_committed(i)).collect();
     system.run_cycles(run.measure_cycles);
     let committed: Vec<u64> = (0..cfg.cores)
@@ -126,13 +210,15 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
         .map(|&c| (c.max(1)) as f64 / run.measure_cycles as f64)
         .collect();
     let hmipc = harmonic_mean(&per_core_ipc).expect("ipc values are positive");
+    let trace = system.take_trace();
     Ok(RunResult {
         mix: mix.name,
         per_core_ipc,
         hmipc,
         committed,
         zero_commit_cores,
-        stats: system.stats(),
+        stats: system.metrics(),
+        trace,
     })
 }
 
@@ -146,6 +232,35 @@ pub type RunPoint = (SystemConfig, &'static Mix, RunConfig);
 
 /// Process-global default worker count set by `--jobs` (0 = unset).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// A per-point progress callback: `(points_done, points_total)` for the
+/// matrix currently running.
+pub type ProgressFn = Box<dyn Fn(usize, usize) + Send + Sync>;
+
+/// The process-wide progress reporter (see [`set_progress_reporter`]).
+static PROGRESS: OnceLock<Mutex<Option<ProgressFn>>> = OnceLock::new();
+
+fn progress_slot() -> &'static Mutex<Option<ProgressFn>> {
+    PROGRESS.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) a process-wide callback invoked once
+/// per completed matrix point by [`ParallelRunner::run_matrix`], with the
+/// number of points finished so far and the matrix size. Callbacks may be
+/// invoked from any worker thread; keep them cheap and re-entrant.
+pub fn set_progress_reporter(reporter: Option<ProgressFn>) {
+    *progress_slot().lock().expect("progress slot poisoned") = reporter;
+}
+
+fn report_progress(done: usize, total: usize) {
+    if let Some(f) = progress_slot()
+        .lock()
+        .expect("progress slot poisoned")
+        .as_ref()
+    {
+        f(done, total);
+    }
+}
 
 /// Sets the process-wide default worker count used by [`ParallelRunner::new`]
 /// (and therefore [`run_matrix`] / [`parallel_map`]). Overrides the
@@ -256,8 +371,12 @@ impl ParallelRunner {
     /// Returns the first (by input order) [`ConfigError`] if any point has
     /// an inconsistent configuration.
     pub fn run_matrix(&self, points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigError> {
+        let done = AtomicUsize::new(0);
+        let total = points.len();
         parallel_map(self.jobs, points, |(cfg, mix, run)| {
-            run_mix_cached(cfg, mix, run)
+            let result = run_mix_cached(cfg, mix, run);
+            report_progress(done.fetch_add(1, Ordering::Relaxed) + 1, total);
+            result
         })
         .into_iter()
         .collect()
@@ -363,16 +482,66 @@ mod tests {
         let mix = Mix::by_name("VH2").unwrap();
         let base = run_mix(&configs::cfg_2d(), mix, &run).unwrap();
         let fast = run_mix(&configs::cfg_3d_fast(), mix, &run).unwrap();
-        let s = fast.speedup_over(&base);
+        let s = fast.speedup_over(&base).unwrap();
         assert!(s > 1.2, "3D-fast should clearly beat 2D on streams: {s}");
     }
 
     #[test]
-    #[should_panic(expected = "different mixes")]
     fn speedup_requires_same_mix() {
         let run = RunConfig::quick();
         let a = run_mix(&configs::cfg_2d(), Mix::by_name("M1").unwrap(), &run).unwrap();
         let b = run_mix(&configs::cfg_2d(), Mix::by_name("M2").unwrap(), &run).unwrap();
-        let _ = a.speedup_over(&b);
+        let err = a.speedup_over(&b).unwrap_err();
+        assert_eq!(
+            err,
+            MixMismatch {
+                ours: "M1",
+                baseline: "M2"
+            }
+        );
+        assert!(err.to_string().contains("different mixes"));
+        let as_config: ConfigError = err.into();
+        assert!(as_config.to_string().contains("M2"));
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_run() {
+        let cfg = configs::cfg_3d_fast();
+        let mix = Mix::by_name("H2").unwrap();
+        let plain_cfg = RunConfig::quick();
+        let traced_cfg = RunConfig::quick().with_trace(crate::trace::TraceConfig::all());
+        let plain = run_mix(&cfg, mix, &plain_cfg).unwrap();
+        let traced = run_mix(&cfg, mix, &traced_cfg).unwrap();
+        // Tracing is observational: every measured number is bit-identical.
+        assert_eq!(plain.committed, traced.committed);
+        assert_eq!(plain.per_core_ipc, traced.per_core_ipc);
+        assert_eq!(plain.hmipc, traced.hmipc);
+        assert_eq!(plain.stats.flatten(), traced.stats.flatten());
+        // And only the traced run carries streams.
+        assert_eq!(plain.trace, None);
+        let trace = traced.trace.as_ref().expect("trace requested");
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn progress_reporter_sees_every_point() {
+        use std::sync::atomic::AtomicUsize;
+        static CALLS: AtomicUsize = AtomicUsize::new(0);
+        static LAST_TOTAL: AtomicUsize = AtomicUsize::new(0);
+        set_progress_reporter(Some(Box::new(|_done, total| {
+            CALLS.fetch_add(1, Ordering::Relaxed);
+            LAST_TOTAL.store(total, Ordering::Relaxed);
+        })));
+        let cfg = configs::cfg_2d();
+        let run = RunConfig::quick();
+        let points: Vec<RunPoint> = ["M1", "M2"]
+            .iter()
+            .map(|m| (cfg.clone(), Mix::by_name(m).unwrap(), run))
+            .collect();
+        let results = ParallelRunner::with_jobs(2).run_matrix(&points).unwrap();
+        set_progress_reporter(None);
+        assert_eq!(results.len(), 2);
+        assert_eq!(CALLS.load(Ordering::Relaxed), 2);
+        assert_eq!(LAST_TOTAL.load(Ordering::Relaxed), 2);
     }
 }

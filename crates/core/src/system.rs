@@ -10,9 +10,9 @@ use stacksim_cpu::{Core, CoreRequest};
 use stacksim_memctrl::{Completion, McConfig, MemRequest, MemoryController, RequestKind};
 use stacksim_mshr::{
     CamMshr, DirectMappedMshr, DynamicTuner, HierarchicalMshr, MissHandler, MissKind, MissTarget,
-    MshrKind, ProbeScheme, VbfMshr,
+    MshrKind, OccupancySample, ProbeScheme, VbfMshr,
 };
-use stacksim_stats::{Histogram, StatRecord};
+use stacksim_stats::{Histogram, MetricsSink, StatRecord};
 use stacksim_types::{
     AddressMapper, BusConfig, ClockDomain, ConfigError, CoreId, Cycle, Cycles, LineAddr,
 };
@@ -20,6 +20,7 @@ use stacksim_vm::PageAllocator;
 use stacksim_workload::{Mix, SyntheticWorkload, TraceGenerator};
 
 use crate::config::SystemConfig;
+use crate::trace::{QueueDepthSample, Trace, TraceConfig};
 
 /// Token bit marking a memory request as an L2-generated prefetch (no core
 /// and no MSHR entry waits on it; the fill populates the L2).
@@ -228,6 +229,10 @@ pub struct System {
     dropped_prefetches: u64,
     l2_prefetches_issued: u64,
     spurious_completions: u64,
+    // Event tracing. `trace` is `None` when tracing is disabled, so the hot
+    // loop pays one discriminant check per cycle and nothing else.
+    trace_cfg: TraceConfig,
+    trace: Option<Trace>,
 }
 
 impl System {
@@ -369,7 +374,65 @@ impl System {
             dropped_prefetches: 0,
             l2_prefetches_issued: 0,
             spurious_completions: 0,
+            trace_cfg: TraceConfig::off(),
+            trace: None,
         })
+    }
+
+    /// Turns on event tracing for the rest of the run, recording the streams
+    /// `cfg` selects. Call before [`run_cycles`](System::run_cycles); collect
+    /// the streams afterwards with [`take_trace`](System::take_trace).
+    pub fn enable_tracing(&mut self, cfg: TraceConfig) {
+        self.trace_cfg = cfg;
+        if !cfg.any() {
+            for mc in &mut self.mcs {
+                mc.set_cmd_tracing(false);
+            }
+            self.trace = None;
+            return;
+        }
+        for mc in &mut self.mcs {
+            mc.set_cmd_tracing(cfg.dram_cmds);
+        }
+        self.trace = Some(Trace::default());
+    }
+
+    /// Removes and returns the streams recorded since tracing was enabled
+    /// (`None` if tracing is off). Tracing stays enabled; the next call
+    /// returns only newer events.
+    pub fn take_trace(&mut self) -> Option<Trace> {
+        let mut trace = self.trace.take()?;
+        if self.trace_cfg.dram_cmds {
+            trace.dram_cmds = self.mcs.iter_mut().map(|mc| mc.take_cmd_trace()).collect();
+        }
+        self.trace = Some(Trace::default());
+        Some(trace)
+    }
+
+    /// Samples the periodic trace streams; called from the tick loop only
+    /// while tracing is enabled.
+    fn trace_sample(&mut self, now: Cycle) {
+        let cfg = self.trace_cfg;
+        if !cfg.samples() || !now.raw().is_multiple_of(cfg.sample_interval.max(1)) {
+            return;
+        }
+        let trace = self.trace.as_mut().expect("checked by caller");
+        if cfg.mshr_occupancy {
+            for (i, bank) in self.mshr_banks.iter().enumerate() {
+                trace
+                    .mshr_occupancy
+                    .push(OccupancySample::of(now, i, bank.as_ref()));
+            }
+        }
+        if cfg.mc_queue_depth {
+            for (i, mc) in self.mcs.iter().enumerate() {
+                trace.mc_queue_depth.push(QueueDepthSample {
+                    at: now,
+                    mc: i,
+                    depth: mc.queue_len(),
+                });
+            }
+        }
     }
 
     /// Current simulated time.
@@ -498,7 +561,12 @@ impl System {
             }
         }
 
-        // 5. Dynamic MSHR capacity tuning (§5.1).
+        // 5. Periodic trace sampling (one discriminant check when off).
+        if self.trace.is_some() {
+            self.trace_sample(now);
+        }
+
+        // 6. Dynamic MSHR capacity tuning (§5.1).
         if let Some(tuner) = &mut self.tuner {
             let committed: u64 = self.cores.iter().map(Core::committed).sum();
             if let Some(limit) = tuner.tick(now, committed) {
@@ -768,6 +836,33 @@ impl System {
         }
         r
     }
+
+    /// Exports the machine's statistics as a hierarchical [`MetricsSink`]:
+    /// system-level counters at the root, with one child per component
+    /// (`l2`, `core0..N`, `mc0..M`). Flattening the tree yields exactly the
+    /// same names and values as the flat [`stats`](System::stats) record,
+    /// so downstream lookups like `"mc0.ranks.refreshes"` work unchanged.
+    pub fn metrics(&self) -> MetricsSink {
+        let mut sink = MetricsSink::new("system");
+        sink.counter("cycles", self.now.raw());
+        sink.counter("committed", self.total_committed());
+        sink.counter("mshr_full_retries", self.mshr_full_retries);
+        sink.counter("dropped_prefetches", self.dropped_prefetches);
+        sink.counter("l2_prefetches_issued", self.l2_prefetches_issued);
+        sink.counter("spurious_completions", self.spurious_completions);
+        if let Some(p) = self.probes_per_access() {
+            sink.gauge("mshr_probes_per_access", p);
+        }
+        let occupancy: usize = self.mshr_banks.iter().map(|b| b.occupancy()).sum();
+        sink.counter("mshr_occupancy", occupancy as u64);
+        for record in std::iter::once(self.l2.stats())
+            .chain(self.cores.iter().map(Core::stats))
+            .chain(self.mcs.iter().map(MemoryController::stats))
+        {
+            sink.child_mut(record.component()).absorb_record(&record);
+        }
+        sink
+    }
 }
 
 /// Builds one L2 MSHR bank of the requested organization.
@@ -946,6 +1041,55 @@ mod tests {
         ] {
             assert!(stats.get(key).is_some(), "missing stat {key}");
         }
+    }
+
+    #[test]
+    fn metrics_tree_flattens_to_flat_stats() {
+        let cfg = configs::cfg_3d_fast();
+        let mix = Mix::by_name("H1").unwrap();
+        let mut sys = System::for_mix(&cfg, mix, 2).unwrap();
+        sys.run_cycles(5_000);
+        let flat: Vec<(String, f64)> = sys
+            .stats()
+            .iter()
+            .map(|(n, v)| (n.to_string(), v))
+            .collect();
+        let tree = sys.metrics().flatten();
+        assert_eq!(
+            tree, flat,
+            "hierarchical export must mirror the flat record"
+        );
+    }
+
+    #[test]
+    fn tracing_records_streams_without_changing_behaviour() {
+        let cfg = configs::cfg_3d_fast();
+        let mix = Mix::by_name("VH1").unwrap();
+        let mut plain = System::for_mix(&cfg, mix, 1).unwrap();
+        let mut traced = System::for_mix(&cfg, mix, 1).unwrap();
+        let mut tc = TraceConfig::all();
+        tc.sample_interval = 256;
+        traced.enable_tracing(tc);
+        plain.run_cycles(20_000);
+        traced.run_cycles(20_000);
+        // Tracing must be purely observational.
+        assert_eq!(plain.total_committed(), traced.total_committed());
+        let trace = traced.take_trace().unwrap();
+        assert!(
+            !trace.dram_cmds.iter().all(Vec::is_empty),
+            "commands traced"
+        );
+        assert!(!trace.mshr_occupancy.is_empty(), "occupancy sampled");
+        assert!(!trace.mc_queue_depth.is_empty(), "queue depth sampled");
+        // Command stream is time-ordered per controller.
+        for cmds in &trace.dram_cmds {
+            assert!(cmds.windows(2).all(|w| w[0].at <= w[1].at));
+        }
+        // The untraced system yields no trace.
+        assert_eq!(plain.take_trace(), None);
+        // A second take returns only newer events.
+        let again = traced.take_trace().unwrap();
+        assert!(again.is_empty());
     }
 
     #[test]

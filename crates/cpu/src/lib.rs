@@ -9,7 +9,8 @@
 //! throttles IPC (the substitution is documented in `DESIGN.md`).
 //!
 //! [`Core`] implements exactly that: each cycle it issues up to
-//! `issue_width` µops from its [`TraceGenerator`] into a reorder window,
+//! `issue_width` µops from its [`TraceGenerator`](stacksim_workload::TraceGenerator)
+//! into a reorder window,
 //! probes the DL1 for memory µops, allocates L1 MSHR entries on misses
 //! (merging secondaries, stalling when full), emits [`CoreRequest`]s toward
 //! the shared L2, and commits completed µops in order from the window head.

@@ -1,0 +1,109 @@
+//! DRAM command-stream trace events.
+
+use core::fmt;
+
+use stacksim_types::Cycle;
+
+/// One DRAM command kind, at the granularity a memory-controller trace
+/// records (the paper's row-level command protocol).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum DramCmdKind {
+    /// Open a row into the row buffer (tRCD).
+    Activate,
+    /// Column read from the open row (tCAS).
+    Read,
+    /// Column write to the open row.
+    Write,
+    /// Close the open row back into the array (tRP).
+    Precharge,
+    /// Periodic refresh stealing bank time.
+    Refresh,
+}
+
+impl DramCmdKind {
+    /// Short uppercase mnemonic (`ACT`, `RD`, `WR`, `PRE`, `REF`).
+    pub const fn mnemonic(&self) -> &'static str {
+        match self {
+            DramCmdKind::Activate => "ACT",
+            DramCmdKind::Read => "RD",
+            DramCmdKind::Write => "WR",
+            DramCmdKind::Precharge => "PRE",
+            DramCmdKind::Refresh => "REF",
+        }
+    }
+}
+
+impl fmt::Display for DramCmdKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One traced DRAM command: what was issued, where, and when.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_dram::{DramCmd, DramCmdKind};
+/// use stacksim_types::Cycle;
+///
+/// let cmd = DramCmd {
+///     at: Cycle::new(120),
+///     rank: 0,
+///     bank: 3,
+///     row: 0x2a,
+///     kind: DramCmdKind::Activate,
+/// };
+/// assert_eq!(cmd.to_string(), "120 ACT r0 b3 row 0x2a");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DramCmd {
+    /// Memory-clock cycle the command was issued.
+    pub at: Cycle,
+    /// Target rank index within the channel.
+    pub rank: usize,
+    /// Target bank index within the rank.
+    pub bank: usize,
+    /// Target row within the bank.
+    pub row: u64,
+    /// The command.
+    pub kind: DramCmdKind,
+}
+
+impl fmt::Display for DramCmd {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} r{} b{} row {:#x}",
+            self.at.raw(),
+            self.kind,
+            self.rank,
+            self.bank,
+            self.row
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(DramCmdKind::Activate.mnemonic(), "ACT");
+        assert_eq!(DramCmdKind::Precharge.to_string(), "PRE");
+        assert_eq!(DramCmdKind::Refresh.mnemonic(), "REF");
+    }
+
+    #[test]
+    fn display_is_one_line() {
+        let cmd = DramCmd {
+            at: Cycle::new(7),
+            rank: 1,
+            bank: 2,
+            row: 16,
+            kind: DramCmdKind::Read,
+        };
+        assert_eq!(cmd.to_string(), "7 RD r1 b2 row 0x10");
+    }
+}

@@ -32,11 +32,13 @@
 #![warn(missing_docs)]
 
 mod bank;
+mod cmd;
 mod power;
 mod rank;
 mod row_buffer;
 
 pub use bank::{AccessResult, Bank, BankConfig, PagePolicy};
+pub use cmd::{DramCmd, DramCmdKind};
 pub use power::{EnergyModel, EnergyReport};
 pub use rank::Rank;
 pub use row_buffer::{ProbeOutcome, RowBufferCache};

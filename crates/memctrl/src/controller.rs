@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use stacksim_dram::{BankConfig, PagePolicy, Rank};
+use stacksim_dram::{BankConfig, DramCmd, DramCmdKind, PagePolicy, Rank};
 use stacksim_stats::{Histogram, RunningStats, StatRecord};
 use stacksim_types::{BusConfig, ConfigError, Cycle, Cycles, DramTimingCycles, McId, LINE_BYTES};
 
@@ -69,6 +69,7 @@ pub struct MemoryController {
     queue: VecDeque<MemRequest>,
     in_flight: Vec<Completion>,
     bus_free: Cycle,
+    cmd_trace: Option<Vec<DramCmd>>,
     // Statistics.
     issued: u64,
     rejected: u64,
@@ -105,6 +106,7 @@ impl MemoryController {
             queue: VecDeque::with_capacity(config.queue_capacity),
             in_flight: Vec::new(),
             bus_free: Cycle::ZERO,
+            cmd_trace: None,
             issued: 0,
             rejected: 0,
             row_hits: 0,
@@ -219,6 +221,9 @@ impl MemoryController {
         if row_hit {
             self.row_hits += 1;
         }
+        if self.cmd_trace.is_some() {
+            self.trace_issue(&request, row_hit, now);
+        }
         self.queue_wait
             .record(now.saturating_since(request.arrival).raw() as f64);
         self.service_time.record((finished - now).raw() as f64);
@@ -264,6 +269,64 @@ impl MemoryController {
     /// Shared view of this controller's ranks.
     pub fn ranks(&self) -> &[Rank] {
         &self.ranks
+    }
+
+    /// Turns DRAM command tracing on or off. While enabled, every issued
+    /// request appends its row-level command sequence to an internal buffer
+    /// retrievable with [`take_cmd_trace`](Self::take_cmd_trace). Disabled
+    /// by default; turning tracing off discards any buffered commands.
+    pub fn set_cmd_tracing(&mut self, enabled: bool) {
+        self.cmd_trace = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// The commands buffered so far, if tracing is enabled.
+    pub fn cmd_trace(&self) -> Option<&[DramCmd]> {
+        self.cmd_trace.as_deref()
+    }
+
+    /// Removes and returns the buffered command trace (empty if tracing is
+    /// disabled). Tracing stays enabled if it was.
+    pub fn take_cmd_trace(&mut self) -> Vec<DramCmd> {
+        match self.cmd_trace.as_mut() {
+            Some(buf) => std::mem::take(buf),
+            None => Vec::new(),
+        }
+    }
+
+    /// Appends the row-level command sequence for one issued request.
+    ///
+    /// The sequence is synthesized from the observed row-buffer outcome and
+    /// the page policy: an open-page row hit is a bare column command; an
+    /// open-page miss is PRE + ACT + column; closed-page accesses are
+    /// ACT + column + PRE. Refreshes happen inside the bank model and show
+    /// up in the `ranks.refreshes` counter, not in this stream.
+    fn trace_issue(&mut self, request: &MemRequest, row_hit: bool, now: Cycle) {
+        let column = match request.kind {
+            RequestKind::Read => DramCmdKind::Read,
+            RequestKind::Writeback => DramCmdKind::Write,
+        };
+        let cmd = |kind| DramCmd {
+            at: now,
+            rank: request.location.rank_in_mc as usize,
+            bank: request.location.bank.index(),
+            row: request.location.row,
+            kind,
+        };
+        let trace = self.cmd_trace.as_mut().expect("checked by caller");
+        match self.config.page_policy {
+            PagePolicy::Open => {
+                if !row_hit {
+                    trace.push(cmd(DramCmdKind::Precharge));
+                    trace.push(cmd(DramCmdKind::Activate));
+                }
+                trace.push(cmd(column));
+            }
+            PagePolicy::Closed => {
+                trace.push(cmd(DramCmdKind::Activate));
+                trace.push(cmd(column));
+                trace.push(cmd(DramCmdKind::Precharge));
+            }
+        }
     }
 
     /// Exports final statistics (including aggregated rank counters).
@@ -466,6 +529,53 @@ mod tests {
         let (done, _) = run_until_complete(&mut mc, Cycle::ZERO);
         assert_eq!(done.len(), 1);
         assert!(!done[0].request.needs_reply());
+    }
+
+    #[test]
+    fn cmd_trace_records_issue_sequences() {
+        let (mut mc, mapper) = mc(SchedulerPolicy::FrFcfs, BusConfig::on_stack(64));
+        mc.set_cmd_tracing(true);
+        // Two lines in the same page: a miss (PRE+ACT+RD) then a hit (RD).
+        for (i, addr) in [PhysAddr::new(0), PhysAddr::new(64)]
+            .into_iter()
+            .enumerate()
+        {
+            mc.enqueue(MemRequest {
+                line: addr.line(),
+                location: mapper.decode(addr),
+                kind: RequestKind::Read,
+                core: CoreId::new(0),
+                arrival: Cycle::ZERO,
+                token: i as u64,
+            })
+            .unwrap();
+        }
+        run_until_complete(&mut mc, Cycle::ZERO);
+        let kinds: Vec<_> = mc.cmd_trace().unwrap().iter().map(|c| c.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                stacksim_dram::DramCmdKind::Precharge,
+                stacksim_dram::DramCmdKind::Activate,
+                stacksim_dram::DramCmdKind::Read,
+                stacksim_dram::DramCmdKind::Read,
+            ]
+        );
+        let taken = mc.take_cmd_trace();
+        assert_eq!(taken.len(), 4);
+        assert!(
+            mc.cmd_trace().unwrap().is_empty(),
+            "buffer drained, tracing still on"
+        );
+    }
+
+    #[test]
+    fn cmd_trace_disabled_buffers_nothing() {
+        let (mut mc, mapper) = mc(SchedulerPolicy::FrFcfs, BusConfig::on_stack(64));
+        mc.enqueue(read_req(&mapper, 0, 0)).unwrap();
+        run_until_complete(&mut mc, Cycle::ZERO);
+        assert_eq!(mc.cmd_trace(), None);
+        assert!(mc.take_cmd_trace().is_empty());
     }
 
     #[test]

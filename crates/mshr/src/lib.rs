@@ -45,6 +45,7 @@ mod dynamic;
 mod entry;
 mod handler;
 mod hierarchical;
+mod sample;
 mod vbf;
 
 pub use cam::CamMshr;
@@ -53,4 +54,5 @@ pub use dynamic::{DynamicTuner, TunerConfig, TunerPhase};
 pub use entry::{MissKind, MissTarget, MshrEntry};
 pub use handler::{AllocError, AllocOutcome, LookupResult, MissHandler, MshrKind};
 pub use hierarchical::HierarchicalMshr;
+pub use sample::OccupancySample;
 pub use vbf::{VbfMshr, VectorBloomFilter};

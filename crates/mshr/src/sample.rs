@@ -1,0 +1,105 @@
+//! MSHR occupancy trace samples.
+
+use core::fmt;
+
+use stacksim_types::Cycle;
+
+use crate::MissHandler;
+
+/// A point-in-time snapshot of one MSHR bank's occupancy, recorded by the
+/// system's tracing hooks at a fixed sampling interval.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_mshr::{MissHandler, OccupancySample, VbfMshr};
+/// use stacksim_types::Cycle;
+///
+/// let mshr = VbfMshr::new(8);
+/// let s = OccupancySample::of(Cycle::new(100), 0, &mshr);
+/// assert_eq!(s.occupancy, 0);
+/// assert_eq!(s.limit, 8);
+/// assert_eq!(s.to_string(), "100 mshr0 0/8");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OccupancySample {
+    /// Core-clock cycle of the sample.
+    pub at: Cycle,
+    /// Which MSHR bank was sampled.
+    pub bank: usize,
+    /// Entries allocated at the sample point.
+    pub occupancy: usize,
+    /// Capacity limit in force at the sample point (tracks the dynamic
+    /// tuner, so a time series shows limit changes).
+    pub limit: usize,
+}
+
+impl OccupancySample {
+    /// Snapshots a handler's current occupancy.
+    pub fn of(at: Cycle, bank: usize, handler: &dyn MissHandler) -> Self {
+        OccupancySample {
+            at,
+            bank,
+            occupancy: handler.occupancy(),
+            limit: handler.capacity_limit(),
+        }
+    }
+
+    /// Occupancy as a fraction of the in-force limit (0 when the limit is 0).
+    pub fn utilization(&self) -> f64 {
+        if self.limit == 0 {
+            0.0
+        } else {
+            self.occupancy as f64 / self.limit as f64
+        }
+    }
+}
+
+impl fmt::Display for OccupancySample {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} mshr{} {}/{}",
+            self.at.raw(),
+            self.bank,
+            self.occupancy,
+            self.limit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CamMshr;
+    use crate::{MissKind, MissTarget};
+    use stacksim_types::{CoreId, LineAddr};
+
+    #[test]
+    fn snapshots_live_handler() {
+        let mut m = CamMshr::new(4);
+        m.allocate(
+            LineAddr::new(1),
+            MissTarget::demand(CoreId::new(0), 0),
+            MissKind::Read,
+            Cycle::ZERO,
+        )
+        .unwrap();
+        let s = OccupancySample::of(Cycle::new(5), 2, &m);
+        assert_eq!(s.occupancy, 1);
+        assert_eq!(s.limit, 4);
+        assert_eq!(s.bank, 2);
+        assert!((s.utilization() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_limit_utilization() {
+        let s = OccupancySample {
+            at: Cycle::ZERO,
+            bank: 0,
+            occupancy: 0,
+            limit: 0,
+        };
+        assert_eq!(s.utilization(), 0.0);
+    }
+}

@@ -1,0 +1,665 @@
+//! Hierarchical, machine-readable metrics export.
+//!
+//! A [`MetricsSink`] mirrors the component tree of the simulated system
+//! (`system` → `l2`, `core0..N`, `mc0..M` → …) and holds each component's
+//! named metrics as typed values: counters, gauges, or histogram summaries.
+//! Insertion order of both metrics and children is preserved so exports
+//! read in the same stable order as the human-facing tables.
+//!
+//! Sinks serialize to JSON ([`MetricsSink::to_json`]) and to flat CSV
+//! ([`MetricsSink::to_csv`]), round-trip back from both, and can be diffed
+//! against a baseline with a relative tolerance ([`MetricsSink::diff`]) —
+//! the machinery behind `reproduce --out` / `reproduce --baseline`.
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_stats::{MetricValue, MetricsSink};
+//!
+//! let mut sys = MetricsSink::new("system");
+//! sys.counter("cycles", 60_000);
+//! let l2 = sys.child_mut("l2");
+//! l2.counter("hits", 90);
+//! l2.gauge("miss_rate", 0.1);
+//!
+//! assert_eq!(sys.get("cycles"), Some(60_000.0));
+//! assert_eq!(sys.get("l2.miss_rate"), Some(0.1));
+//!
+//! let json = sys.to_json();
+//! assert_eq!(MetricsSink::from_json(&json).unwrap(), sys);
+//! ```
+
+use core::fmt;
+
+use crate::json::Json;
+use crate::{Histogram, StatRecord};
+
+/// A five-number summary of a [`Histogram`], small enough to export per run.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct HistSummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Mean sample value (0 when empty).
+    pub mean: f64,
+    /// Median (p50) sample; 0 when empty or in the overflow bucket.
+    pub p50: u64,
+    /// Largest sample seen.
+    pub max: u64,
+    /// Samples past the dense bucket range.
+    pub overflow: u64,
+}
+
+impl HistSummary {
+    /// Summarizes a full histogram.
+    pub fn of(h: &Histogram) -> Self {
+        HistSummary {
+            count: h.count(),
+            mean: h.mean().unwrap_or(0.0),
+            p50: h.quantile(0.5).unwrap_or(0),
+            max: h.max_seen(),
+            overflow: h.overflow(),
+        }
+    }
+}
+
+/// One exported metric value.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum MetricValue {
+    /// A monotonic event count (row hits, retries, committed instructions).
+    Counter(u64),
+    /// A point-in-time or derived value (rates, means, temperatures).
+    Gauge(f64),
+    /// A distribution summary.
+    Histogram(HistSummary),
+}
+
+impl MetricValue {
+    /// The value as an `f64` — the counter value, the gauge, or the
+    /// histogram mean. This is the scalar used for flattening and diffing.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            MetricValue::Counter(n) => *n as f64,
+            MetricValue::Gauge(g) => *g,
+            MetricValue::Histogram(h) => h.mean,
+        }
+    }
+
+    /// Short type tag used in CSV exports: `counter`, `gauge`, or `hist`.
+    pub const fn kind(&self) -> &'static str {
+        match self {
+            MetricValue::Counter(_) => "counter",
+            MetricValue::Gauge(_) => "gauge",
+            MetricValue::Histogram(_) => "hist",
+        }
+    }
+}
+
+/// A hierarchical sink of named metrics: one node per simulated component,
+/// with ordered metrics and ordered child components.
+///
+/// `MetricsSink` replaces the flat [`StatRecord`] at run boundaries
+/// (devices still report `StatRecord`s, absorbed via
+/// [`MetricsSink::absorb_record`]); `docs/METRICS.md` documents the full
+/// schema.
+#[derive(Clone, Debug, PartialEq, Default)]
+pub struct MetricsSink {
+    name: String,
+    metrics: Vec<(String, MetricValue)>,
+    children: Vec<MetricsSink>,
+}
+
+/// One metric that differs between a run and its baseline.
+///
+/// Produced by [`MetricsSink::diff`]; `Display` renders a one-line
+/// human-readable description.
+#[derive(Clone, Debug, PartialEq)]
+pub struct MetricDiff {
+    /// Dotted path of the metric relative to the compared roots.
+    pub path: String,
+    /// Value in the baseline, if present there.
+    pub baseline: Option<f64>,
+    /// Value in the current run, if present there.
+    pub current: Option<f64>,
+}
+
+impl fmt::Display for MetricDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.baseline, self.current) {
+            (Some(b), Some(c)) => write!(f, "{}: baseline {b} vs current {c}", self.path),
+            (Some(b), None) => write!(f, "{}: baseline {b} missing from current run", self.path),
+            (None, Some(c)) => write!(f, "{}: current {c} missing from baseline", self.path),
+            (None, None) => write!(f, "{}: absent on both sides", self.path),
+        }
+    }
+}
+
+impl MetricsSink {
+    /// Creates an empty sink for a named component.
+    pub fn new(name: impl Into<String>) -> Self {
+        MetricsSink {
+            name: name.into(),
+            metrics: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The component name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Records (or overwrites) a counter metric.
+    pub fn counter(&mut self, name: impl Into<String>, value: u64) {
+        self.set(name.into(), MetricValue::Counter(value));
+    }
+
+    /// Records (or overwrites) a gauge metric.
+    pub fn gauge(&mut self, name: impl Into<String>, value: f64) {
+        self.set(name.into(), MetricValue::Gauge(value));
+    }
+
+    /// Records (or overwrites) a histogram summary metric.
+    pub fn histogram(&mut self, name: impl Into<String>, h: &Histogram) {
+        self.set(name.into(), MetricValue::Histogram(HistSummary::of(h)));
+    }
+
+    fn set(&mut self, name: String, value: MetricValue) {
+        if let Some(m) = self.metrics.iter_mut().find(|(n, _)| *n == name) {
+            m.1 = value;
+        } else {
+            self.metrics.push((name, value));
+        }
+    }
+
+    /// Returns the child component with this name, creating it (at the end
+    /// of the child list) if absent.
+    pub fn child_mut(&mut self, name: &str) -> &mut MetricsSink {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            &mut self.children[i]
+        } else {
+            self.children.push(MetricsSink::new(name));
+            self.children.last_mut().expect("just pushed")
+        }
+    }
+
+    /// The child component with this name, if present.
+    pub fn child(&self, name: &str) -> Option<&MetricsSink> {
+        self.children.iter().find(|c| c.name == name)
+    }
+
+    /// Child components in insertion order.
+    pub fn children(&self) -> impl Iterator<Item = &MetricsSink> {
+        self.children.iter()
+    }
+
+    /// This component's own `(name, value)` metrics in insertion order.
+    pub fn metrics(&self) -> impl Iterator<Item = (&str, &MetricValue)> {
+        self.metrics.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Copies a flat [`StatRecord`]'s entries into this node as gauges,
+    /// preserving order. Entry names keep any internal dots they already
+    /// have (e.g. `ranks.refreshes`).
+    pub fn absorb_record(&mut self, record: &StatRecord) {
+        for (name, value) in record.iter() {
+            self.gauge(name, value);
+        }
+    }
+
+    /// Looks up a metric by dotted path relative to this node, e.g.
+    /// `"l2.miss_rate"` or `"mc0.ranks.refreshes"`.
+    ///
+    /// Because metric names may themselves contain dots, the full remaining
+    /// path is tried as a local metric name first, then the first segment is
+    /// tried as a child component. Returns the scalar view of the metric
+    /// ([`MetricValue::as_f64`]).
+    pub fn get(&self, path: &str) -> Option<f64> {
+        self.get_value(path).map(MetricValue::as_f64)
+    }
+
+    /// Like [`MetricsSink::get`] but returns the typed value.
+    pub fn get_value(&self, path: &str) -> Option<&MetricValue> {
+        if let Some(m) = self.metrics.iter().find(|(n, _)| n == path) {
+            return Some(&m.1);
+        }
+        let (head, rest) = path.split_once('.')?;
+        self.child(head)?.get_value(rest)
+    }
+
+    /// Flattens the tree to `(dotted_path, scalar)` pairs in depth-first
+    /// order. The root's own name is *not* prefixed, so paths line up with
+    /// the flat [`StatRecord`] names the text reports use (`"l2.misses"`,
+    /// not `"system.l2.misses"`).
+    pub fn flatten(&self) -> Vec<(String, f64)> {
+        let mut out = Vec::new();
+        self.flatten_into("", &mut out);
+        out
+    }
+
+    fn flatten_into(&self, prefix: &str, out: &mut Vec<(String, f64)>) {
+        for (name, value) in &self.metrics {
+            out.push((format!("{prefix}{name}"), value.as_f64()));
+        }
+        for child in &self.children {
+            child.flatten_into(&format!("{prefix}{}.", child.name), out);
+        }
+    }
+
+    /// Total number of metrics in this node and all descendants.
+    pub fn len(&self) -> usize {
+        self.metrics.len() + self.children.iter().map(MetricsSink::len).sum::<usize>()
+    }
+
+    /// Whether the whole tree holds no metrics.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Serializes the tree to a [`Json`] object:
+    /// `{"name": ..., "metrics": {...}, "children": [...]}` with counters as
+    /// integers, gauges as numbers, and histogram summaries as objects.
+    pub fn to_json(&self) -> Json {
+        let metrics = self
+            .metrics
+            .iter()
+            .map(|(n, v)| {
+                let jv = match v {
+                    MetricValue::Counter(c) => Json::Num(*c as f64),
+                    MetricValue::Gauge(g) => Json::Num(*g),
+                    MetricValue::Histogram(h) => Json::Obj(vec![
+                        ("count".into(), Json::Num(h.count as f64)),
+                        ("mean".into(), Json::Num(h.mean)),
+                        ("p50".into(), Json::Num(h.p50 as f64)),
+                        ("max".into(), Json::Num(h.max as f64)),
+                        ("overflow".into(), Json::Num(h.overflow as f64)),
+                    ]),
+                };
+                (n.clone(), jv)
+            })
+            .collect();
+        let children = self.children.iter().map(MetricsSink::to_json).collect();
+        Json::Obj(vec![
+            ("name".into(), Json::Str(self.name.clone())),
+            ("metrics".into(), Json::Obj(metrics)),
+            ("children".into(), Json::Arr(children)),
+        ])
+    }
+
+    /// Reconstructs a sink from [`MetricsSink::to_json`] output.
+    ///
+    /// Counters round-trip as counters (an integer-valued number whose name
+    /// was written by [`MetricsSink::counter`] comes back as
+    /// [`MetricValue::Counter`] only if it is a non-negative integer — the
+    /// JSON carries no explicit tag, so exact integers are read as counters
+    /// and everything else as gauges; scalar views and diffs are unaffected).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message describing the first structural mismatch.
+    pub fn from_json(v: &Json) -> Result<MetricsSink, String> {
+        let name = v
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or("metrics node missing string 'name'")?;
+        let mut sink = MetricsSink::new(name);
+        let metrics = v
+            .get("metrics")
+            .and_then(Json::as_obj)
+            .ok_or("metrics node missing object 'metrics'")?;
+        for (mname, mval) in metrics {
+            let value = match mval {
+                Json::Num(n) if n.fract() == 0.0 && *n >= 0.0 && *n < 9.0e15 => {
+                    MetricValue::Counter(*n as u64)
+                }
+                Json::Num(n) => MetricValue::Gauge(*n),
+                Json::Obj(_) => {
+                    let field = |k: &str| {
+                        mval.get(k)
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("histogram '{mname}' missing '{k}'"))
+                    };
+                    MetricValue::Histogram(HistSummary {
+                        count: field("count")? as u64,
+                        mean: field("mean")?,
+                        p50: field("p50")? as u64,
+                        max: field("max")? as u64,
+                        overflow: field("overflow")? as u64,
+                    })
+                }
+                other => return Err(format!("metric '{mname}' has invalid value {other}")),
+            };
+            sink.set(mname.clone(), value);
+        }
+        let children = v
+            .get("children")
+            .and_then(Json::as_arr)
+            .ok_or("metrics node missing array 'children'")?;
+        for child in children {
+            sink.children.push(MetricsSink::from_json(child)?);
+        }
+        Ok(sink)
+    }
+
+    /// Serializes the tree to CSV with header `path,type,value` — one row
+    /// per metric, paths as in [`MetricsSink::flatten`], values as the
+    /// scalar view. Suitable for spreadsheets and `join`-style diffing.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_stats::MetricsSink;
+    ///
+    /// let mut s = MetricsSink::new("system");
+    /// s.child_mut("l2").counter("hits", 90);
+    /// assert_eq!(s.to_csv(), "path,type,value\nl2.hits,counter,90\n");
+    /// ```
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("path,type,value\n");
+        self.csv_rows("", &mut out);
+        out
+    }
+
+    fn csv_rows(&self, prefix: &str, out: &mut String) {
+        use fmt::Write;
+        for (name, value) in &self.metrics {
+            let path = format!("{prefix}{name}");
+            writeln!(
+                out,
+                "{},{},{}",
+                csv_field(&path),
+                value.kind(),
+                value.as_f64()
+            )
+            .expect("string write");
+        }
+        for child in &self.children {
+            child.csv_rows(&format!("{prefix}{}.", child.name), out);
+        }
+    }
+
+    /// Parses [`MetricsSink::to_csv`] output back into flat
+    /// `(path, type, value)` rows (the tree shape is not recoverable from
+    /// CSV; use JSON for lossless round-trips).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line.
+    pub fn parse_csv(text: &str) -> Result<Vec<(String, String, f64)>, String> {
+        let mut lines = text.lines();
+        match lines.next() {
+            Some("path,type,value") => {}
+            other => return Err(format!("bad CSV header {other:?}")),
+        }
+        let mut rows = Vec::new();
+        for (i, line) in lines.enumerate() {
+            let fields = split_csv_line(line);
+            let [path, kind, value] = fields.as_slice() else {
+                return Err(format!("CSV line {}: expected 3 fields", i + 2));
+            };
+            let value: f64 = value
+                .parse()
+                .map_err(|_| format!("CSV line {}: bad value '{value}'", i + 2))?;
+            rows.push((path.clone(), kind.clone(), value));
+        }
+        Ok(rows)
+    }
+
+    /// Compares this sink against a `baseline`, returning every metric whose
+    /// scalar value differs by more than `rel_tol` (relative to the larger
+    /// magnitude; exact-zero pairs always match), plus metrics present on
+    /// only one side. An empty result means the runs agree.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_stats::MetricsSink;
+    ///
+    /// let mut base = MetricsSink::new("system");
+    /// base.gauge("hmipc", 1.000);
+    /// let mut run = MetricsSink::new("system");
+    /// run.gauge("hmipc", 1.0001);
+    ///
+    /// assert!(run.diff(&base, 1e-3).is_empty());     // within tolerance
+    /// assert_eq!(run.diff(&base, 1e-6).len(), 1);    // beyond tolerance
+    /// ```
+    pub fn diff(&self, baseline: &MetricsSink, rel_tol: f64) -> Vec<MetricDiff> {
+        let ours = self.flatten();
+        let theirs = baseline.flatten();
+        let mut diffs = Vec::new();
+        for (path, current) in &ours {
+            match theirs.iter().find(|(p, _)| p == path) {
+                Some((_, base)) => {
+                    if !within_tol(*current, *base, rel_tol) {
+                        diffs.push(MetricDiff {
+                            path: path.clone(),
+                            baseline: Some(*base),
+                            current: Some(*current),
+                        });
+                    }
+                }
+                None => diffs.push(MetricDiff {
+                    path: path.clone(),
+                    baseline: None,
+                    current: Some(*current),
+                }),
+            }
+        }
+        for (path, base) in &theirs {
+            if !ours.iter().any(|(p, _)| p == path) {
+                diffs.push(MetricDiff {
+                    path: path.clone(),
+                    baseline: Some(*base),
+                    current: None,
+                });
+            }
+        }
+        diffs
+    }
+}
+
+fn within_tol(a: f64, b: f64, rel_tol: f64) -> bool {
+    if a == b {
+        return true; // covers exact zeros and identical values
+    }
+    if a.is_nan() && b.is_nan() {
+        return true; // both undefined (e.g. rate with zero denominator)
+    }
+    (a - b).abs() <= rel_tol * a.abs().max(b.abs())
+}
+
+/// Quotes a CSV field only when it needs it (commas, quotes, newlines).
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
+fn split_csv_line(line: &str) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut cur = String::new();
+    let mut chars = line.chars().peekable();
+    let mut quoted = false;
+    while let Some(c) = chars.next() {
+        match c {
+            '"' if quoted => {
+                if chars.peek() == Some(&'"') {
+                    chars.next();
+                    cur.push('"');
+                } else {
+                    quoted = false;
+                }
+            }
+            '"' if cur.is_empty() => quoted = true,
+            ',' if !quoted => fields.push(std::mem::take(&mut cur)),
+            c => cur.push(c),
+        }
+    }
+    fields.push(cur);
+    fields
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> MetricsSink {
+        let mut sys = MetricsSink::new("system");
+        sys.counter("cycles", 60_000);
+        sys.gauge("hmipc", 1.25);
+        let mut h = Histogram::new(8);
+        h.record(1);
+        h.record(3);
+        sys.histogram("probes", &h);
+        let l2 = sys.child_mut("l2");
+        l2.counter("hits", 90);
+        l2.gauge("miss_rate", 0.1);
+        let mc = sys.child_mut("mc0");
+        mc.gauge("ranks.refreshes", 12.5);
+        sys
+    }
+
+    #[test]
+    fn get_resolves_dotted_paths() {
+        let s = sample();
+        assert_eq!(s.get("cycles"), Some(60_000.0));
+        assert_eq!(s.get("l2.miss_rate"), Some(0.1));
+        // Metric name containing a dot wins over a (missing) child descent.
+        assert_eq!(s.get("mc0.ranks.refreshes"), Some(12.5));
+        assert_eq!(s.get("l2.nope"), None);
+        assert_eq!(s.get("nope"), None);
+    }
+
+    #[test]
+    fn flatten_matches_statrecord_naming() {
+        let s = sample();
+        let flat = s.flatten();
+        let names: Vec<&str> = flat.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(
+            names,
+            [
+                "cycles",
+                "hmipc",
+                "probes",
+                "l2.hits",
+                "l2.miss_rate",
+                "mc0.ranks.refreshes"
+            ]
+        );
+        assert_eq!(s.len(), 6);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn json_round_trip_is_lossless() {
+        let s = sample();
+        let parsed = MetricsSink::from_json(&Json::parse(&s.to_json().pretty()).unwrap()).unwrap();
+        assert_eq!(parsed, s);
+    }
+
+    #[test]
+    fn gauges_with_integer_values_round_trip_as_scalars() {
+        // A whole-valued gauge deserializes as a Counter (JSON carries no
+        // tag), but its scalar view — all that diffing uses — is unchanged.
+        let mut s = MetricsSink::new("x");
+        s.gauge("whole", 4.0);
+        let back = MetricsSink::from_json(&s.to_json()).unwrap();
+        assert_eq!(back.get("whole"), Some(4.0));
+        assert_eq!(back.flatten(), s.flatten());
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let s = sample();
+        let rows = MetricsSink::parse_csv(&s.to_csv()).unwrap();
+        assert_eq!(rows.len(), s.len());
+        assert_eq!(rows[0], ("cycles".into(), "counter".into(), 60_000.0));
+        assert_eq!(
+            rows.last().unwrap(),
+            &("mc0.ranks.refreshes".into(), "gauge".into(), 12.5)
+        );
+    }
+
+    #[test]
+    fn csv_quoting() {
+        assert_eq!(csv_field("plain"), "plain");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(split_csv_line("\"a,b\",c"), ["a,b", "c"]);
+        assert_eq!(
+            split_csv_line("\"he said \"\"hi\"\"\",2"),
+            ["he said \"hi\"", "2"]
+        );
+    }
+
+    #[test]
+    fn csv_rejects_malformed() {
+        assert!(MetricsSink::parse_csv("wrong,header\n").is_err());
+        assert!(MetricsSink::parse_csv("path,type,value\na,b\n").is_err());
+        assert!(MetricsSink::parse_csv("path,type,value\na,gauge,xyz\n").is_err());
+    }
+
+    #[test]
+    fn diff_flags_changes_and_missing() {
+        let base = sample();
+        let mut run = sample();
+        run.child_mut("l2").counter("hits", 95); // perturbed
+        run.gauge("extra", 1.0); // only in current
+        let diffs = run.diff(&base, 1e-9);
+        assert_eq!(diffs.len(), 2);
+        assert_eq!(diffs[0].path, "extra");
+        assert_eq!(diffs[1].path, "l2.hits");
+        assert_eq!(diffs[1].baseline, Some(90.0));
+        assert_eq!(diffs[1].current, Some(95.0));
+        assert!(diffs[1].to_string().contains("l2.hits"));
+
+        // Identical sinks never differ, at any tolerance.
+        assert!(base.diff(&base, 0.0).is_empty());
+    }
+
+    #[test]
+    fn diff_tolerance_is_relative() {
+        let mut a = MetricsSink::new("s");
+        a.gauge("v", 100.0);
+        let mut b = MetricsSink::new("s");
+        b.gauge("v", 100.05);
+        assert!(b.diff(&a, 1e-3).is_empty());
+        assert_eq!(b.diff(&a, 1e-6).len(), 1);
+        // NaN == NaN for diffing purposes (undefined rates).
+        let mut c = MetricsSink::new("s");
+        c.gauge("v", f64::NAN);
+        assert!(c.diff(&c.clone(), 0.0).is_empty());
+    }
+
+    #[test]
+    fn absorb_record_preserves_order() {
+        let mut rec = StatRecord::new("mc0");
+        rec.set("issued", 10.0);
+        rec.set("ranks.refreshes", 2.0);
+        let mut sink = MetricsSink::new("system");
+        sink.child_mut("mc0").absorb_record(&rec);
+        assert_eq!(sink.get("mc0.issued"), Some(10.0));
+        assert_eq!(sink.get("mc0.ranks.refreshes"), Some(2.0));
+    }
+
+    #[test]
+    fn overwrite_keeps_position() {
+        let mut s = MetricsSink::new("x");
+        s.counter("a", 1);
+        s.counter("b", 2);
+        s.counter("a", 3);
+        let flat = s.flatten();
+        assert_eq!(flat[0], ("a".into(), 3.0));
+        assert_eq!(flat.len(), 2);
+    }
+
+    #[test]
+    fn from_json_rejects_malformed() {
+        assert!(MetricsSink::from_json(&Json::parse("{}").unwrap()).is_err());
+        let bad = Json::parse(r#"{"name":"x","metrics":{"m":"str"},"children":[]}"#).unwrap();
+        assert!(MetricsSink::from_json(&bad).is_err());
+        let bad_hist =
+            Json::parse(r#"{"name":"x","metrics":{"h":{"count":1}},"children":[]}"#).unwrap();
+        assert!(MetricsSink::from_json(&bad_hist).is_err());
+    }
+}

@@ -70,7 +70,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t.row(vec![
             name.into(),
             format!("{:.3}", r.hmipc),
-            format!("{:.2}x", r.speedup_over(&base)),
+            format!("{:.2}x", r.speedup_over(&base)?),
         ]);
     }
     println!("{t}");

@@ -105,14 +105,21 @@ fn identical_runs_are_bit_identical() {
         warmup_cycles: 5_000,
         measure_cycles: 30_000,
         seed: 42,
+        ..RunConfig::default()
     };
     let mix = Mix::by_name("VH3").unwrap();
     let a = run_mix(&cfg, mix, &run).unwrap();
     let b = run_mix(&cfg, mix, &run).unwrap();
     assert_eq!(a.committed, b.committed);
     assert_eq!(a.per_core_ipc, b.per_core_ipc);
-    // Full stat records must agree too.
-    let pairs: Vec<_> = a.stats.iter().zip(b.stats.iter()).collect();
+    // Full metric trees must agree too.
+    let pairs: Vec<_> = a
+        .stats
+        .flatten()
+        .into_iter()
+        .zip(b.stats.flatten())
+        .collect();
+    assert!(!pairs.is_empty());
     for ((ka, va), (kb, vb)) in pairs {
         assert_eq!(ka, kb);
         assert_eq!(va, vb, "stat {ka} diverged");
@@ -143,6 +150,7 @@ fn hmipc_equals_harmonic_mean_of_core_ipcs() {
         warmup_cycles: 5_000,
         measure_cycles: 30_000,
         seed: 8,
+        ..RunConfig::default()
     };
     let r = run_mix(&cfg, Mix::by_name("HM1").unwrap(), &run).unwrap();
     let inv: f64 = r.per_core_ipc.iter().map(|i| 1.0 / i).sum();

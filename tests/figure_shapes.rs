@@ -12,6 +12,7 @@ fn run() -> RunConfig {
         warmup_cycles: 15_000,
         measure_cycles: 90_000,
         seed: 23,
+        ..RunConfig::default()
     }
 }
 

@@ -13,6 +13,7 @@ fn run() -> RunConfig {
         warmup_cycles: 15_000,
         measure_cycles: 90_000,
         seed: 11,
+        ..RunConfig::default()
     }
 }
 
@@ -66,7 +67,7 @@ fn gains_shrink_for_moderate_mixes() {
                 let mix = Mix::by_name(n).unwrap();
                 let base = run_mix(&configs::cfg_2d(), mix, &rc).unwrap();
                 let fast = run_mix(&configs::cfg_3d_fast(), mix, &rc).unwrap();
-                fast.speedup_over(&base)
+                fast.speedup_over(&base).unwrap()
             })
             .collect();
         geometric_mean(&vals).unwrap()

@@ -16,6 +16,7 @@ fn window(seed: u64) -> RunConfig {
         warmup_cycles: 8_000,
         measure_cycles: 40_000,
         seed,
+        ..RunConfig::default()
     }
 }
 

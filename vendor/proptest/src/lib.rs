@@ -2,10 +2,11 @@
 //!
 //! The build environment has no crates.io access, so this vendored crate
 //! implements the subset of proptest the workspace's property tests use:
-//! the [`proptest!`] macro, [`Strategy`]/[`prop_map`](Strategy::prop_map),
-//! [`prop_oneof!`], [`Just`], [`any`](arbitrary::any), integer-range
-//! strategies, tuple strategies, [`collection::vec`] /
-//! [`collection::hash_set`], and the `prop_assert*` macros.
+//! the [`proptest!`] macro, [`Strategy`](strategy::Strategy) with
+//! `prop_map`, [`prop_oneof!`], [`Just`](strategy::Just),
+//! [`any`](arbitrary::any), integer-range strategies, tuple strategies,
+//! [`collection::vec`] / [`collection::hash_set`], and the
+//! `prop_assert*` macros.
 //!
 //! Semantics match upstream with one deliberate simplification: failing
 //! cases are reported with their seed but **not shrunk**. Case generation
