@@ -22,6 +22,10 @@
 //!   agree exactly).
 //! * `--quick` — use the short CI window instead of publication windows
 //!   (for artifact smoke runs; baselines must use matching windows).
+//! * `--timings <file>` — write a JSON timing artifact: wall time per
+//!   experiment plus the fraction of simulated cycles the quiescence
+//!   fast-forward skipped (memoized experiments simulate nothing new, so
+//!   their fraction is `null`).
 //! * `--list` — list experiment names and exit.
 //!
 //! Every simulation point is a pure function of its configuration, so the
@@ -303,6 +307,47 @@ fn selects(only: &str, experiment: &str) -> bool {
             .is_some_and(|rest| rest.starts_with('-'))
 }
 
+/// Wall time and skip accounting for one experiment.
+struct Timing {
+    name: &'static str,
+    wall_seconds: f64,
+    skipped_cycles: u64,
+    ticked_cycles: u64,
+}
+
+/// Renders the `--timings` artifact: a self-describing JSON object with
+/// one entry per executed experiment. Simulations shared between
+/// experiments are memoized and only charged to the first runner, so an
+/// entry with no fresh cycles reports a `null` skip fraction.
+fn timings_json(timings: &[Timing], total_wall: f64, quick: bool) -> String {
+    let mut s = String::from("{\n");
+    s.push_str("  \"schema\": \"stacksim-bench-timings/1\",\n");
+    s.push_str(&format!("  \"quick\": {quick},\n"));
+    s.push_str(&format!("  \"jobs\": {},\n", runner::default_jobs()));
+    s.push_str(&format!("  \"total_wall_seconds\": {total_wall:.3},\n"));
+    s.push_str("  \"experiments\": [\n");
+    for (i, t) in timings.iter().enumerate() {
+        let cycles = t.skipped_cycles + t.ticked_cycles;
+        let fraction = if cycles == 0 {
+            "null".to_string()
+        } else {
+            format!("{:.4}", t.skipped_cycles as f64 / cycles as f64)
+        };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}, \"skipped_cycles\": {}, \
+             \"ticked_cycles\": {}, \"skipped_fraction\": {}}}{}\n",
+            t.name,
+            t.wall_seconds,
+            t.skipped_cycles,
+            t.ticked_cycles,
+            fraction,
+            if i + 1 < timings.len() { "," } else { "" },
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
 /// Command-line options.
 struct Options {
     only: Vec<String>,
@@ -311,6 +356,7 @@ struct Options {
     baseline: Option<PathBuf>,
     tol: f64,
     quick: bool,
+    timings: Option<PathBuf>,
     list: bool,
 }
 
@@ -322,6 +368,7 @@ fn parse_args() -> Result<Options, String> {
         baseline: None,
         tol: obs::DEFAULT_TOLERANCE,
         quick: false,
+        timings: None,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -362,6 +409,10 @@ fn parse_args() -> Result<Options, String> {
                 opts.tol = t;
             }
             "--quick" => opts.quick = true,
+            "--timings" => {
+                let file = args.next().ok_or("--timings needs a file path")?;
+                opts.timings = Some(PathBuf::from(file));
+            }
             "--list" => opts.list = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -376,7 +427,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("reproduce: {e}");
             eprintln!(
                 "usage: reproduce [--only <experiment>]... [--jobs <n>] [--out <dir>] \
-                 [--baseline <dir>] [--tol <rel>] [--quick] [--list]"
+                 [--baseline <dir>] [--tol <rel>] [--quick] [--timings <file>] [--list]"
             );
             std::process::exit(2);
         }
@@ -420,14 +471,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     })));
 
     let mut results: Vec<(String, MetricsSink)> = Vec::new();
+    let mut timings: Vec<Timing> = Vec::new();
     for (name, exp) in EXPERIMENTS {
         if !opts.only.is_empty() && !opts.only.iter().any(|o| selects(o, name)) {
             continue;
         }
+        let (skipped_before, ticked_before) = runner::skip_totals();
         let t = Instant::now();
         let (output, sink) = exp(&ctx)?;
+        let wall = t.elapsed();
         println!("{output}");
-        println!("[{name}: {:.1?}]\n", t.elapsed());
+        println!("[{name}: {wall:.1?}]\n");
+        let (skipped_after, ticked_after) = runner::skip_totals();
+        timings.push(Timing {
+            name,
+            wall_seconds: wall.as_secs_f64(),
+            skipped_cycles: skipped_after - skipped_before,
+            ticked_cycles: ticked_after - ticked_before,
+        });
         results.push((name.to_string(), sink));
     }
     runner::set_progress_reporter(None);
@@ -446,6 +507,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let report = obs::diff_against_baseline(dir, &ctx.run, &results, opts.tol)?;
         print!("{report}");
         regression = !report.is_clean();
+    }
+
+    if let Some(file) = &opts.timings {
+        let json = timings_json(&timings, t0.elapsed().as_secs_f64(), opts.quick);
+        std::fs::write(file, json)?;
+        println!("wrote timing artifact {}", file.display());
     }
 
     println!(

@@ -44,6 +44,12 @@ pub struct RunConfig {
     /// Part of the run identity, so traced and untraced runs of the same
     /// point never share a memo entry.
     pub trace: TraceConfig,
+    /// Quiescence fast-forwarding (on by default): skip cycles in which
+    /// the whole machine provably does nothing. Purely a simulator-speed
+    /// knob — every simulated outcome is bit-identical either way — but
+    /// part of the run identity so verification runs that disable it
+    /// never alias a fast-forwarded memo entry.
+    pub fast_forward: bool,
 }
 
 impl RunConfig {
@@ -54,7 +60,15 @@ impl RunConfig {
             measure_cycles: 60_000,
             seed: 0xC0FFEE,
             trace: TraceConfig::off(),
+            fast_forward: true,
         }
+    }
+
+    /// This configuration with fast-forwarding disabled (full per-cycle
+    /// simulation), for verifying that skipping changes nothing.
+    pub fn tick_by_tick(mut self) -> RunConfig {
+        self.fast_forward = false;
+        self
     }
 
     /// This configuration with the given trace streams enabled.
@@ -81,6 +95,7 @@ impl Default for RunConfig {
             measure_cycles: 250_000,
             seed: 0xC0FFEE,
             trace: TraceConfig::off(),
+            fast_forward: true,
         }
     }
 }
@@ -179,6 +194,7 @@ impl RunResult {
 /// Returns [`ConfigError`] if the configuration is inconsistent.
 pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResult, ConfigError> {
     let mut system = System::for_mix(cfg, mix, run.seed)?;
+    system.set_fast_forward(run.fast_forward);
     system.run_cycles(run.warmup_cycles);
     if run.trace.any() {
         // Trace the measured window only; warmup events are not evaluation
@@ -210,6 +226,8 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
         .map(|&c| (c.max(1)) as f64 / run.measure_cycles as f64)
         .collect();
     let hmipc = harmonic_mean(&per_core_ipc).expect("ipc values are positive");
+    SKIPPED_CYCLES_TOTAL.fetch_add(system.skipped_cycles(), Ordering::Relaxed);
+    TICKED_CYCLES_TOTAL.fetch_add(system.ticked_cycles(), Ordering::Relaxed);
     let trace = system.take_trace();
     Ok(RunResult {
         mix: mix.name,
@@ -229,6 +247,23 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
 /// One point of a run matrix: a machine configuration, the mix to run on
 /// it, and the run window.
 pub type RunPoint = (SystemConfig, &'static Mix, RunConfig);
+
+/// Process-wide totals of cycles fast-forwarded vs fully ticked across
+/// every [`run_mix`] in this process. Memoized results do not re-count:
+/// the totals measure simulation work actually performed.
+static SKIPPED_CYCLES_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static TICKED_CYCLES_TOTAL: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(skipped, ticked)` cycle totals over every run simulated so far in
+/// this process (fresh simulations only — memo hits add nothing). The
+/// reproduce binary snapshots deltas around each experiment to report
+/// per-experiment skipped-cycle fractions.
+pub fn skip_totals() -> (u64, u64) {
+    (
+        SKIPPED_CYCLES_TOTAL.load(Ordering::Relaxed),
+        TICKED_CYCLES_TOTAL.load(Ordering::Relaxed),
+    )
+}
 
 /// Process-global default worker count set by `--jobs` (0 = unset).
 static DEFAULT_JOBS: AtomicUsize = AtomicUsize::new(0);
@@ -513,10 +548,20 @@ mod tests {
         let plain = run_mix(&cfg, mix, &plain_cfg).unwrap();
         let traced = run_mix(&cfg, mix, &traced_cfg).unwrap();
         // Tracing is observational: every measured number is bit-identical.
+        // Only the fast-forward bookkeeping may differ — trace sampling
+        // imposes extra skip barriers, changing how the run was *executed*
+        // (more ticks, fewer skips) but nothing the machine *did*.
+        let machine = |r: &RunResult| {
+            r.stats
+                .flatten()
+                .into_iter()
+                .filter(|(name, _)| name != "ticked_cycles" && name != "skipped_cycles")
+                .collect::<Vec<_>>()
+        };
         assert_eq!(plain.committed, traced.committed);
         assert_eq!(plain.per_core_ipc, traced.per_core_ipc);
         assert_eq!(plain.hmipc, traced.hmipc);
-        assert_eq!(plain.stats.flatten(), traced.stats.flatten());
+        assert_eq!(machine(&plain), machine(&traced));
         // And only the traced run carries streams.
         assert_eq!(plain.trace, None);
         let trace = traced.trace.as_ref().expect("trace requested");

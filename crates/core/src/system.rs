@@ -85,6 +85,24 @@ enum EventKind {
     CoreFill { line: LineAddr, cores: Vec<CoreId> },
 }
 
+/// The MSHR allocation parameters a core request misses with. Shared by
+/// the L2 miss path and the fast-forward retry replay, which must charge
+/// the exact same allocation attempt.
+fn miss_params(req: &CoreRequest) -> (MissTarget, MissKind) {
+    let token = u64::from(req.is_write) << 1; // bit 0 = L2 origin (clear here)
+    let target = MissTarget {
+        core: req.core,
+        token,
+        is_prefetch: req.is_prefetch,
+    };
+    let kind = if req.is_write {
+        MissKind::Write
+    } else {
+        MissKind::Read
+    };
+    (target, kind)
+}
+
 /// Initial calendar-queue span in cycles. Covers every ordinary scheduling
 /// delay (L2 latency, wire paths, probe serialization); outliers trigger a
 /// doubling growth.
@@ -163,6 +181,49 @@ impl EventWheel {
         }
     }
 
+    /// Events due at the current cycle (including leftovers carried with
+    /// past timestamps), in the order [`take_due`](EventWheel::take_due)
+    /// will hand them out.
+    fn due_now(&self) -> &[EventKind] {
+        &self.slots[self.cursor]
+    }
+
+    /// The cycle of the earliest pending event, if any. Leftover events
+    /// carried forward with past timestamps live in the current slot, so
+    /// the scan starts there and `base` is a lower bound on the answer.
+    fn next_event_at(&self) -> Option<Cycle> {
+        if !self.slots[self.cursor].is_empty() {
+            return Some(Cycle::new(self.base));
+        }
+        self.next_event_after_now()
+    }
+
+    /// The cycle of the earliest event strictly after the current slot.
+    fn next_event_after_now(&self) -> Option<Cycle> {
+        if self.len == self.slots[self.cursor].len() {
+            return None; // every pending event (possibly none) is due now
+        }
+        let mask = self.slots.len() - 1;
+        (1..self.slots.len())
+            .find(|&off| !self.slots[(self.cursor + off) & mask].is_empty())
+            .map(|off| Cycle::new(self.base + off as u64))
+    }
+
+    /// Jumps the wheel `n` cycles forward in one step. The caller must
+    /// have proved (via [`next_event_at`](EventWheel::next_event_at)) that
+    /// no event lies in the skipped span, so the current and every
+    /// intermediate slot are empty and no leftover splicing is needed.
+    fn advance_by(&mut self, n: u64) {
+        debug_assert!(
+            self.next_event_at()
+                .is_none_or(|t| t.raw() >= self.base + n),
+            "fast-forward across a pending event"
+        );
+        let slots = self.slots.len() as u64;
+        self.cursor = (self.cursor + (n % slots) as usize) & (self.slots.len() - 1);
+        self.base += n;
+    }
+
     /// Moves to the next cycle. Events still in the outgoing slot (pushed
     /// after the drain with a zero delay) keep priority over the incoming
     /// cycle's events, as their smaller timestamp did in the heap.
@@ -223,6 +284,15 @@ pub struct System {
     l2_latency: Cycles,
     path_latency: Cycles,
     mc_clock_divisor: u64,
+    // Quiescence fast-forward (on unless a run disables it for
+    // verification): when a tick provably has nothing to do, `run_cycles`
+    // jumps straight to the next possible activity.
+    fast_forward: bool,
+    skipped_cycles: u64,
+    ticked_cycles: u64,
+    // Scratch buffer for prefetch candidates, reused across demand
+    // accesses instead of allocating per call.
+    pf_candidates: Vec<LineAddr>,
     // Statistics.
     probe_hist: Histogram,
     mshr_full_retries: u64,
@@ -369,6 +439,10 @@ impl System {
             path_latency: cfg.memory.path_latency,
             mc_clock_divisor: cfg.memory.mc_clock_divisor,
             cfg: cfg.clone(),
+            fast_forward: true,
+            skipped_cycles: 0,
+            ticked_cycles: 0,
+            pf_candidates: Vec::new(),
             probe_hist: Histogram::new(256),
             mshr_full_retries: 0,
             dropped_prefetches: 0,
@@ -470,11 +544,194 @@ impl System {
         self.probe_hist.mean()
     }
 
+    /// Turns quiescence fast-forwarding off (or back on). With it off,
+    /// every cycle runs the full tick loop. Results are bit-identical
+    /// either way — the flag exists so tests and debugging sessions can
+    /// verify exactly that.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Cycles advanced in bulk by quiescence fast-forwarding so far.
+    pub const fn skipped_cycles(&self) -> u64 {
+        self.skipped_cycles
+    }
+
+    /// Cycles executed by the full per-cycle loop so far.
+    pub const fn ticked_cycles(&self) -> u64 {
+        self.ticked_cycles
+    }
+
     /// Advances the machine by `n` cycles.
+    ///
+    /// Cycle-accurate in effect, activity-driven in cost: whenever the
+    /// machine is provably quiescent — every core blocked on memory, no
+    /// event due, no controller able to issue or complete, no tuner or
+    /// trace boundary pending — the loop computes the earliest cycle
+    /// anything *can* happen and jumps there in one step, bulk-replaying
+    /// the per-cycle statistics the skipped ticks would have recorded.
+    ///
     pub fn run_cycles(&mut self, n: u64) {
-        for _ in 0..n {
+        let end = self.now + Cycles::new(n);
+        while self.now < end {
+            if self.fast_forward {
+                if let Some(target) = self.skip_target(end) {
+                    self.fast_forward_to(target);
+                    if self.now >= end {
+                        break;
+                    }
+                }
+            }
             self.tick();
         }
+    }
+
+    /// When the machine is provably quiescent at `self.now`, returns the
+    /// earliest future cycle (clamped to `end`) at which anything can
+    /// happen; `None` when some component is active this cycle. Every
+    /// bound mirrors one stage of [`tick`](System::tick): core
+    /// commit/issue, the event wheel, MC completions, MC issue at the
+    /// controller clock, send-queue drains, trace sampling, and dynamic
+    /// MSHR tuner boundaries.
+    fn skip_target(&self, end: Cycle) -> Option<Cycle> {
+        let now = self.now;
+        let mut target = end;
+        // Checks are ordered cheapest-veto-first; since any veto returns
+        // None before `fast_forward_to` runs, the order cannot change
+        // what a skip does, only what a refused skip costs.
+        for core in &self.cores {
+            match core.next_activity(now) {
+                Some(t) if t <= now => return None,
+                Some(t) => target = target.min(t),
+                None => {}
+            }
+        }
+        // Events due this very cycle veto the skip — unless every one of
+        // them is an MSHR-full retry that would provably fail again, which
+        // `fast_forward_to` parks and replays in bulk instead. Split in
+        // two phases: a cheap tag scan here (anything that is not a
+        // retried L2 access vetoes immediately), with the per-event
+        // parkability proof deferred until every other check has already
+        // allowed the skip.
+        let due = self.events.due_now();
+        if due
+            .iter()
+            .any(|e| !matches!(e, EventKind::L2Access { retried: true, .. }))
+        {
+            return None;
+        }
+        let divisor = self.mc_clock_divisor;
+        for (i, mc) in self.mcs.iter().enumerate() {
+            if let Some(t) = mc.next_completion_at() {
+                if t <= now {
+                    return None;
+                }
+                target = target.min(t);
+            }
+            if !self.send_queues[i].is_empty() && mc.can_accept() {
+                return None;
+            }
+            if let Some(ready) = mc.next_issue_ready() {
+                // The controller acts on its own clock: round the
+                // bank-ready bound up to the next controller edge.
+                let edge = ready.max(now).raw().div_ceil(divisor) * divisor;
+                if edge <= now.raw() {
+                    return None;
+                }
+                target = target.min(Cycle::new(edge));
+            }
+        }
+        if self.trace.is_some() && self.trace_cfg.samples() {
+            let interval = self.trace_cfg.sample_interval.max(1);
+            if now.raw().is_multiple_of(interval) {
+                return None;
+            }
+            target = target.min(Cycle::new((now.raw() / interval + 1) * interval));
+        }
+        if let Some(tuner) = &self.tuner {
+            let boundary = tuner.next_boundary();
+            if boundary <= now {
+                return None;
+            }
+            target = target.min(boundary);
+        }
+        if target <= now {
+            return None;
+        }
+        // Phase two: prove each due retry would fail again. This is the
+        // expensive part (an L2 probe plus an MSHR lookup per event), so
+        // it runs only once everything else already permits the skip.
+        if !due.iter().all(|e| self.is_parkable_retry(e)) {
+            return None;
+        }
+        if let Some(t) = self.events.next_event_after_now() {
+            target = target.min(t);
+        }
+        (target > now).then_some(target)
+    }
+
+    /// Whether an event due this cycle is an MSHR-full retry that would
+    /// provably fail again: its line still absent from the L2 and its
+    /// bank still full with no entry to merge into. While the rest of the
+    /// machine is quiescent nothing can change that outcome — failing
+    /// `allocate` calls are pure across every MSHR organization and their
+    /// probe counts depend only on the untouched bank state — so the skip
+    /// can park the event and replay its per-cycle statistics in bulk.
+    fn is_parkable_retry(&self, event: &EventKind) -> bool {
+        let EventKind::L2Access { req, retried: true } = event else {
+            return false;
+        };
+        let bank = &self.mshr_banks[self.mapper.decode(req.line.base()).mc.index()];
+        if !bank.is_full() {
+            return false;
+        }
+        !self.l2.contains(req.line) && bank.entry(req.line).is_none()
+    }
+
+    /// Jumps `self.now` to `target`, replaying in bulk the only effects
+    /// the skipped ticks would have had: per-core stall counters, the
+    /// per-controller-clock queue-depth samples, and the failed allocation
+    /// attempts of any parked MSHR-full retries.
+    fn fast_forward_to(&mut self, target: Cycle) {
+        let from = self.now;
+        let n = target.raw() - from.raw();
+        debug_assert!(n > 0, "skip target must be in the future");
+        for core in &mut self.cores {
+            core.note_skipped(from, n);
+        }
+        let divisor = self.mc_clock_divisor;
+        let edges = target.raw().div_ceil(divisor) - from.raw().div_ceil(divisor);
+        if edges > 0 {
+            for mc in &mut self.mcs {
+                mc.note_skipped_ticks(edges);
+            }
+        }
+        // Parked MSHR-full retries would have fired and failed identically
+        // on each of the `n` skipped cycles: charge the failed attempts in
+        // bulk, then leave the events due again at `target`, behind any
+        // earlier-scheduled arrivals there, exactly as per-cycle
+        // rescheduling would have ordered them.
+        let parked = self.events.take_due();
+        for event in &parked {
+            let EventKind::L2Access { req, .. } = event else {
+                unreachable!("skip_target only parks L2 retry events");
+            };
+            let (miss_target, kind) = miss_params(req);
+            let bank = self.mapper.decode(req.line.base()).mc.index();
+            match self.mshr_banks[bank].allocate(req.line, miss_target, kind, from) {
+                Err(e) => {
+                    self.probe_hist.record_n(e.probes() as u64, n);
+                    self.mshr_full_retries += n;
+                }
+                Ok(_) => unreachable!("parked retries were proven unable to allocate"),
+            }
+        }
+        self.events.advance_by(n);
+        for event in parked {
+            self.events.push(target, event);
+        }
+        self.skipped_cycles += n;
+        self.now = target;
     }
 
     fn schedule(&mut self, at: Cycle, kind: EventKind) {
@@ -483,6 +740,7 @@ impl System {
 
     fn tick(&mut self) {
         let now = self.now;
+        self.ticked_cycles += 1;
 
         // 1. Cores issue/commit; their requests enter the L2 pipeline.
         let l2_arrival = now + self.l2_latency;
@@ -606,17 +864,7 @@ impl System {
             // waiting for the line.
             self.deliver_to_core(req.core, line);
         } else {
-            let token = u64::from(req.is_write) << 1; // bit 0 = L2 origin (clear here)
-            let target = MissTarget {
-                core: req.core,
-                token,
-                is_prefetch: req.is_prefetch,
-            };
-            let kind = if req.is_write {
-                MissKind::Write
-            } else {
-                MissKind::Read
-            };
+            let (target, kind) = miss_params(&req);
             if !self.allocate_l2_miss(line, target, kind) {
                 // MSHR bank full. Every core-originated request — demand or
                 // L1 prefetch — has an L1 MSHR entry waiting on this line,
@@ -674,14 +922,17 @@ impl System {
     }
 
     fn train_l2_prefetchers(&mut self, pc: u64, line: LineAddr) {
-        let mut candidates: Vec<LineAddr> = Vec::new();
+        // Reuse one scratch buffer across demand accesses; this runs on
+        // every (non-retried) demand reaching the L2.
+        let mut candidates = std::mem::take(&mut self.pf_candidates);
+        candidates.clear();
         if let Some(pf) = &mut self.l2_nextline {
             candidates.extend(pf.observe(pc, line));
         }
         if let Some(pf) = &mut self.l2_stride {
             candidates.extend(pf.observe(pc, line));
         }
-        for candidate in candidates {
+        for candidate in candidates.drain(..) {
             if self.l2.contains(candidate) {
                 continue;
             }
@@ -709,6 +960,7 @@ impl System {
             self.schedule(at, EventKind::McSend(req));
             self.l2_prefetches_issued += 1;
         }
+        self.pf_candidates = candidates;
     }
 
     fn handle_l1_writeback(&mut self, req: CoreRequest) {
@@ -817,6 +1069,8 @@ impl System {
     pub fn stats(&self) -> StatRecord {
         let mut r = StatRecord::new("system");
         r.set("cycles", self.now.raw() as f64);
+        r.set("ticked_cycles", self.ticked_cycles as f64);
+        r.set("skipped_cycles", self.skipped_cycles as f64);
         r.set("committed", self.total_committed() as f64);
         r.set("mshr_full_retries", self.mshr_full_retries as f64);
         r.set("dropped_prefetches", self.dropped_prefetches as f64);
@@ -845,6 +1099,8 @@ impl System {
     pub fn metrics(&self) -> MetricsSink {
         let mut sink = MetricsSink::new("system");
         sink.counter("cycles", self.now.raw());
+        sink.counter("ticked_cycles", self.ticked_cycles);
+        sink.counter("skipped_cycles", self.skipped_cycles);
         sink.counter("committed", self.total_committed());
         sink.counter("mshr_full_retries", self.mshr_full_retries);
         sink.counter("dropped_prefetches", self.dropped_prefetches);
@@ -1114,6 +1370,79 @@ mod tests {
 mod debug_tests {
     use super::*;
     use crate::configs;
+
+    #[test]
+    #[ignore = "diagnostic"]
+    fn skip_veto_probe() {
+        let cfg = configs::cfg_2d();
+        let mix = Mix::by_name("VH1").unwrap();
+        let mut sys = System::for_mix(&cfg, mix, 0xC0FFEE).unwrap();
+        let end = Cycle::new(70_000);
+        let mut vetoes: std::collections::BTreeMap<&'static str, u64> = Default::default();
+        let mut skippable = 0u64;
+        while sys.now < end {
+            let now = sys.now;
+            if sys.skip_target(end).is_some() {
+                skippable += 1;
+            } else {
+                let mut reason = "unknown";
+                if sys
+                    .cores
+                    .iter()
+                    .any(|c| c.next_activity(now).is_some_and(|t| t <= now))
+                {
+                    reason = "core-active";
+                } else if !sys.events.due_now().is_empty() {
+                    reason = if sys
+                        .events
+                        .due_now()
+                        .iter()
+                        .any(|e| sys.is_parkable_retry(e))
+                    {
+                        "event-due-mixed"
+                    } else {
+                        "event-due"
+                    };
+                } else if sys
+                    .mcs
+                    .iter()
+                    .any(|m| m.next_completion_at().is_some_and(|t| t <= now))
+                {
+                    reason = "mc-completion";
+                } else if sys
+                    .mcs
+                    .iter()
+                    .enumerate()
+                    .any(|(i, m)| !sys.send_queues[i].is_empty() && m.can_accept())
+                {
+                    reason = "send-queue";
+                } else {
+                    let d = sys.mc_clock_divisor;
+                    if sys.mcs.iter().any(|m| {
+                        m.next_issue_ready()
+                            .is_some_and(|r| r.max(now).raw().div_ceil(d) * d <= now.raw())
+                    }) {
+                        reason = "mc-issue";
+                    }
+                }
+                *vetoes.entry(reason).or_default() += 1;
+            }
+            sys.tick();
+        }
+        println!("skippable-this-cycle: {skippable}");
+        println!("vetoes: {vetoes:#?}");
+        let s = sys.stats();
+        for k in [
+            "mshr_full_retries",
+            "mshr_occupancy",
+            "committed",
+            "l2.misses",
+            "l2_prefetches_issued",
+            "mc0.issued",
+        ] {
+            println!("{k} = {:?}", s.get(k));
+        }
+    }
 
     #[test]
     #[ignore = "diagnostic"]

@@ -364,6 +364,69 @@ impl Core {
             .then(|| CoreRequest::writeback(self.id, victim.line))
     }
 
+    /// The earliest cycle at or after `now` at which this core can make
+    /// progress (commit or issue anything), or `None` if it is blocked
+    /// until a [`fill`](Core::fill) arrives. `Some(now)` means the core is
+    /// active this cycle and its owner must not fast-forward past it.
+    ///
+    /// Mirrors the order of checks in the cycle loop exactly: a `Done` or
+    /// due `ReadyAt` head commits; a non-full window with no stalled µop
+    /// always fetches fresh work once any fetch stall expires; a µop
+    /// stalled on a full L1 MSHR resumes only when its line arrived, its
+    /// line gained an entry, or an entry freed up — all of which happen in
+    /// `fill`, so a blocked verdict stays valid until then.
+    pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let commit_at = match self.window.front() {
+            Some(Slot::Done) => Some(now),
+            Some(Slot::ReadyAt(t)) => Some((*t).max(now)),
+            Some(Slot::Waiting(_)) | None => None,
+        };
+        if commit_at == Some(now) {
+            return Some(now);
+        }
+        let fetch_ready = self.fetch_stall_until.max(now);
+        let issue_at = if self.window.len() >= self.config.window {
+            None // issue is gated on commit draining the window
+        } else if let Some((_, line)) = &self.stalled_instr {
+            let unblocked = self.dl1.contains(*line)
+                || self.mshr.entry(*line).is_some()
+                || !self.mshr.is_full();
+            unblocked.then_some(fetch_ready)
+        } else {
+            Some(fetch_ready) // the generator always has another µop
+        };
+        match (commit_at, issue_at) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(t), None) | (None, Some(t)) => Some(t),
+            (None, None) => None,
+        }
+    }
+
+    /// Accounts for `n` skipped cycles starting at `from`, during which the
+    /// owner proved (via [`next_activity`](Core::next_activity)) that this
+    /// core could do nothing. Replays exactly the stall counters the
+    /// per-cycle loop would have incremented: `issue` charges a branch
+    /// stall while the front-end refills, otherwise a window stall when the
+    /// window is full, otherwise an MSHR stall on the held µop.
+    pub fn note_skipped(&mut self, from: Cycle, n: u64) {
+        let from_raw = from.raw();
+        let branch = self.fetch_stall_until.raw().clamp(from_raw, from_raw + n) - from_raw;
+        self.branch_stall_cycles += branch;
+        let rest = n - branch;
+        if rest == 0 {
+            return;
+        }
+        if self.window.len() >= self.config.window {
+            self.window_stall_cycles += rest;
+        } else {
+            debug_assert!(
+                self.stalled_instr.is_some(),
+                "a skipped core must be fetch-stalled, window-full or MSHR-stalled"
+            );
+            self.mshr_stall_cycles += rest;
+        }
+    }
+
     /// Outstanding L1 misses.
     pub fn outstanding_misses(&self) -> usize {
         self.mshr.occupancy()

@@ -173,8 +173,11 @@ impl MemoryController {
             return; // nothing to schedule; skip the pick machinery entirely
         }
         let pick = {
-            // VecDeque -> slice; the scheduler sees arrival order.
-            self.queue.make_contiguous();
+            // VecDeque -> slice; the scheduler sees arrival order. Only
+            // straighten the deque when it has actually wrapped.
+            if !self.queue.as_slices().1.is_empty() {
+                self.queue.make_contiguous();
+            }
             let (slice, _) = self.queue.as_slices();
             self.config.policy.pick(slice, &self.ranks, now)
         };
@@ -264,6 +267,27 @@ impl MemoryController {
     /// used by drain loops to fast-forward through idle stretches.
     pub fn next_completion_at(&self) -> Option<Cycle> {
         self.in_flight.iter().map(|c| c.finished).min()
+    }
+
+    /// The earliest cycle at which a [`tick`](Self::tick) could issue a
+    /// queued request per the configured policy, *before* rounding up to
+    /// the controller's clock edge (the caller owns the clock divisor).
+    /// `None` when the queue is empty. A value `<= now` means the
+    /// controller is issue-ready right now.
+    pub fn next_issue_ready(&self) -> Option<Cycle> {
+        self.config
+            .policy
+            .earliest_ready(self.queue.iter(), &self.ranks)
+    }
+
+    /// Replays `ticks` controller clock edges during which the owner
+    /// proved (via [`next_issue_ready`](Self::next_issue_ready) and
+    /// [`next_completion_at`](Self::next_completion_at)) that a `tick`
+    /// would do nothing: the only side effect of such a tick is the
+    /// queue-depth sample, recorded here in bulk so fast-forwarded runs
+    /// keep bit-identical statistics.
+    pub fn note_skipped_ticks(&mut self, ticks: u64) {
+        self.queue_depth.record_n(self.queue.len() as u64, ticks);
     }
 
     /// Shared view of this controller's ranks.

@@ -61,6 +61,26 @@ impl SchedulerPolicy {
             }
         }
     }
+
+    /// The earliest cycle at which [`pick`](Self::pick) could return a
+    /// request, before rounding to the controller's clock: the head
+    /// request's bank-free time for FIFO (which never looks past the
+    /// head), the first-free bank among all queued requests for FR-FCFS.
+    /// `None` for an empty queue. Used by the simulator's fast-forward to
+    /// bound how far an idle stretch can be skipped.
+    pub fn earliest_ready<'a>(
+        &self,
+        mut queue: impl Iterator<Item = &'a MemRequest>,
+        ranks: &[Rank],
+    ) -> Option<Cycle> {
+        let free_at = |req: &MemRequest| {
+            ranks[req.location.rank_in_mc as usize].bank_free_at(req.location.bank)
+        };
+        match self {
+            SchedulerPolicy::Fifo => queue.next().map(free_at),
+            SchedulerPolicy::FrFcfs => queue.map(free_at).min(),
+        }
+    }
 }
 
 #[cfg(test)]

@@ -126,6 +126,18 @@ impl DynamicTuner {
         &self.scores
     }
 
+    /// The next cycle at which [`tick`](Self::tick) can act: the end of the
+    /// current sampling or application window. Ticks strictly before this
+    /// cycle are no-ops, so a fast-forwarding owner may skip up to (but not
+    /// past) it without changing behaviour.
+    pub fn next_boundary(&self) -> Cycle {
+        let window = match self.phase {
+            TunerPhase::Sampling { .. } => self.config.sample_cycles,
+            TunerPhase::Applying => self.config.apply_cycles,
+        };
+        self.phase_start + stacksim_types::Cycles::new(window)
+    }
+
     /// Advances the controller. `committed_uops` is the machine's cumulative
     /// committed-µop counter. Returns `Some(limit)` whenever the limit
     /// changes (the caller should then reconfigure the MSHR), `None`
@@ -216,6 +228,24 @@ mod tests {
         t.tick(Cycle::new(30), 300).unwrap();
         // All candidates scored 100: the earliest (largest limit) wins.
         assert_eq!(t.current_limit(), 32);
+    }
+
+    #[test]
+    fn next_boundary_tracks_phase_windows() {
+        let mut t = DynamicTuner::new(32, cfg());
+        // Sampling phase: boundary at phase_start + sample_cycles, and
+        // every tick strictly before it is a no-op.
+        assert_eq!(t.next_boundary(), Cycle::new(10));
+        for c in 0..10 {
+            assert_eq!(t.tick(Cycle::new(c), 0), None);
+        }
+        assert!(t.tick(Cycle::new(10), 100).is_some());
+        assert_eq!(t.next_boundary(), Cycle::new(20));
+        t.tick(Cycle::new(20), 200).unwrap();
+        t.tick(Cycle::new(30), 300).unwrap();
+        // Applying phase: boundary stretches by apply_cycles.
+        assert_eq!(t.phase(), TunerPhase::Applying);
+        assert_eq!(t.next_boundary(), Cycle::new(80));
     }
 
     #[test]

@@ -62,6 +62,39 @@ impl Histogram {
         self.max_seen = self.max_seen.max(value);
     }
 
+    /// Records `count` samples of the same value, equivalent to calling
+    /// [`record`](Self::record) that many times. Used by the simulator's
+    /// fast-forward path to replay per-cycle samples for skipped stretches
+    /// in O(1) while keeping every summary (mean, quantiles, max)
+    /// bit-identical to tick-by-tick recording.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_stats::Histogram;
+    ///
+    /// let mut a = Histogram::new(8);
+    /// let mut b = Histogram::new(8);
+    /// a.record_n(3, 5);
+    /// for _ in 0..5 {
+    ///     b.record(3);
+    /// }
+    /// assert_eq!(a, b);
+    /// ```
+    #[inline]
+    pub fn record_n(&mut self, value: u64, count: u64) {
+        if count == 0 {
+            return;
+        }
+        match self.buckets.get_mut(value as usize) {
+            Some(b) => *b += count,
+            None => self.overflow += count,
+        }
+        self.count += count;
+        self.sum += value * count;
+        self.max_seen = self.max_seen.max(value);
+    }
+
     /// Number of samples recorded.
     pub const fn count(&self) -> u64 {
         self.count
@@ -228,6 +261,53 @@ mod tests {
         h.reset();
         assert_eq!(h.count(), 0);
         assert_eq!(h.bucket(2), 0);
+    }
+
+    #[test]
+    fn record_n_matches_repeated_record() {
+        // Dense values, the overflow bucket, and zero all behave exactly
+        // like `count` repeated `record` calls.
+        for (value, count) in [(0u64, 3u64), (2, 7), (4, 1), (9, 5)] {
+            let mut bulk = Histogram::new(4);
+            let mut looped = Histogram::new(4);
+            bulk.record_n(value, count);
+            for _ in 0..count {
+                looped.record(value);
+            }
+            assert_eq!(bulk, looped, "value {value} x{count}");
+        }
+    }
+
+    #[test]
+    fn record_n_zero_is_a_no_op() {
+        let mut h = Histogram::new(4);
+        h.record_n(2, 0);
+        assert_eq!(h, Histogram::new(4));
+        assert_eq!(h.mean(), None);
+    }
+
+    #[test]
+    fn record_n_summaries_match() {
+        // Interleave bulk and single recording; every derived summary must
+        // equal the fully-looped histogram's, bit for bit.
+        let mut bulk = Histogram::new(16);
+        let mut looped = Histogram::new(16);
+        let samples: &[(u64, u64)] = &[(1, 10), (3, 1), (3, 4), (7, 25), (12, 2), (40, 3)];
+        for &(value, count) in samples {
+            bulk.record_n(value, count);
+            for _ in 0..count {
+                looped.record(value);
+            }
+        }
+        assert_eq!(bulk, looped);
+        assert_eq!(bulk.count(), looped.count());
+        assert_eq!(bulk.sum(), looped.sum());
+        assert_eq!(bulk.mean(), looped.mean());
+        assert_eq!(bulk.max_seen(), looped.max_seen());
+        assert_eq!(bulk.overflow(), looped.overflow());
+        for q in [0.0, 0.25, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(bulk.quantile(q), looped.quantile(q), "quantile {q}");
+        }
     }
 
     #[test]

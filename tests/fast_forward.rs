@@ -1,0 +1,112 @@
+//! Quiescence fast-forward must be invisible: a run with cycle skipping
+//! enabled has to produce byte-for-byte the same simulated outcome — every
+//! committed count, every IPC, every metric, every trace event — as the
+//! same run ticked cycle by cycle.
+//!
+//! The only permitted difference is the simulator's own skip accounting
+//! (`ticked_cycles` / `skipped_cycles`), which describes how the run was
+//! *executed*, not what the machine *did*.
+
+use stacksim::config::SystemConfig;
+use stacksim::configs;
+use stacksim::runner::{run_mix, RunConfig, RunResult};
+use stacksim::trace::TraceConfig;
+use stacksim_mshr::{MshrKind, TunerConfig};
+use stacksim_workload::Mix;
+
+/// Flattened metric tree minus the skip meta-counters.
+fn machine_metrics(result: &RunResult) -> Vec<(String, f64)> {
+    result
+        .stats
+        .flatten()
+        .into_iter()
+        .filter(|(name, _)| name != "ticked_cycles" && name != "skipped_cycles")
+        .collect()
+}
+
+fn assert_bit_identical(label: &str, cfg: &SystemConfig, mix_name: &str, run: RunConfig) {
+    let mix = Mix::by_name(mix_name).expect("known mix");
+    let fast = run_mix(cfg, mix, &run).expect("fast-forward run");
+    let slow = run_mix(cfg, mix, &run.tick_by_tick()).expect("tick-by-tick run");
+
+    assert_eq!(fast.committed, slow.committed, "{label}: committed");
+    assert_eq!(fast.per_core_ipc, slow.per_core_ipc, "{label}: ipc");
+    assert_eq!(fast.hmipc, slow.hmipc, "{label}: hmipc");
+    assert_eq!(
+        fast.zero_commit_cores, slow.zero_commit_cores,
+        "{label}: zero-commit cores"
+    );
+    assert_eq!(fast.trace, slow.trace, "{label}: trace streams");
+    let fast_metrics = machine_metrics(&fast);
+    let slow_metrics = machine_metrics(&slow);
+    assert_eq!(
+        fast_metrics.len(),
+        slow_metrics.len(),
+        "{label}: metric count"
+    );
+    for (f, s) in fast_metrics.iter().zip(&slow_metrics) {
+        assert_eq!(f, s, "{label}: metric {}", s.0);
+    }
+
+    // The tick-by-tick run must really have ticked every cycle, and the
+    // fast run must account for every cycle one way or the other.
+    let cycles = slow.stats.get("cycles").expect("cycles metric");
+    assert_eq!(slow.stats.get("skipped_cycles"), Some(0.0), "{label}");
+    assert_eq!(slow.stats.get("ticked_cycles"), Some(cycles), "{label}");
+    let skipped = fast.stats.get("skipped_cycles").expect("skip counter");
+    let ticked = fast.stats.get("ticked_cycles").expect("tick counter");
+    assert_eq!(skipped + ticked, cycles, "{label}: cycle accounting");
+}
+
+#[test]
+fn fast_forward_matches_tick_by_tick_on_2d() {
+    // Off-chip memory, single MC: long stalls, the skip-friendliest case.
+    assert_bit_identical("2d/VH1", &configs::cfg_2d(), "VH1", RunConfig::quick());
+    assert_bit_identical("2d/M1", &configs::cfg_2d(), "M1", RunConfig::quick());
+}
+
+#[test]
+fn fast_forward_matches_tick_by_tick_on_3d_multi_mc() {
+    let cfg = configs::cfg_quad_mc();
+    assert_bit_identical("quad-mc/VH2", &cfg, "VH2", RunConfig::quick());
+    assert_bit_identical("quad-mc/HM1", &cfg, "HM1", RunConfig::quick());
+}
+
+#[test]
+fn fast_forward_matches_tick_by_tick_with_vbf_and_dynamic_mshr() {
+    // VBF MSHRs add probe-latency events; the dynamic tuner adds phase
+    // boundaries the skip must stop at.
+    let cfg = configs::cfg_dual_mc()
+        .with_mshr_kind(MshrKind::Vbf)
+        .with_mshr_scale(8)
+        .with_dynamic_mshr(TunerConfig {
+            sample_cycles: 500,
+            apply_cycles: 5_000,
+            divisors: vec![1, 2, 4],
+        });
+    assert_bit_identical("vbf+tuner/VH1", &cfg, "VH1", RunConfig::quick());
+}
+
+#[test]
+fn fast_forward_matches_tick_by_tick_while_tracing() {
+    // Sampled trace streams impose periodic barriers; the streams
+    // themselves (timestamps included) must come out identical.
+    let mut trace = TraceConfig::all();
+    trace.sample_interval = 512;
+    let run = RunConfig::quick().with_trace(trace);
+    assert_bit_identical("traced/H1", &configs::cfg_3d_fast(), "H1", run);
+}
+
+#[test]
+fn memory_bound_mixes_skip_most_cycles() {
+    // The point of the whole exercise: on a memory-bound mix the machine
+    // is quiescent more often than not.
+    let mix = Mix::by_name("VH1").expect("known mix");
+    let result = run_mix(&configs::cfg_2d(), mix, &RunConfig::quick()).expect("run");
+    let skipped = result.stats.get("skipped_cycles").expect("skip counter");
+    let cycles = result.stats.get("cycles").expect("cycles");
+    assert!(
+        skipped > 0.4 * cycles,
+        "expected a majority-ish skip fraction, got {skipped} of {cycles}"
+    );
+}
