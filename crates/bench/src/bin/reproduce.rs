@@ -26,6 +26,11 @@
 //!   experiment plus the fraction of simulated cycles the quiescence
 //!   fast-forward skipped (memoized experiments simulate nothing new, so
 //!   their fraction is `null`).
+//! * `--check-protocol` — trace DRAM command streams during every run and
+//!   audit them against the JEDEC-style timing invariants after the
+//!   experiments finish (see `docs/TESTING.md`); any violation makes the
+//!   process exit non-zero. Tracing changes no simulated behaviour, but
+//!   traced windows are not memo-compatible with untraced baselines.
 //! * `--list` — list experiment names and exit.
 //!
 //! Every simulation point is a pure function of its configuration, so the
@@ -45,8 +50,10 @@ use stacksim::experiments::{
     thermal_check, Figure7Result, Figure9Result,
 };
 use stacksim::runner::{self, RunConfig};
+use stacksim::trace::TraceConfig;
 use stacksim_bench::full_run;
 use stacksim_bench::obs;
+use stacksim_simcheck::protocol::{check_trace, ProtocolParams};
 use stacksim_stats::MetricsSink;
 use stacksim_workload::{Benchmark, Mix};
 
@@ -357,6 +364,7 @@ struct Options {
     tol: f64,
     quick: bool,
     timings: Option<PathBuf>,
+    check_protocol: bool,
     list: bool,
 }
 
@@ -369,6 +377,7 @@ fn parse_args() -> Result<Options, String> {
         tol: obs::DEFAULT_TOLERANCE,
         quick: false,
         timings: None,
+        check_protocol: false,
         list: false,
     };
     let mut args = std::env::args().skip(1);
@@ -413,6 +422,7 @@ fn parse_args() -> Result<Options, String> {
                 let file = args.next().ok_or("--timings needs a file path")?;
                 opts.timings = Some(PathBuf::from(file));
             }
+            "--check-protocol" => opts.check_protocol = true,
             "--list" => opts.list = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -427,7 +437,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("reproduce: {e}");
             eprintln!(
                 "usage: reproduce [--only <experiment>]... [--jobs <n>] [--out <dir>] \
-                 [--baseline <dir>] [--tol <rel>] [--quick] [--timings <file>] [--list]"
+                 [--baseline <dir>] [--tol <rel>] [--quick] [--timings <file>] \
+                 [--check-protocol] [--list]"
             );
             std::process::exit(2);
         }
@@ -444,10 +455,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let t0 = Instant::now();
     let ctx = Ctx {
-        run: if opts.quick {
-            RunConfig::quick()
-        } else {
-            full_run()
+        run: {
+            let mut run = if opts.quick {
+                RunConfig::quick()
+            } else {
+                full_run()
+            };
+            if opts.check_protocol {
+                run = run.with_trace(TraceConfig {
+                    dram_cmds: true,
+                    ..TraceConfig::off()
+                });
+            }
+            run
         },
         mixes: Mix::all().iter().collect(),
         hv: Mix::memory_intensive().collect(),
@@ -493,6 +513,42 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     runner::set_progress_reporter(None);
 
+    // Post-hoc audit: replay the DRAM protocol checker over every traced
+    // command stream the experiments produced. Purely an inspection of the
+    // memoized results — nothing is re-simulated.
+    let mut protocol_violations = 0usize;
+    if opts.check_protocol {
+        let mut runs = 0usize;
+        let mut commands = 0usize;
+        runner::for_each_cached_run(|cfg, mix, run, result| {
+            if !run.trace.dram_cmds {
+                return;
+            }
+            let Some(trace) = result.trace.as_ref() else {
+                return;
+            };
+            runs += 1;
+            commands += trace.dram_cmds.iter().map(Vec::len).sum::<usize>();
+            match ProtocolParams::for_config(cfg) {
+                Ok(params) => {
+                    let found = check_trace(&params, trace);
+                    for v in found.iter().take(3) {
+                        eprintln!("protocol: {mix}: {v}");
+                    }
+                    protocol_violations += found.len();
+                }
+                Err(e) => {
+                    eprintln!("protocol: {mix}: cannot derive timing parameters: {e}");
+                    protocol_violations += 1;
+                }
+            }
+        });
+        println!(
+            "protocol check: {runs} traced run(s), {commands} DRAM command(s), \
+             {protocol_violations} violation(s)"
+        );
+    }
+
     if let Some(dir) = &opts.out {
         let manifest = obs::write_outputs(dir, &ctx.run, &results)?;
         println!(
@@ -520,7 +576,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed(),
         runner::memo_len()
     );
-    if regression {
+    if regression || protocol_violations > 0 {
         std::process::exit(1);
     }
     Ok(())

@@ -154,15 +154,37 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] for: zero cores, L2 banks not divisible by
-    /// the MC count (the streamlined floorplan needs the alignment), MSHR
-    /// entries not divisible by the MC count, an MRQ smaller than the MC
-    /// count, or an invalid memory geometry.
+    /// Returns [`ConfigError`] for: zero cores, a non-positive core clock,
+    /// L2 banks not divisible by the MC count (the streamlined floorplan
+    /// needs the alignment), MSHR entries not divisible by the MC count, an
+    /// MRQ smaller than the MC count, an invalid memory geometry, zero row
+    /// buffers per bank, or a refresh period that is non-positive or rounds
+    /// to zero cycles per row (either would abort bank construction).
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 {
             return Err(ConfigError::new("need at least one core"));
         }
-        self.geometry()?;
+        if self.core_hz.is_nan() || self.core_hz <= 0.0 {
+            return Err(ConfigError::new("core clock must be positive"));
+        }
+        let geometry = self.geometry()?;
+        if self.memory.row_buffer_entries == 0 {
+            return Err(ConfigError::new("need at least one row buffer per bank"));
+        }
+        if let Some(period) = self.memory.refresh.period_ms {
+            if period.is_nan() || period <= 0.0 {
+                return Err(ConfigError::new("refresh period must be positive"));
+            }
+            let interval = self
+                .memory
+                .refresh
+                .row_interval(geometry.rows_per_bank(), self.core_hz);
+            if interval.is_some_and(|i| i.raw() == 0) {
+                return Err(ConfigError::new(
+                    "refresh period rounds to zero cycles per row",
+                ));
+            }
+        }
         let mcs = self.memory.mcs as usize;
         if !(self.l2_banks as usize).is_multiple_of(mcs) {
             return Err(ConfigError::new(format!(
@@ -271,6 +293,23 @@ mod tests {
         cfg.mshr.total_entries = 6; // not divisible by 4
         assert!(cfg.validate().is_err());
         cfg.mshr.total_entries = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn degenerate_dram_parameters_rejected() {
+        let mut cfg = configs::cfg_2d();
+        cfg.memory.row_buffer_entries = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = configs::cfg_2d();
+        cfg.memory.refresh.period_ms = Some(0.0);
+        assert!(cfg.validate().is_err());
+        let mut cfg = configs::cfg_2d();
+        // A period this short rounds to zero cycles per row.
+        cfg.memory.refresh.period_ms = Some(1e-9);
+        assert!(cfg.validate().is_err());
+        let mut cfg = configs::cfg_2d();
+        cfg.core_hz = 0.0;
         assert!(cfg.validate().is_err());
     }
 

@@ -455,6 +455,29 @@ pub fn memo_len() -> usize {
     memo().lock().expect("memo poisoned").len()
 }
 
+/// Visits every *successful* memoized run in this process, in no
+/// particular order. The post-hoc audit hook: `reproduce
+/// --check-protocol` replays the protocol checker over every traced run
+/// the experiments produced, without re-simulating anything.
+///
+/// The callback runs outside the memo lock, so it may itself trigger
+/// [`run_mix_cached`] calls; runs completing concurrently with the
+/// snapshot may or may not be visited.
+pub fn for_each_cached_run<F>(mut f: F)
+where
+    F: FnMut(&SystemConfig, &'static str, &RunConfig, &Arc<RunResult>),
+{
+    let cells: Vec<(MemoKey, MemoCell)> = {
+        let map = memo().lock().expect("memo poisoned");
+        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+    };
+    for ((cfg, mix, run), cell) in &cells {
+        if let Some(Ok(result)) = cell.get() {
+            f(cfg, mix, run, result);
+        }
+    }
+}
+
 /// Memoized [`run_mix`]: the first call for a given `(cfg, mix, run)`
 /// triple simulates, every later call — from any thread — returns the same
 /// shared [`RunResult`]. Baselines shared across experiments therefore

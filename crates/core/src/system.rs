@@ -1337,9 +1337,18 @@ mod tests {
         );
         assert!(!trace.mshr_occupancy.is_empty(), "occupancy sampled");
         assert!(!trace.mc_queue_depth.is_empty(), "queue depth sampled");
-        // Command stream is time-ordered per controller.
+        // Command stream is time-ordered per (rank, bank): commands carry
+        // their real issue times, so streams of different banks interleave
+        // but each bank's own sequence is monotonic.
         for cmds in &trace.dram_cmds {
-            assert!(cmds.windows(2).all(|w| w[0].at <= w[1].at));
+            let mut last = std::collections::HashMap::new();
+            for c in cmds {
+                let prev = last.insert((c.rank, c.bank), c.at);
+                assert!(
+                    prev.is_none_or(|p| p <= c.at),
+                    "bank stream went backwards: {c}"
+                );
+            }
         }
         // The untraced system yields no trace.
         assert_eq!(plain.take_trace(), None);

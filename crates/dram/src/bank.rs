@@ -1,7 +1,7 @@
 //! One DRAM bank: a timing state machine over a row-buffer cache.
 
 use stacksim_stats::StatRecord;
-use stacksim_types::{Cycle, Cycles};
+use stacksim_types::{ConfigError, Cycle, Cycles};
 
 use crate::row_buffer::{ProbeOutcome, RowBufferCache};
 
@@ -47,20 +47,36 @@ impl BankConfig {
         row_buffer_entries: usize,
         refresh_interval: Option<Cycles>,
     ) -> Self {
-        assert!(
-            row_buffer_entries > 0,
-            "a bank needs at least one row buffer"
-        );
-        if let Some(i) = refresh_interval {
-            assert!(i.raw() > 0, "refresh interval must be non-zero");
+        Self::try_new(timing, row_buffer_entries, refresh_interval)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a bank configuration, rejecting degenerate parameters with a
+    /// typed error instead of panicking — the entry point for callers (such
+    /// as the `simcheck` fuzzer) that probe machine-generated configurations.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `row_buffer_entries` is zero or a refresh
+    /// interval is zero.
+    pub fn try_new(
+        timing: DramTimingCycles,
+        row_buffer_entries: usize,
+        refresh_interval: Option<Cycles>,
+    ) -> Result<Self, ConfigError> {
+        if row_buffer_entries == 0 {
+            return Err(ConfigError::new("a bank needs at least one row buffer"));
         }
-        BankConfig {
+        if refresh_interval.is_some_and(|i| i.raw() == 0) {
+            return Err(ConfigError::new("refresh interval must be non-zero"));
+        }
+        Ok(BankConfig {
             timing,
             row_buffer_entries,
             refresh_interval,
             smart_refresh: false,
             page_policy: PagePolicy::Open,
-        }
+        })
     }
 
     /// Selects the row management policy.
@@ -86,6 +102,26 @@ impl BankConfig {
     }
 }
 
+/// Issue times of the row-level commands one access expands into.
+///
+/// Each time marks when the command *begins* occupying the bank: a
+/// precharge completes tRP later, an activate tRCD later, and a column
+/// burst holds the bank for tCCD (reads) or through write recovery. The
+/// memory controller stamps its command trace from these, and the
+/// `simcheck` protocol checker re-derives the spacing invariants from the
+/// same convention.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CmdTimes {
+    /// When the precharge begins: before the activate on an open-page row
+    /// miss, after the burst (the auto-precharge) under closed-page policy,
+    /// `None` on an open-page row hit.
+    pub precharge_at: Option<Cycle>,
+    /// When the activate begins (`None` on an open-page row hit).
+    pub activate_at: Option<Cycle>,
+    /// When the column read/write burst begins.
+    pub column_at: Cycle,
+}
+
 /// Result of issuing a read or write to a bank.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct AccessResult {
@@ -96,6 +132,8 @@ pub struct AccessResult {
     pub row_hit: bool,
     /// When the bank can accept its next command.
     pub bank_free: Cycle,
+    /// When each constituent command was issued.
+    pub cmds: CmdTimes,
 }
 
 /// One DRAM bank.
@@ -117,6 +155,9 @@ pub struct Bank {
     next_refresh: Option<Cycle>,
     refresh_cursor: u64,
     row_last_activate: std::collections::HashMap<u64, Cycle>,
+    /// When enabled, every performed refresh is appended as `(row, start)`
+    /// for the memory controller to drain into its command trace.
+    refresh_log: Option<Vec<(u64, Cycle)>>,
     rows: u64,
     // Statistics.
     reads: u64,
@@ -136,12 +177,25 @@ impl Bank {
     ///
     /// Panics if `rows` is zero.
     pub fn new(config: BankConfig, rows: u64) -> Self {
-        assert!(rows > 0, "bank needs at least one row");
-        Bank {
+        Self::try_new(config, rows).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a bank with `rows` rows, returning a typed error on a
+    /// degenerate geometry instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `rows` is zero.
+    pub fn try_new(config: BankConfig, rows: u64) -> Result<Self, ConfigError> {
+        if rows == 0 {
+            return Err(ConfigError::new("bank needs at least one row"));
+        }
+        Ok(Bank {
             row_buffers: RowBufferCache::new(config.row_buffer_entries),
             next_refresh: config.refresh_interval.map(|i| Cycle::ZERO + i),
             refresh_cursor: 0,
             row_last_activate: std::collections::HashMap::new(),
+            refresh_log: None,
             config,
             busy_until: Cycle::ZERO,
             ras_ready: Cycle::ZERO,
@@ -154,7 +208,7 @@ impl Bank {
             refreshes: 0,
             refreshes_skipped: 0,
             busy_cycles: 0,
-        }
+        })
     }
 
     /// Reads a line from `row` at time `now`.
@@ -190,16 +244,21 @@ impl Bank {
         // tCAS is the *latency* until data appears; the bank itself is only
         // occupied for tCCD per column burst (reads to an open row
         // pipeline), or through tWR for writes.
-        let (data_ready, bank_free, row_hit) = match self.row_buffers.probe(row) {
+        let (data_ready, bank_free, row_hit, cmds) = match self.row_buffers.probe(row) {
             ProbeOutcome::Hit => {
                 self.row_hits += 1;
+                let cmds = CmdTimes {
+                    precharge_at: None,
+                    activate_at: None,
+                    column_at: start,
+                };
                 if is_write {
                     // Write into the open row: data accepted after the
                     // burst, bank busy through write recovery.
                     let accepted = start + t.t_ccd;
-                    (accepted, accepted + t.t_wr, true)
+                    (accepted, accepted + t.t_wr, true, cmds)
                 } else {
-                    (start + t.t_cas, start + t.t_ccd, true)
+                    (start + t.t_cas, start + t.t_ccd, true, cmds)
                 }
             }
             ProbeOutcome::Miss => {
@@ -209,16 +268,29 @@ impl Bank {
                     self.row_last_activate.insert(row, start);
                 }
                 // Precharge cannot complete before tRAS from the previous
-                // activate has elapsed.
-                let precharge_done = (start + t.t_rp).max(self.ras_ready);
+                // activate has elapsed, so it may start later than `start`.
+                let precharge_at = start.max(Cycle::new(
+                    self.ras_ready.raw().saturating_sub(t.t_rp.raw()),
+                ));
+                let precharge_done = precharge_at + t.t_rp;
                 let activate_done = precharge_done + t.t_rcd;
                 self.ras_ready = activate_done + t.t_ras;
                 self.row_buffers.insert(row);
+                let cmds = CmdTimes {
+                    precharge_at: Some(precharge_at),
+                    activate_at: Some(precharge_done),
+                    column_at: activate_done,
+                };
                 if is_write {
                     let accepted = activate_done + t.t_ccd;
-                    (accepted, accepted + t.t_wr, false)
+                    (accepted, accepted + t.t_wr, false, cmds)
                 } else {
-                    (activate_done + t.t_cas, activate_done + t.t_ccd, false)
+                    (
+                        activate_done + t.t_cas,
+                        activate_done + t.t_ccd,
+                        false,
+                        cmds,
+                    )
                 }
             }
         };
@@ -233,6 +305,7 @@ impl Bank {
             data_ready,
             row_hit,
             bank_free,
+            cmds,
         }
     }
 
@@ -268,6 +341,11 @@ impl Bank {
             data_ready,
             row_hit: false,
             bank_free,
+            cmds: CmdTimes {
+                precharge_at: Some(activate_done + t.t_ras),
+                activate_at: Some(start),
+                column_at: activate_done,
+            },
         }
     }
 
@@ -305,6 +383,27 @@ impl Bank {
             self.busy_cycles += refresh_busy.raw();
             self.row_buffers.flush();
             self.refreshes += 1;
+            if let Some(log) = self.refresh_log.as_mut() {
+                log.push((row, start));
+            }
+        }
+    }
+
+    /// Turns refresh-event logging on or off. While enabled, every refresh
+    /// the bank performs is recorded as `(row, start_cycle)` until drained
+    /// with [`take_refresh_log`](Self::take_refresh_log) — how the memory
+    /// controller folds REF commands into its traced command stream.
+    /// Disabled by default; turning logging off discards buffered events.
+    pub fn set_refresh_logging(&mut self, enabled: bool) {
+        self.refresh_log = if enabled { Some(Vec::new()) } else { None };
+    }
+
+    /// Removes and returns the buffered refresh events (empty if logging is
+    /// disabled). Logging stays enabled if it was.
+    pub fn take_refresh_log(&mut self) -> Vec<(u64, Cycle)> {
+        match self.refresh_log.as_mut() {
+            Some(log) => std::mem::take(log),
+            None => Vec::new(),
         }
     }
 
@@ -595,5 +694,80 @@ mod tests {
 
     fn violation() -> u64 {
         99999
+    }
+
+    #[test]
+    fn try_new_rejects_degenerate_configs() {
+        let t = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        assert!(BankConfig::try_new(t, 0, None).is_err());
+        assert!(BankConfig::try_new(t, 1, Some(Cycles::ZERO)).is_err());
+        let cfg = BankConfig::try_new(t, 1, None).unwrap();
+        assert!(Bank::try_new(cfg, 0).is_err());
+        assert!(Bank::try_new(cfg, 4).is_ok());
+    }
+
+    #[test]
+    fn command_times_match_access_math() {
+        let mut b = bank(1);
+        let t = *b.config.timing();
+        let miss = b.read(5, Cycle::ZERO);
+        // Open-page miss: PRE at start, ACT when the precharge completes,
+        // column when the activate completes.
+        assert_eq!(miss.cmds.precharge_at, Some(Cycle::ZERO));
+        assert_eq!(miss.cmds.activate_at, Some(Cycle::ZERO + t.t_rp));
+        assert_eq!(miss.cmds.column_at, Cycle::ZERO + t.t_rp + t.t_rcd);
+        assert_eq!(miss.data_ready, miss.cmds.column_at + t.t_cas);
+        let hit = b.read(5, miss.bank_free);
+        assert_eq!(hit.cmds.precharge_at, None);
+        assert_eq!(hit.cmds.activate_at, None);
+        assert_eq!(hit.cmds.column_at, miss.bank_free);
+    }
+
+    #[test]
+    fn command_times_respect_tras_on_back_to_back_misses() {
+        let mut b = bank(1);
+        let t = *b.config.timing();
+        let r1 = b.read(1, Cycle::ZERO);
+        let r2 = b.read(2, r1.bank_free);
+        // The second precharge may not complete before tRAS from the first
+        // activate's completion.
+        let first_act_done = r1.cmds.activate_at.unwrap() + t.t_rcd;
+        assert!(r2.cmds.precharge_at.unwrap() + t.t_rp >= first_act_done + t.t_ras);
+        assert_eq!(
+            r2.cmds.activate_at.unwrap(),
+            r2.cmds.precharge_at.unwrap() + t.t_rp
+        );
+    }
+
+    #[test]
+    fn closed_page_command_times() {
+        let timing = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        let cfg = BankConfig::new(timing, 1, None).with_page_policy(PagePolicy::Closed);
+        let mut b = Bank::new(cfg, 64);
+        let r = b.read(9, Cycle::ZERO);
+        assert_eq!(r.cmds.activate_at, Some(Cycle::ZERO));
+        assert_eq!(r.cmds.column_at, Cycle::ZERO + timing.t_rcd);
+        // The auto-precharge starts once tRAS from the activate completion
+        // is satisfied and finishes exactly when the bank frees.
+        let pre = r.cmds.precharge_at.unwrap();
+        assert_eq!(pre, r.cmds.column_at + timing.t_ras);
+        assert_eq!(pre + timing.t_rp, r.bank_free);
+    }
+
+    #[test]
+    fn refresh_log_records_performed_refreshes() {
+        let timing = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        let cfg = BankConfig::new(timing, 1, Some(Cycles::new(1000)));
+        let mut b = Bank::new(cfg, 64);
+        b.set_refresh_logging(true);
+        b.read(1, Cycle::new(3500));
+        let log = b.take_refresh_log();
+        assert_eq!(log.len() as u64, b.refreshes());
+        assert_eq!(log.len(), 3, "refreshes due at 1000/2000/3000");
+        assert!(log.windows(2).all(|w| w[0].1 < w[1].1));
+        assert!(b.take_refresh_log().is_empty(), "drained, logging still on");
+        b.set_refresh_logging(false);
+        b.read(2, Cycle::new(20_000));
+        assert!(b.take_refresh_log().is_empty());
     }
 }

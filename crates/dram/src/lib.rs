@@ -37,7 +37,7 @@ mod power;
 mod rank;
 mod row_buffer;
 
-pub use bank::{AccessResult, Bank, BankConfig, PagePolicy};
+pub use bank::{AccessResult, Bank, BankConfig, CmdTimes, PagePolicy};
 pub use cmd::{DramCmd, DramCmdKind};
 pub use power::{EnergyModel, EnergyReport};
 pub use rank::Rank;

@@ -1,7 +1,7 @@
 //! A DRAM rank: a set of banks that share command/data interfaces.
 
 use stacksim_stats::StatRecord;
-use stacksim_types::{BankId, Cycle};
+use stacksim_types::{BankId, ConfigError, Cycle};
 
 use crate::bank::{AccessResult, Bank, BankConfig};
 
@@ -35,12 +35,28 @@ impl Rank {
     ///
     /// Panics if `banks` is zero.
     pub fn new(config: BankConfig, banks: usize, rows_per_bank: u64) -> Self {
-        assert!(banks > 0, "rank needs at least one bank");
-        Rank {
-            banks: (0..banks)
-                .map(|_| Bank::new(config, rows_per_bank))
-                .collect(),
+        Self::try_new(config, banks, rows_per_bank).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a rank, returning a typed error on a degenerate geometry
+    /// instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if `banks` or `rows_per_bank` is zero.
+    pub fn try_new(
+        config: BankConfig,
+        banks: usize,
+        rows_per_bank: u64,
+    ) -> Result<Self, ConfigError> {
+        if banks == 0 {
+            return Err(ConfigError::new("rank needs at least one bank"));
         }
+        Ok(Rank {
+            banks: (0..banks)
+                .map(|_| Bank::try_new(config, rows_per_bank))
+                .collect::<Result<_, _>>()?,
+        })
     }
 
     /// Number of banks.
@@ -85,6 +101,20 @@ impl Rank {
     /// Earliest cycle `bank` can accept a command.
     pub fn bank_free_at(&self, bank: BankId) -> Cycle {
         self.banks[bank.index()].busy_until()
+    }
+
+    /// Turns refresh-event logging on or off for every bank (see
+    /// [`Bank::set_refresh_logging`]).
+    pub fn set_refresh_logging(&mut self, enabled: bool) {
+        for bank in &mut self.banks {
+            bank.set_refresh_logging(enabled);
+        }
+    }
+
+    /// Drains `bank`'s buffered refresh events (see
+    /// [`Bank::take_refresh_log`]).
+    pub fn take_refresh_log(&mut self, bank: BankId) -> Vec<(u64, Cycle)> {
+        self.banks[bank.index()].take_refresh_log()
     }
 
     /// Aggregated statistics over all banks.

@@ -2,7 +2,7 @@
 
 use std::collections::VecDeque;
 
-use stacksim_dram::{BankConfig, DramCmd, DramCmdKind, PagePolicy, Rank};
+use stacksim_dram::{AccessResult, BankConfig, DramCmd, DramCmdKind, PagePolicy, Rank};
 use stacksim_stats::{Histogram, RunningStats, StatRecord};
 use stacksim_types::{BusConfig, ConfigError, Cycle, Cycles, DramTimingCycles, McId, LINE_BYTES};
 
@@ -87,19 +87,34 @@ impl MemoryController {
     ///
     /// Panics if any capacity or count in the configuration is zero.
     pub fn new(id: McId, config: McConfig) -> Self {
-        assert!(config.queue_capacity > 0, "queue capacity must be non-zero");
-        assert!(config.ranks > 0, "controller needs at least one rank");
-        let bank_cfg = BankConfig::new(
+        Self::try_new(id, config).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Creates a controller, returning a typed error on a degenerate
+    /// configuration instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError`] if any capacity or count in the
+    /// configuration is zero.
+    pub fn try_new(id: McId, config: McConfig) -> Result<Self, ConfigError> {
+        if config.queue_capacity == 0 {
+            return Err(ConfigError::new("queue capacity must be non-zero"));
+        }
+        if config.ranks == 0 {
+            return Err(ConfigError::new("controller needs at least one rank"));
+        }
+        let bank_cfg = BankConfig::try_new(
             config.timing,
             config.row_buffer_entries,
             config.refresh_interval,
-        )
+        )?
         .with_smart_refresh(config.smart_refresh)
         .with_page_policy(config.page_policy);
         let ranks = (0..config.ranks)
-            .map(|_| Rank::new(bank_cfg, config.banks_per_rank, config.rows_per_bank))
-            .collect();
-        MemoryController {
+            .map(|_| Rank::try_new(bank_cfg, config.banks_per_rank, config.rows_per_bank))
+            .collect::<Result<_, _>>()?;
+        Ok(MemoryController {
             id,
             config,
             ranks,
@@ -114,7 +129,7 @@ impl MemoryController {
             queue_wait: RunningStats::new(),
             service_time: RunningStats::new(),
             queue_depth: Histogram::new(64),
-        }
+        })
     }
 
     /// This controller's identifier.
@@ -192,7 +207,7 @@ impl MemoryController {
             .bus
             .transfer_cycles(LINE_BYTES as u32)
             .expect("bus width validated at construction");
-        let (finished, row_hit) = match request.kind {
+        let (finished, access) = match request.kind {
             RequestKind::Read => {
                 let access = rank.read(request.location.bank, request.location.row, now);
                 // Data returns over the channel bus once the array delivers.
@@ -204,9 +219,9 @@ impl MemoryController {
                     // The demanded word leads the burst: waiters wake after
                     // the first beat; the bus stays busy through `done`.
                     let first_beat = bus_start + self.config.bus.clock.ticks(1);
-                    (first_beat.max(access.data_ready), access.row_hit)
+                    (first_beat.max(access.data_ready), access)
                 } else {
-                    (done, access.row_hit)
+                    (done, access)
                 }
             }
             RequestKind::Writeback => {
@@ -217,15 +232,16 @@ impl MemoryController {
                 self.bus_free = bus_done;
                 self.bus_busy += transfer.raw();
                 let access = rank.write(request.location.bank, request.location.row, bus_done);
-                (access.bank_free, access.row_hit)
+                (access.bank_free, access)
             }
         };
+        let row_hit = access.row_hit;
         self.issued += 1;
         if row_hit {
             self.row_hits += 1;
         }
         if self.cmd_trace.is_some() {
-            self.trace_issue(&request, row_hit, now);
+            self.trace_issue(&request, &access);
         }
         self.queue_wait
             .record(now.saturating_since(request.arrival).raw() as f64);
@@ -297,10 +313,15 @@ impl MemoryController {
 
     /// Turns DRAM command tracing on or off. While enabled, every issued
     /// request appends its row-level command sequence to an internal buffer
-    /// retrievable with [`take_cmd_trace`](Self::take_cmd_trace). Disabled
-    /// by default; turning tracing off discards any buffered commands.
+    /// retrievable with [`take_cmd_trace`](Self::take_cmd_trace), and the
+    /// banks log their refresh operations so REF commands appear in the
+    /// stream too. Disabled by default; turning tracing off discards any
+    /// buffered commands.
     pub fn set_cmd_tracing(&mut self, enabled: bool) {
         self.cmd_trace = if enabled { Some(Vec::new()) } else { None };
+        for rank in &mut self.ranks {
+            rank.set_refresh_logging(enabled);
+        }
     }
 
     /// The commands buffered so far, if tracing is enabled.
@@ -319,36 +340,57 @@ impl MemoryController {
 
     /// Appends the row-level command sequence for one issued request.
     ///
-    /// The sequence is synthesized from the observed row-buffer outcome and
-    /// the page policy: an open-page row hit is a bare column command; an
-    /// open-page miss is PRE + ACT + column; closed-page accesses are
-    /// ACT + column + PRE. Refreshes happen inside the bank model and show
-    /// up in the `ranks.refreshes` counter, not in this stream.
-    fn trace_issue(&mut self, request: &MemRequest, row_hit: bool, now: Cycle) {
+    /// The sequence is synthesized from the bank's access result: an
+    /// open-page row hit is a bare column command; an open-page miss is
+    /// PRE + ACT + column; closed-page accesses are ACT + column + PRE.
+    /// Each command carries the cycle it started occupying the bank (see
+    /// [`stacksim_dram::CmdTimes`]), so JEDEC-style spacing invariants can
+    /// be checked against the trace. Any refreshes the bank performed while
+    /// catching up to this access are drained first as REF commands. The
+    /// per-controller stream is ordered per (rank, bank); commands to
+    /// different banks interleave.
+    fn trace_issue(&mut self, request: &MemRequest, access: &AccessResult) {
+        let rank_idx = request.location.rank_in_mc as usize;
+        let bank_idx = request.location.bank.index();
+        let refreshes = self.ranks[rank_idx].take_refresh_log(request.location.bank);
+        let trace = self.cmd_trace.as_mut().expect("checked by caller");
+        for (row, at) in refreshes {
+            trace.push(DramCmd {
+                at,
+                rank: rank_idx,
+                bank: bank_idx,
+                row,
+                kind: DramCmdKind::Refresh,
+            });
+        }
         let column = match request.kind {
             RequestKind::Read => DramCmdKind::Read,
             RequestKind::Writeback => DramCmdKind::Write,
         };
-        let cmd = |kind| DramCmd {
-            at: now,
-            rank: request.location.rank_in_mc as usize,
-            bank: request.location.bank.index(),
+        let cmd = |kind, at| DramCmd {
+            at,
+            rank: rank_idx,
+            bank: bank_idx,
             row: request.location.row,
             kind,
         };
-        let trace = self.cmd_trace.as_mut().expect("checked by caller");
+        let times = access.cmds;
         match self.config.page_policy {
             PagePolicy::Open => {
-                if !row_hit {
-                    trace.push(cmd(DramCmdKind::Precharge));
-                    trace.push(cmd(DramCmdKind::Activate));
+                if let Some(at) = times.precharge_at {
+                    trace.push(cmd(DramCmdKind::Precharge, at));
                 }
-                trace.push(cmd(column));
+                if let Some(at) = times.activate_at {
+                    trace.push(cmd(DramCmdKind::Activate, at));
+                }
+                trace.push(cmd(column, times.column_at));
             }
             PagePolicy::Closed => {
-                trace.push(cmd(DramCmdKind::Activate));
-                trace.push(cmd(column));
-                trace.push(cmd(DramCmdKind::Precharge));
+                let act = times.activate_at.expect("closed page always activates");
+                let pre = times.precharge_at.expect("closed page always precharges");
+                trace.push(cmd(DramCmdKind::Activate, act));
+                trace.push(cmd(column, times.column_at));
+                trace.push(cmd(DramCmdKind::Precharge, pre));
             }
         }
     }
@@ -575,7 +617,8 @@ mod tests {
             .unwrap();
         }
         run_until_complete(&mut mc, Cycle::ZERO);
-        let kinds: Vec<_> = mc.cmd_trace().unwrap().iter().map(|c| c.kind).collect();
+        let cmds: Vec<_> = mc.cmd_trace().unwrap().to_vec();
+        let kinds: Vec<_> = cmds.iter().map(|c| c.kind).collect();
         assert_eq!(
             kinds,
             [
@@ -585,12 +628,46 @@ mod tests {
                 stacksim_dram::DramCmdKind::Read,
             ]
         );
+        // Commands carry their real issue times, not the request's issue
+        // cycle: ACT begins when the precharge completes, the column burst
+        // when the activate completes.
+        let t = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        assert_eq!(cmds[0].at, Cycle::ZERO);
+        assert_eq!(cmds[1].at, cmds[0].at + t.t_rp);
+        assert_eq!(cmds[2].at, cmds[1].at + t.t_rcd);
+        assert!(cmds[3].at >= cmds[2].at + t.t_ccd, "bursts spaced by tCCD");
         let taken = mc.take_cmd_trace();
         assert_eq!(taken.len(), 4);
         assert!(
             mc.cmd_trace().unwrap().is_empty(),
             "buffer drained, tracing still on"
         );
+    }
+
+    #[test]
+    fn cmd_trace_includes_refreshes() {
+        let (proto, mapper) = mc(SchedulerPolicy::FrFcfs, BusConfig::on_stack(64));
+        let mut cfg = *proto.config();
+        cfg.refresh_interval = Some(Cycles::new(1000));
+        let mut mc = MemoryController::new(McId::new(0), cfg);
+        mc.set_cmd_tracing(true);
+        // Arrive long after several per-row refreshes came due: the bank
+        // catches up first and the REF commands land in the trace before
+        // the access's own commands.
+        mc.enqueue(read_req(&mapper, 0, 3500)).unwrap();
+        run_until_complete(&mut mc, Cycle::new(3500));
+        let cmds = mc.take_cmd_trace();
+        let refs: Vec<_> = cmds
+            .iter()
+            .filter(|c| c.kind == DramCmdKind::Refresh)
+            .collect();
+        assert_eq!(refs.len(), 3, "refreshes due at 1000/2000/3000");
+        let t = DramTiming::COMMODITY_2D.to_cycles(HZ);
+        let refresh_busy = t.t_ras + t.t_rp;
+        assert!(refs.windows(2).all(|w| w[1].at >= w[0].at + refresh_busy));
+        // All commands here target one bank, so the stream is time-ordered.
+        assert!(cmds.windows(2).all(|w| w[0].at <= w[1].at));
+        assert_eq!(cmds.last().unwrap().kind, DramCmdKind::Read);
     }
 
     #[test]

@@ -466,4 +466,163 @@ mod tests {
         let mut vbf = VectorBloomFilter::new(8);
         vbf.set(8, 0);
     }
+
+    #[test]
+    fn wraparound_covers_every_displacement() {
+        // Eight lines all homed at slot 7: the first takes its home, the
+        // rest wrap through 0, 1, ... 6, so row 7 collects every
+        // displacement 0..8 and each line stays reachable via the wrap.
+        let mut m = VbfMshr::new(8);
+        for l in 0..8u64 {
+            alloc(&mut m, l * 8 + 7);
+        }
+        assert_eq!(
+            m.filter().displacements(7).collect::<Vec<_>>(),
+            (0..8).collect::<Vec<_>>()
+        );
+        assert_eq!(m.filter().row_popcount(7), 8);
+        for l in 0..8u64 {
+            let r = m.lookup(LineAddr::new(l * 8 + 7));
+            assert!(r.found, "line {} lost across the wrap", l * 8 + 7);
+        }
+    }
+
+    #[test]
+    fn max_displacement_entry_is_evicted_exactly() {
+        // Force an entry to the farthest possible displacement (n-1) and
+        // release it: exactly that filter bit must clear and the slot must
+        // empty, with no residue steering later probes.
+        let mut m = VbfMshr::new(8);
+        for l in 0..8u64 {
+            alloc(&mut m, l * 8); // all home 0; line 8l sits at displacement l
+        }
+        assert!(m.filter().bit(0, 7));
+        let (e, probes) = m.deallocate(LineAddr::new(56)).unwrap();
+        assert_eq!(e.line(), LineAddr::new(56));
+        assert_eq!(probes, 8, "home probe plus the seven set displacements");
+        assert!(!m.filter().bit(0, 7));
+        assert_eq!(m.filter().row_popcount(0), 7);
+        assert_eq!(m.occupancy(), 7);
+        assert!(!m.lookup(LineAddr::new(56)).found);
+    }
+
+    #[test]
+    fn probes_after_release_see_no_stale_state() {
+        let mut m = VbfMshr::new(8);
+        alloc(&mut m, 5); // home 5, slot 5, displacement 0
+        alloc(&mut m, 13); // home 5, slot 6, displacement 1
+        alloc(&mut m, 21); // home 5, slot 7, displacement 2
+        m.deallocate(LineAddr::new(13)).unwrap();
+
+        // A stale displacement-1 bit would cost a third probe here.
+        let r = m.lookup(LineAddr::new(13));
+        assert!(!r.found);
+        assert_eq!(r.probes, 2);
+
+        // The freed slot is re-usable and re-sets exactly one bit.
+        alloc(&mut m, 29); // home 5 again -> freed slot 6, displacement 1
+        assert!(m.filter().bit(5, 1));
+        assert_eq!(
+            m.lookup(LineAddr::new(29)),
+            LookupResult {
+                found: true,
+                probes: 2
+            }
+        );
+    }
+
+    #[test]
+    fn table_driven_stream_matches_a_cam_reference() {
+        use std::collections::HashMap;
+
+        // Fully-associative reference: line -> target count. Only outcome
+        // classes are compared — probe counts are the VBF's own business.
+        let mut cam: HashMap<u64, usize> = HashMap::new();
+        let mut m = VbfMshr::new(8);
+
+        let step = |m: &mut VbfMshr, cam: &mut HashMap<u64, usize>, op: u8, line: u64| {
+            match op {
+                0 => {
+                    let got = m.allocate(
+                        LineAddr::new(line),
+                        target(line),
+                        MissKind::Read,
+                        Cycle::ZERO,
+                    );
+                    match (got, cam.get(&line).copied()) {
+                        (Ok(AllocOutcome::Merged { targets, .. }), Some(n)) => {
+                            assert_eq!(targets, n + 1, "merge count for line {line}");
+                            cam.insert(line, n + 1);
+                        }
+                        (Ok(AllocOutcome::Primary { .. }), None) => {
+                            assert!(cam.len() < 8, "vbf admitted past capacity");
+                            cam.insert(line, 1);
+                        }
+                        (Err(AllocError::Full { .. }), None) => {
+                            assert_eq!(cam.len(), 8, "vbf refused below capacity");
+                        }
+                        (got, expected) => {
+                            panic!("line {line}: vbf {got:?} vs cam {expected:?}")
+                        }
+                    }
+                }
+                1 => {
+                    let got = m.deallocate(LineAddr::new(line));
+                    match (got, cam.remove(&line)) {
+                        (Some((e, _)), Some(n)) => {
+                            assert_eq!(e.line(), LineAddr::new(line));
+                            assert_eq!(e.target_count(), n);
+                        }
+                        (None, None) => {}
+                        (got, expected) => {
+                            panic!("line {line}: vbf dealloc {got:?} vs cam {expected:?}")
+                        }
+                    }
+                }
+                _ => {
+                    assert_eq!(
+                        m.lookup(LineAddr::new(line)).found,
+                        cam.contains_key(&line),
+                        "presence of line {line}"
+                    );
+                }
+            }
+            assert_eq!(m.occupancy(), cam.len());
+        };
+
+        // A scripted prologue hitting the known hard shapes: same-home
+        // pile-up, merges, release-then-reprobe, full-table refusal.
+        for &(op, line) in &[
+            (0u8, 5u64),
+            (0, 13),
+            (0, 21),
+            (0, 29), // four lines homed at 5
+            (0, 13), // merge
+            (2, 37), // absent probe sharing home 5
+            (1, 13),
+            (2, 13), // release then stale probe
+            (0, 0),
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (0, 6), // fill to capacity
+            (0, 7), // refused: table full
+            (1, 29),
+            (0, 7), // space freed, admitted
+        ] {
+            step(&mut m, &mut cam, op, line);
+        }
+
+        // A deterministic generated tail for breadth (LCG; no dev-deps).
+        let mut x = 0x2545_F491_4F6C_DD1Du64;
+        for _ in 0..2_000 {
+            x = x
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1_442_695_040_888_963_407);
+            let op = ((x >> 60) % 3) as u8;
+            let line = (x >> 32) % 24;
+            step(&mut m, &mut cam, op, line);
+        }
+    }
 }

@@ -1,0 +1,566 @@
+//! Differential testing of MSHR organizations against a reference model.
+//!
+//! Every organization in `stacksim-mshr` must agree with a fully-associative
+//! CAM about *observable* miss-handling behaviour: which lines have
+//! outstanding entries, when a miss merges, when the structure refuses an
+//! allocation, and how many targets an entry carries when it completes.
+//! They legitimately differ in probe counts (that difference is the point
+//! of the paper's §5 comparison), so probes are never compared here.
+//!
+//! [`MshrOracle`] models entry *content* with a hash map and admission with
+//! an organization-specific rule mirroring the construction used by
+//! `stacksim::System`. [`drive_stream`] feeds a seeded operation stream to
+//! a real handler and the oracle in lockstep and reports the first
+//! divergence.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use stacksim_mshr::{
+    AllocOutcome, CamMshr, DirectMappedMshr, DynamicTuner, HierarchicalMshr, MissHandler, MissKind,
+    MissTarget, MshrKind, ProbeScheme, TunerConfig, VbfMshr,
+};
+use stacksim_types::{CoreId, Cycle, LineAddr};
+
+/// Outcome of an oracle allocation. Probe counts are intentionally absent:
+/// they are organization-specific and not part of the contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum OracleOutcome {
+    /// A fresh entry was admitted.
+    Primary,
+    /// The miss merged into an existing entry.
+    Merged {
+        /// Targets on the entry after the merge, including this one.
+        targets: usize,
+    },
+    /// The organization must refuse the miss and stall the requester.
+    Full,
+}
+
+/// Where a hierarchical entry physically lives (placement is sticky: a
+/// spilled entry stays in the shared level until it completes).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Placement {
+    Bank(usize),
+    Shared,
+}
+
+/// Organization-specific admission rule.
+#[derive(Clone, Debug)]
+enum Admission {
+    /// One shared pool: a fresh miss is admitted iff occupancy is below the
+    /// capacity limit (CAM, direct-mapped, VBF).
+    Shared,
+    /// Tuck-style banked first level with a shared overflow, mirroring the
+    /// geometry `stacksim::System` builds for [`MshrKind::Hierarchical`].
+    TwoLevel {
+        banks: usize,
+        per_bank: usize,
+        shared: usize,
+        bank_occ: Vec<usize>,
+        shared_occ: usize,
+        placement: HashMap<LineAddr, Placement>,
+    },
+}
+
+/// Fully-associative reference model for MSHR behaviour.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_mshr::MshrKind;
+/// use stacksim_simcheck::oracle::{MshrOracle, OracleOutcome};
+/// use stacksim_types::LineAddr;
+///
+/// let mut oracle = MshrOracle::for_kind(MshrKind::Cam, 2);
+/// assert_eq!(oracle.allocate(LineAddr::new(1)), OracleOutcome::Primary);
+/// assert_eq!(
+///     oracle.allocate(LineAddr::new(1)),
+///     OracleOutcome::Merged { targets: 2 }
+/// );
+/// assert_eq!(oracle.deallocate(LineAddr::new(1)), Some(2));
+/// ```
+#[derive(Clone, Debug)]
+pub struct MshrOracle {
+    capacity: usize,
+    limit: usize,
+    targets: HashMap<LineAddr, usize>,
+    admission: Admission,
+}
+
+impl MshrOracle {
+    /// Builds the oracle for `kind` with the same geometry `stacksim`'s
+    /// system model gives an MSHR bank of `entries` aggregate entries.
+    pub fn for_kind(kind: MshrKind, entries: usize) -> MshrOracle {
+        assert!(entries > 0, "oracle needs at least one entry");
+        let (capacity, admission) = match kind {
+            MshrKind::Cam | MshrKind::DirectLinear | MshrKind::DirectQuadratic | MshrKind::Vbf => {
+                (entries, Admission::Shared)
+            }
+            MshrKind::Hierarchical => {
+                let banks = 2usize;
+                let per_bank = (entries / 4).max(1);
+                let shared = (entries - banks * per_bank).max(1);
+                (
+                    banks * per_bank + shared,
+                    Admission::TwoLevel {
+                        banks,
+                        per_bank,
+                        shared,
+                        bank_occ: vec![0; banks],
+                        shared_occ: 0,
+                        placement: HashMap::new(),
+                    },
+                )
+            }
+        };
+        MshrOracle {
+            capacity,
+            limit: capacity,
+            targets: HashMap::new(),
+            admission,
+        }
+    }
+
+    /// Whether `line` has an outstanding entry.
+    pub fn lookup(&self, line: LineAddr) -> bool {
+        self.targets.contains_key(&line)
+    }
+
+    /// Records a miss for `line`: merge, admit, or refuse.
+    pub fn allocate(&mut self, line: LineAddr) -> OracleOutcome {
+        if let Some(t) = self.targets.get_mut(&line) {
+            // Merges never consume a new entry, so they succeed even at the
+            // capacity limit — every organization shares this property.
+            *t += 1;
+            return OracleOutcome::Merged { targets: *t };
+        }
+        if self.targets.len() >= self.limit {
+            return OracleOutcome::Full;
+        }
+        if let Admission::TwoLevel {
+            banks,
+            per_bank,
+            shared,
+            bank_occ,
+            shared_occ,
+            placement,
+        } = &mut self.admission
+        {
+            let b = (line.index() % *banks as u64) as usize;
+            if bank_occ[b] < *per_bank {
+                bank_occ[b] += 1;
+                placement.insert(line, Placement::Bank(b));
+            } else if *shared_occ < *shared {
+                *shared_occ += 1;
+                placement.insert(line, Placement::Shared);
+            } else {
+                return OracleOutcome::Full;
+            }
+        }
+        self.targets.insert(line, 1);
+        OracleOutcome::Primary
+    }
+
+    /// Completes the miss for `line`, returning its target count.
+    pub fn deallocate(&mut self, line: LineAddr) -> Option<usize> {
+        let t = self.targets.remove(&line)?;
+        if let Admission::TwoLevel {
+            bank_occ,
+            shared_occ,
+            placement,
+            ..
+        } = &mut self.admission
+        {
+            match placement
+                .remove(&line)
+                .expect("placement tracked per entry")
+            {
+                Placement::Bank(b) => bank_occ[b] -= 1,
+                Placement::Shared => *shared_occ -= 1,
+            }
+        }
+        Some(t)
+    }
+
+    /// Currently outstanding entries.
+    pub fn occupancy(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Physical entry count.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The capacity limit currently in force.
+    pub fn capacity_limit(&self) -> usize {
+        self.limit
+    }
+
+    /// Mirrors [`MissHandler::set_capacity_limit`]: clamps to capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `limit` is zero, like the real implementations.
+    pub fn set_capacity_limit(&mut self, limit: usize) {
+        assert!(limit > 0, "capacity limit must be non-zero");
+        self.limit = limit.min(self.capacity);
+    }
+
+    /// Whether a fresh allocation would currently be refused for capacity
+    /// (two-level structures can also refuse structurally).
+    pub fn is_full(&self) -> bool {
+        self.occupancy() >= self.limit
+    }
+}
+
+/// Builds the real handler for `kind`, using the same geometry as
+/// `stacksim::System` does for an MSHR bank of `entries` entries.
+pub fn make_handler(kind: MshrKind, entries: usize) -> Box<dyn MissHandler> {
+    match kind {
+        MshrKind::Cam => Box::new(CamMshr::new(entries)),
+        MshrKind::DirectLinear => Box::new(DirectMappedMshr::new(entries, ProbeScheme::Linear)),
+        MshrKind::DirectQuadratic => {
+            Box::new(DirectMappedMshr::new(entries, ProbeScheme::Quadratic))
+        }
+        MshrKind::Vbf => Box::new(VbfMshr::new(entries)),
+        MshrKind::Hierarchical => {
+            let banks = 2usize;
+            let per_bank = (entries / 4).max(1);
+            let shared = (entries - banks * per_bank).max(1);
+            Box::new(HierarchicalMshr::new(banks, per_bank, shared))
+        }
+    }
+}
+
+/// All organizations under differential test.
+pub const ALL_KINDS: [MshrKind; 5] = [
+    MshrKind::Cam,
+    MshrKind::DirectLinear,
+    MshrKind::DirectQuadratic,
+    MshrKind::Vbf,
+    MshrKind::Hierarchical,
+];
+
+/// One operation in a generated stimulus stream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MshrOp {
+    /// Probe for an outstanding miss.
+    Lookup(LineAddr),
+    /// Record a miss (allocates or merges).
+    Allocate(LineAddr),
+    /// Complete the miss for a line (which may not be outstanding).
+    Deallocate(LineAddr),
+    /// Apply `capacity / divisor` as the dynamic capacity limit.
+    SetLimit(usize),
+}
+
+/// Shape of a generated stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StreamParams {
+    /// Aggregate entries handed to the organization. Keep this a power of
+    /// two so quadratic probing's capacity assertion holds.
+    pub entries: usize,
+    /// Operations per stream.
+    pub ops: usize,
+    /// Line addresses are drawn from `0..line_space`; a small space forces
+    /// collisions, merges and displacement chains.
+    pub line_space: u64,
+    /// Mix in random capacity-limit switches (the §5.1 dynamic-MSHR lever).
+    pub limit_switches: bool,
+    /// Also step a real [`DynamicTuner`] and apply its decisions to both
+    /// sides, exercising the dynamic organization end to end.
+    pub tuner: bool,
+}
+
+impl Default for StreamParams {
+    fn default() -> Self {
+        StreamParams {
+            entries: 16,
+            ops: 400,
+            line_space: 48,
+            limit_switches: true,
+            tuner: false,
+        }
+    }
+}
+
+/// Deterministically generates the operation stream for `seed`.
+pub fn gen_stream(seed: u64, p: &StreamParams) -> Vec<MshrOp> {
+    let mut rng = SmallRng::seed_from_u64(seed);
+    (0..p.ops)
+        .map(|_| {
+            let line = LineAddr::new(rng.gen_range(0..p.line_space));
+            match rng.gen_range(0u32..100) {
+                0..=44 => MshrOp::Allocate(line),
+                45..=69 => MshrOp::Deallocate(line),
+                70..=89 => MshrOp::Lookup(line),
+                _ if p.limit_switches => MshrOp::SetLimit([1usize, 2, 4][rng.gen_range(0..3usize)]),
+                _ => MshrOp::Lookup(line),
+            }
+        })
+        .collect()
+}
+
+/// A step at which an implementation and the oracle disagreed.
+#[derive(Clone, Debug)]
+pub struct OracleDivergence {
+    /// Organization under test.
+    pub kind: MshrKind,
+    /// Stream seed.
+    pub seed: u64,
+    /// Zero-based operation index.
+    pub step: usize,
+    /// The operation that exposed the divergence.
+    pub op: String,
+    /// What disagreed.
+    pub detail: String,
+}
+
+impl fmt::Display for OracleDivergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} diverged from oracle at step {} of stream {:#x} ({}): {}",
+            self.kind, self.step, self.seed, self.op, self.detail
+        )
+    }
+}
+
+impl std::error::Error for OracleDivergence {}
+
+/// Tally of outcome classes a stream exercised, so tests can assert the
+/// stream actually reached merge and full pressure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DriveReport {
+    /// Fresh entries admitted.
+    pub primaries: usize,
+    /// Secondary misses merged.
+    pub merges: usize,
+    /// Allocations refused.
+    pub fulls: usize,
+    /// Deallocations that found an entry.
+    pub releases: usize,
+}
+
+/// Drives `kind` and the oracle through the stream for `seed`, comparing
+/// outcomes, occupancy, fullness and limits after every operation.
+///
+/// # Errors
+///
+/// Returns the first [`OracleDivergence`] if the implementation and the
+/// reference model ever disagree.
+pub fn drive_stream(
+    kind: MshrKind,
+    seed: u64,
+    p: &StreamParams,
+) -> Result<DriveReport, OracleDivergence> {
+    let mut handler = make_handler(kind, p.entries);
+    let mut oracle = MshrOracle::for_kind(kind, p.entries);
+    let mut tuner = p.tuner.then(|| {
+        DynamicTuner::new(
+            handler.capacity(),
+            TunerConfig {
+                sample_cycles: 40,
+                apply_cycles: 160,
+                divisors: vec![1, 2, 4],
+            },
+        )
+    });
+    let mut commit_rng = SmallRng::seed_from_u64(seed ^ 0x9E37_79B9_7F4A_7C15);
+    let mut committed = 0u64;
+    let mut report = DriveReport::default();
+
+    let fail = |step: usize, op: MshrOp, detail: String| OracleDivergence {
+        kind,
+        seed,
+        step,
+        op: format!("{op:?}"),
+        detail,
+    };
+
+    for (step, op) in gen_stream(seed, p).into_iter().enumerate() {
+        match op {
+            MshrOp::Lookup(line) => {
+                let got = handler.lookup(line).found;
+                let want = oracle.lookup(line);
+                if got != want {
+                    return Err(fail(step, op, format!("lookup found {got}, oracle {want}")));
+                }
+            }
+            MshrOp::Allocate(line) => {
+                let target = MissTarget::demand(CoreId::new((step % 4) as u16), step as u64);
+                let got = handler.allocate(line, target, MissKind::Read, Cycle::new(step as u64));
+                let want = oracle.allocate(line);
+                match (&got, want) {
+                    (Ok(AllocOutcome::Primary { .. }), OracleOutcome::Primary) => {
+                        report.primaries += 1;
+                    }
+                    (
+                        Ok(AllocOutcome::Merged { targets, .. }),
+                        OracleOutcome::Merged { targets: t },
+                    ) if *targets == t => {
+                        report.merges += 1;
+                    }
+                    (Err(_), OracleOutcome::Full) => report.fulls += 1,
+                    _ => {
+                        return Err(fail(step, op, format!("allocate {got:?}, oracle {want:?}")));
+                    }
+                }
+            }
+            MshrOp::Deallocate(line) => {
+                let got = handler.deallocate(line);
+                let want = oracle.deallocate(line);
+                match (&got, want) {
+                    (None, None) => {}
+                    (Some((entry, _)), Some(t))
+                        if entry.target_count() == t && entry.line() == line =>
+                    {
+                        report.releases += 1;
+                    }
+                    _ => {
+                        let got = got.as_ref().map(|(e, _)| e.target_count());
+                        return Err(fail(
+                            step,
+                            op,
+                            format!("deallocate targets {got:?}, oracle {want:?}"),
+                        ));
+                    }
+                }
+            }
+            MshrOp::SetLimit(div) => {
+                let limit = (handler.capacity() / div).max(1);
+                handler.set_capacity_limit(limit);
+                oracle.set_capacity_limit(limit);
+            }
+        }
+        if let Some(t) = tuner.as_mut() {
+            committed += commit_rng.gen_range(0u64..50);
+            if let Some(limit) = t.tick(Cycle::new(step as u64 * 10), committed) {
+                handler.set_capacity_limit(limit);
+                oracle.set_capacity_limit(limit);
+            }
+        }
+        if handler.occupancy() != oracle.occupancy() {
+            return Err(fail(
+                step,
+                op,
+                format!(
+                    "occupancy {} vs oracle {}",
+                    handler.occupancy(),
+                    oracle.occupancy()
+                ),
+            ));
+        }
+        if handler.capacity_limit() != oracle.capacity_limit() {
+            return Err(fail(
+                step,
+                op,
+                format!(
+                    "capacity limit {} vs oracle {}",
+                    handler.capacity_limit(),
+                    oracle.capacity_limit()
+                ),
+            ));
+        }
+        if handler.is_full() != oracle.is_full() {
+            return Err(fail(
+                step,
+                op,
+                format!(
+                    "is_full {} vs oracle {}",
+                    handler.is_full(),
+                    oracle.is_full()
+                ),
+            ));
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_merges_bypass_the_limit() {
+        let mut o = MshrOracle::for_kind(MshrKind::Cam, 2);
+        assert_eq!(o.allocate(LineAddr::new(1)), OracleOutcome::Primary);
+        assert_eq!(o.allocate(LineAddr::new(2)), OracleOutcome::Primary);
+        assert!(o.is_full());
+        assert_eq!(o.allocate(LineAddr::new(3)), OracleOutcome::Full);
+        assert_eq!(
+            o.allocate(LineAddr::new(1)),
+            OracleOutcome::Merged { targets: 2 }
+        );
+        assert_eq!(o.deallocate(LineAddr::new(1)), Some(2));
+        assert_eq!(o.deallocate(LineAddr::new(1)), None);
+        assert_eq!(o.occupancy(), 1);
+    }
+
+    #[test]
+    fn two_level_admission_spills_then_refuses() {
+        // entries = 8 -> banks = 2 x 2, shared = 4 (capacity 8).
+        let mut o = MshrOracle::for_kind(MshrKind::Hierarchical, 8);
+        assert_eq!(o.capacity(), 8);
+        // Even lines all hash to bank 0: two fill the bank, the next four
+        // spill to the shared level, the seventh is refused structurally
+        // even though aggregate occupancy (6) is below the limit (8).
+        for i in 0..6u64 {
+            assert_eq!(o.allocate(LineAddr::new(2 * i)), OracleOutcome::Primary);
+        }
+        assert!(!o.is_full());
+        assert_eq!(o.allocate(LineAddr::new(12)), OracleOutcome::Full);
+        // An odd line still fits in bank 1.
+        assert_eq!(o.allocate(LineAddr::new(1)), OracleOutcome::Primary);
+        // Releasing a spilled even line frees shared space again.
+        assert_eq!(o.deallocate(LineAddr::new(4)), Some(1));
+        assert_eq!(o.allocate(LineAddr::new(12)), OracleOutcome::Primary);
+    }
+
+    #[test]
+    fn streams_are_deterministic() {
+        let p = StreamParams::default();
+        assert_eq!(gen_stream(7, &p), gen_stream(7, &p));
+        assert_ne!(gen_stream(7, &p), gen_stream(8, &p));
+    }
+
+    #[test]
+    fn every_kind_survives_a_default_stream() {
+        for kind in ALL_KINDS {
+            let report =
+                drive_stream(kind, 1, &StreamParams::default()).unwrap_or_else(|d| panic!("{d}"));
+            assert!(report.primaries > 0, "{kind}: no primaries exercised");
+        }
+    }
+
+    #[test]
+    fn tuner_driven_streams_agree() {
+        let p = StreamParams {
+            tuner: true,
+            limit_switches: false,
+            ..StreamParams::default()
+        };
+        for kind in ALL_KINDS {
+            drive_stream(kind, 99, &p).unwrap_or_else(|d| panic!("{d}"));
+        }
+    }
+
+    #[test]
+    fn divergence_displays_context() {
+        let d = OracleDivergence {
+            kind: MshrKind::Vbf,
+            seed: 0x2a,
+            step: 17,
+            op: "Allocate(LineAddr(3))".into(),
+            detail: "occupancy 3 vs oracle 4".into(),
+        };
+        let s = d.to_string();
+        assert!(s.contains("vbf"), "{s}");
+        assert!(s.contains("step 17"), "{s}");
+        assert!(s.contains("0x2a"), "{s}");
+    }
+}

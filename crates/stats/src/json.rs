@@ -519,4 +519,141 @@ mod tests {
         assert_eq!(Json::parse("{ }").unwrap(), Json::Obj(vec![]));
         assert_eq!(Json::Obj(vec![]).pretty(), "{}\n");
     }
+
+    #[test]
+    fn control_and_unicode_heavy_strings_round_trip() {
+        // Every control character, both escape styles' targets, and
+        // multi-byte text — in values and in keys.
+        let controls: String = (0u32..0x20).map(|c| char::from_u32(c).unwrap()).collect();
+        let spicy = format!("{controls} \"\\/ é λ 中文 \u{FFFD} \u{1F600}");
+        let v = Json::Obj(vec![
+            (spicy.clone(), Json::Str(spicy.clone())),
+            ("plain".into(), Json::Str(controls)),
+        ]);
+        for text in [v.to_string(), v.pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+        // The two escape spellings of the same string parse identically.
+        assert_eq!(
+            Json::parse(r#""Aé😀""#).unwrap(),
+            Json::Str("Aé\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn deep_nesting_round_trips() {
+        // 256 alternating object/array levels, well past any realistic
+        // metric tree, through both writers and back.
+        let mut v = Json::Num(42.0);
+        for depth in 0..256usize {
+            v = if depth % 2 == 0 {
+                Json::Arr(vec![v])
+            } else {
+                Json::Obj(vec![("d".into(), v)])
+            };
+        }
+        for text in [v.to_string(), v.pretty()] {
+            assert_eq!(Json::parse(&text).unwrap(), v);
+        }
+    }
+
+    /// Deterministic generator state (an LCG — the crate has no RNG
+    /// dependency and must not grow one for tests).
+    fn lcg(x: &mut u64) -> u64 {
+        *x = x
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        *x >> 33
+    }
+
+    fn gen_string(x: &mut u64) -> String {
+        const PALETTE: &[char] = &[
+            'a',
+            'Z',
+            '9',
+            ' ',
+            '"',
+            '\\',
+            '/',
+            '\n',
+            '\r',
+            '\t',
+            '\u{0}',
+            '\u{1b}',
+            'é',
+            'λ',
+            '中',
+            '\u{FFFD}',
+            '\u{1F600}',
+        ];
+        (0..lcg(x) % 12)
+            .map(|_| PALETTE[(lcg(x) as usize) % PALETTE.len()])
+            .collect()
+    }
+
+    fn gen_value(x: &mut u64, depth: usize) -> Json {
+        let leaf_only = depth == 0;
+        match lcg(x) % if leaf_only { 4 } else { 6 } {
+            0 => Json::Null,
+            1 => Json::Bool(lcg(x).is_multiple_of(2)),
+            2 => Json::Num(match lcg(x) % 4 {
+                0 => (lcg(x) % 1_000_000) as f64,
+                1 => -((lcg(x) % 1_000) as f64),
+                2 => (lcg(x) % 1_000_000) as f64 / (lcg(x) % 997 + 1) as f64,
+                _ => (lcg(x) % ((1 << 53) - 1)) as f64,
+            }),
+            3 => Json::Str(gen_string(x)),
+            4 => Json::Arr((0..lcg(x) % 4).map(|_| gen_value(x, depth - 1)).collect()),
+            _ => Json::Obj(
+                (0..lcg(x) % 4)
+                    .map(|i| (format!("k{i}{}", gen_string(x)), gen_value(x, depth - 1)))
+                    .collect(),
+            ),
+        }
+    }
+
+    #[test]
+    fn seeded_generated_documents_round_trip() {
+        for seed in 0..200u64 {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            let v = gen_value(&mut x, 4);
+            for text in [v.to_string(), v.pretty()] {
+                assert_eq!(
+                    Json::parse(&text).unwrap(),
+                    v,
+                    "seed {seed} failed on {text:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn seeded_truncations_and_mutations_never_panic() {
+        for seed in 0..50u64 {
+            let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+            // Wrap in an object so every strict prefix is structurally
+            // incomplete and must be rejected (not just non-panicking).
+            let doc = Json::Obj(vec![("v".into(), gen_value(&mut x, 3))]).to_string();
+            for end in 1..doc.len() {
+                if !doc.is_char_boundary(end) {
+                    continue;
+                }
+                assert!(
+                    Json::parse(&doc[..end]).is_err(),
+                    "seed {seed}: accepted truncation {:?}",
+                    &doc[..end]
+                );
+            }
+            // Single-byte splices may stay valid (inside a string) or not;
+            // either way the parser must return, never panic or loop.
+            let bytes = doc.as_bytes();
+            for i in 0..bytes.len() {
+                let mut mutated = bytes.to_vec();
+                mutated[i] = b"?{}[]\",:x9\\"[i % 11];
+                if let Ok(text) = String::from_utf8(mutated) {
+                    let _ = Json::parse(&text);
+                }
+            }
+        }
+    }
 }
