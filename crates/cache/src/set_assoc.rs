@@ -125,7 +125,7 @@ impl SetAssocCache {
             self.sets[set]
                 .iter_mut()
                 .min_by_key(|w| w.last_use)
-                .expect("associativity is non-zero")
+                .expect("associativity is non-zero") // simlint::allow(P002, reason = "the constructor rejects zero associativity, so every set has a way")
         };
         let victim = victim_way.valid.then(|| Victim {
             line: LineAddr::new(victim_way.tag),

@@ -140,6 +140,7 @@ impl SystemConfig {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the geometry is inconsistent.
+    #[must_use = "the derived geometry or the configuration problem"]
     pub fn geometry(&self) -> Result<MemoryGeometry, ConfigError> {
         MemoryGeometry::new(
             self.memory.total_bytes,
@@ -160,6 +161,7 @@ impl SystemConfig {
     /// MRQ smaller than the MC count, an invalid memory geometry, zero row
     /// buffers per bank, or a refresh period that is non-positive or rounds
     /// to zero cycles per row (either would abort bank construction).
+    #[must_use = "the Err is the configuration problem; dropping it defeats validation"]
     pub fn validate(&self) -> Result<(), ConfigError> {
         if self.cores == 0 {
             return Err(ConfigError::new("need at least one core"));

@@ -32,7 +32,7 @@ fn gm_speedup(
         .chunks(2)
         .map(|pair| pair[1].speedup_over(&pair[0]).map_err(ConfigError::from))
         .collect::<Result<_, _>>()?;
-    Ok(geometric_mean(&vals).expect("speedups are positive"))
+    Ok(geometric_mean(&vals).expect("speedups are positive")) // simlint::allow(P002, reason = "speedup_over returns positive ratios, so the geometric mean is defined")
 }
 
 /// FR-FCFS versus FIFO scheduling (the paper assumes Rixner-style
@@ -42,6 +42,7 @@ fn gm_speedup(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_scheduler(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
     let frfcfs = configs::cfg_quad_mc();
     let mut fifo = frfcfs.clone();
@@ -57,6 +58,7 @@ pub fn ablation_scheduler(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_cwf(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
     let cwf = configs::cfg_3d(); // 8-byte on-stack bus
     let mut full_line = cwf.clone();
@@ -71,6 +73,7 @@ pub fn ablation_cwf(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, Conf
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_interleave(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
     let page = configs::cfg_quad_mc();
     let mut line = page.clone();
@@ -96,6 +99,7 @@ pub struct ProbingRow {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_probing(
     run: &RunConfig,
     mixes: &[&'static Mix],
@@ -133,7 +137,7 @@ pub fn ablation_probing(
         }
         rows.push(ProbingRow {
             kind,
-            speedup_vs_linear: geometric_mean(&vals).expect("speedups are positive"),
+            speedup_vs_linear: geometric_mean(&vals).expect("speedups are positive"), // simlint::allow(P002, reason = "speedup_over returns positive ratios, so the geometric mean is defined")
             probes_per_access: probe_sum / mixes.len().max(1) as f64,
         });
     }
@@ -167,6 +171,7 @@ pub fn probing_table(rows: &[ProbingRow]) -> Table {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_page_policy(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
     let open = configs::cfg_quad_mc();
     let mut closed = open.clone();
@@ -182,6 +187,7 @@ pub fn ablation_page_policy(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_smart_refresh(
     run: &RunConfig,
     mix: &'static Mix,
@@ -205,8 +211,8 @@ pub fn ablation_smart_refresh(
         },
     );
     let mut measured = measured.into_iter();
-    let (committed_plain, refreshes_plain) = measured.next().expect("plain run present")?;
-    let (committed_smart, refreshes_smart) = measured.next().expect("smart run present")?;
+    let (committed_plain, refreshes_plain) = measured.next().expect("plain run present")?; // simlint::allow(P002, reason = "map_parallel returns one result per input; two runs in, two results out")
+    let (committed_smart, refreshes_smart) = measured.next().expect("smart run present")?; // simlint::allow(P002, reason = "map_parallel returns one result per input; two runs in, two results out")
     Ok((
         committed_smart / committed_plain.max(1.0),
         refreshes_plain,
@@ -232,6 +238,7 @@ pub struct EnergyRow {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_energy(run: &RunConfig, mix: &'static Mix) -> Result<Vec<EnergyRow>, ConfigError> {
     let model = EnergyModel::DDR2;
     let sweep: Vec<usize> = (1..=4).collect();

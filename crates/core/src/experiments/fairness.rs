@@ -58,6 +58,7 @@ fn alone_ipc(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn fairness(
     cfg: &SystemConfig,
     run: &RunConfig,

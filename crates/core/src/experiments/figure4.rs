@@ -83,6 +83,7 @@ impl Figure4Result {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result, ConfigError> {
     let cfgs = [
         configs::cfg_2d(),
@@ -98,7 +99,7 @@ pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result,
     let mut rows = Vec::with_capacity(mixes.len());
     for (i, &mix) in mixes.iter().enumerate() {
         let [base, d3, wide, fast] = &results[cfgs.len() * i..cfgs.len() * (i + 1)] else {
-            unreachable!("run_matrix preserves point count")
+            unreachable!("run_matrix preserves point count") // simlint::allow(P003, reason = "run_matrix returns exactly one result per input point")
         };
         rows.push(Figure4Row {
             mix,

@@ -179,6 +179,7 @@ fn gms_per_config(
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResult, ConfigError> {
     let base = baselines(run, mixes)?;
     let grid_shape: Vec<(u16, u16)> = [8u16, 16]
@@ -219,6 +220,7 @@ pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResul
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn figure6b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6bResult, ConfigError> {
     let base = baselines(run, mixes)?;
     let shape: Vec<(u16, u16, usize)> = [(2u16, 8u16), (4, 16)]

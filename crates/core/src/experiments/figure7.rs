@@ -119,6 +119,7 @@ impl Figure7Result {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn figure7(
     base: &SystemConfig,
     run: &RunConfig,

@@ -117,6 +117,7 @@ impl Figure9Result {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn figure9(
     base: &SystemConfig,
     run: &RunConfig,

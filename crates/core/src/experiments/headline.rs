@@ -65,6 +65,7 @@ impl HeadlineResult {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn headline(run: &RunConfig, mixes: &[&'static Mix]) -> Result<HeadlineResult, ConfigError> {
     let cfg_2d = configs::cfg_2d();
     let cfg_fast = configs::cfg_3d_fast();
@@ -90,7 +91,7 @@ pub fn headline(run: &RunConfig, mixes: &[&'static Mix]) -> Result<HeadlineResul
     let mut total_over_2d = Vec::new();
     for (i, &mix) in mixes.iter().enumerate() {
         let [r2d, rfast, raggr, rmha] = &results[cfgs.len() * i..cfgs.len() * (i + 1)] else {
-            unreachable!("run_matrix preserves point count")
+            unreachable!("run_matrix preserves point count") // simlint::allow(P003, reason = "run_matrix returns exactly one result per input point")
         };
         fast_over_2d.push((mix, rfast.speedup_over(r2d)?));
         aggr_over_fast.push((mix, raggr.speedup_over(rfast)?));

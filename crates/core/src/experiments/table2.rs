@@ -27,6 +27,7 @@ pub struct Table2aRow {
 ///
 /// Returns [`ConfigError`] if the characterization configuration fails
 /// validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn table2a(
     run: &RunConfig,
     benchmarks: &[&'static Benchmark],
@@ -91,6 +92,7 @@ pub struct Table2bRow {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the baseline configuration fails validation.
+#[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn table2b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Vec<Table2bRow>, ConfigError> {
     let cfg = configs::cfg_2d();
     let points: Vec<RunPoint> = mixes.iter().map(|&mix| (cfg.clone(), mix, *run)).collect();

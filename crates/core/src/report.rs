@@ -33,6 +33,7 @@ use crate::runner::{run_mix, RunConfig};
 /// assert_eq!(String::from_utf8(csv).unwrap(), "mix,speedup\nH1,2.17\n");
 /// # Ok::<(), std::io::Error>(())
 /// ```
+#[must_use = "the Err reports a failed write; dropping it hides truncated output"]
 pub fn table_to_csv<W: Write>(table: &Table, mut writer: W) -> io::Result<()> {
     let write_row = |writer: &mut W, cells: &[String]| -> io::Result<()> {
         for (i, cell) in cells.iter().enumerate() {
@@ -124,6 +125,7 @@ impl Comparison {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if any configuration fails validation.
+#[must_use = "the comparison or the reason a configuration is invalid"]
 pub fn compare_configs(
     configs: &[(&str, SystemConfig)],
     mixes: &[&'static Mix],

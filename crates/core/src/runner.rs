@@ -176,6 +176,7 @@ impl RunResult {
     /// let speedup = fast.speedup_over(&base).unwrap();
     /// assert!(speedup > 1.0);
     /// ```
+    #[must_use = "the speedup ratio or the mix mismatch"]
     pub fn speedup_over(&self, baseline: &RunResult) -> Result<f64, MixMismatch> {
         if self.mix != baseline.mix {
             return Err(MixMismatch {
@@ -192,6 +193,7 @@ impl RunResult {
 /// # Errors
 ///
 /// Returns [`ConfigError`] if the configuration is inconsistent.
+#[must_use = "the run's results or the reason the configuration is invalid"]
 pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResult, ConfigError> {
     let mut system = System::for_mix(cfg, mix, run.seed)?;
     system.set_fast_forward(run.fast_forward);
@@ -225,7 +227,7 @@ pub fn run_mix(cfg: &SystemConfig, mix: &Mix, run: &RunConfig) -> Result<RunResu
         .iter()
         .map(|&c| (c.max(1)) as f64 / run.measure_cycles as f64)
         .collect();
-    let hmipc = harmonic_mean(&per_core_ipc).expect("ipc values are positive");
+    let hmipc = harmonic_mean(&per_core_ipc).expect("ipc values are positive"); // simlint::allow(P002, reason = "per-core IPCs are floored to 1/window, so the harmonic mean is defined")
     SKIPPED_CYCLES_TOTAL.fetch_add(system.skipped_cycles(), Ordering::Relaxed);
     TICKED_CYCLES_TOTAL.fetch_add(system.ticked_cycles(), Ordering::Relaxed);
     let trace = system.take_trace();
@@ -284,13 +286,13 @@ fn progress_slot() -> &'static Mutex<Option<ProgressFn>> {
 /// number of points finished so far and the matrix size. Callbacks may be
 /// invoked from any worker thread; keep them cheap and re-entrant.
 pub fn set_progress_reporter(reporter: Option<ProgressFn>) {
-    *progress_slot().lock().expect("progress slot poisoned") = reporter;
+    *progress_slot().lock().expect("progress slot poisoned") = reporter; // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
 }
 
 fn report_progress(done: usize, total: usize) {
     if let Some(f) = progress_slot()
         .lock()
-        .expect("progress slot poisoned")
+        .expect("progress slot poisoned") // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
         .as_ref()
     {
         f(done, total);
@@ -349,7 +351,7 @@ where
                 let i = cursor.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
                 let out = f(item);
-                *slots[i].lock().expect("result slot poisoned") = Some(out);
+                *slots[i].lock().expect("result slot poisoned") = Some(out); // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
             });
         }
     });
@@ -357,8 +359,8 @@ where
         .into_iter()
         .map(|slot| {
             slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
+                .expect("result slot poisoned") // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
+                .expect("worker filled every slot") // simlint::allow(P002, reason = "the scoped-thread join proves every worker filled its slot")
         })
         .collect()
 }
@@ -405,6 +407,7 @@ impl ParallelRunner {
     ///
     /// Returns the first (by input order) [`ConfigError`] if any point has
     /// an inconsistent configuration.
+    #[must_use = "the matrix results or the reason a configuration is invalid"]
     pub fn run_matrix(&self, points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigError> {
         let done = AtomicUsize::new(0);
         let total = points.len();
@@ -430,6 +433,7 @@ impl Default for ParallelRunner {
 ///
 /// Returns the first (by input order) [`ConfigError`] if any point has an
 /// inconsistent configuration.
+#[must_use = "the matrix results or the reason a configuration is invalid"]
 pub fn run_matrix(points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigError> {
     ParallelRunner::new().run_matrix(points)
 }
@@ -452,7 +456,7 @@ fn memo() -> &'static Mutex<HashMap<MemoKey, MemoCell>> {
 /// Number of distinct `(config, mix, run)` points simulated so far in this
 /// process (diagnostic; pairs with the reproduce binary's run accounting).
 pub fn memo_len() -> usize {
-    memo().lock().expect("memo poisoned").len()
+    memo().lock().expect("memo poisoned").len() // simlint::allow(P002, reason = "memo mutex poisoning means a worker already panicked; propagating is correct")
 }
 
 /// Visits every *successful* memoized run in this process, in no
@@ -468,9 +472,10 @@ where
     F: FnMut(&SystemConfig, &'static str, &RunConfig, &Arc<RunResult>),
 {
     let cells: Vec<(MemoKey, MemoCell)> = {
-        let map = memo().lock().expect("memo poisoned");
-        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect()
+        let map = memo().lock().expect("memo poisoned"); // simlint::allow(P002, reason = "memo mutex poisoning means a worker already panicked; propagating is correct")
+        map.iter().map(|(k, v)| (k.clone(), v.clone())).collect() // simlint::allow(D003, reason = "snapshot of the process-wide memo; the audit callback is per-run and order-independent")
     };
+    // simlint::allow(D003, reason = "order documented as unspecified; each cached run is audited independently")
     for ((cfg, mix, run), cell) in &cells {
         if let Some(Ok(result)) = cell.get() {
             f(cfg, mix, run, result);
@@ -490,13 +495,14 @@ where
 ///
 /// Returns [`ConfigError`] if the configuration is inconsistent (also
 /// memoized: a bad point is validated once).
+#[must_use = "the run's results or the reason the configuration is invalid"]
 pub fn run_mix_cached(
     cfg: &SystemConfig,
     mix: &'static Mix,
     run: &RunConfig,
 ) -> Result<Arc<RunResult>, ConfigError> {
     let cell = {
-        let mut map = memo().lock().expect("memo poisoned");
+        let mut map = memo().lock().expect("memo poisoned"); // simlint::allow(P002, reason = "memo mutex poisoning means a worker already panicked; propagating is correct")
         map.entry((cfg.clone(), mix.name, *run))
             .or_default()
             .clone()

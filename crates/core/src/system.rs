@@ -313,6 +313,7 @@ impl System {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if the configuration is inconsistent.
+    #[must_use = "the built System or the reason the configuration is invalid"]
     pub fn for_mix(cfg: &SystemConfig, mix: &Mix, seed: u64) -> Result<System, ConfigError> {
         let generators: Vec<Box<dyn TraceGenerator>> = mix
             .benchmarks()
@@ -344,6 +345,7 @@ impl System {
     ///
     /// Returns [`ConfigError`] if the configuration is inconsistent or the
     /// generator count does not match the core count.
+    #[must_use = "the built System or the reason the configuration is invalid"]
     pub fn with_generators(
         cfg: &SystemConfig,
         generators: Vec<Box<dyn TraceGenerator>>,
@@ -382,7 +384,7 @@ impl System {
             .row_interval(geometry.rows_per_bank(), cfg.core_hz);
         let mcs: Vec<MemoryController> = (0..cfg.memory.mcs)
             .map(|i| {
-                MemoryController::new(
+                MemoryController::try_new(
                     stacksim_types::McId::new(i),
                     McConfig {
                         queue_capacity: cfg.mrq_per_mc(),
@@ -403,7 +405,7 @@ impl System {
                     },
                 )
             })
-            .collect();
+            .collect::<Result<_, _>>()?;
         let per_bank = cfg.mshr_entries_per_bank();
         let mshr_banks: Vec<Box<dyn MissHandler>> = (0..cfg.memory.mcs)
             .map(|_| make_mshr(cfg.mshr.kind, per_bank))
@@ -490,7 +492,7 @@ impl System {
         if !cfg.samples() || !now.raw().is_multiple_of(cfg.sample_interval.max(1)) {
             return;
         }
-        let trace = self.trace.as_mut().expect("checked by caller");
+        let trace = self.trace.as_mut().expect("checked by caller"); // simlint::allow(P002, reason = "trace_sample is only called when tracing is on, so the trace sink exists")
         if cfg.mshr_occupancy {
             for (i, bank) in self.mshr_banks.iter().enumerate() {
                 trace
@@ -714,7 +716,7 @@ impl System {
         let parked = self.events.take_due();
         for event in &parked {
             let EventKind::L2Access { req, .. } = event else {
-                unreachable!("skip_target only parks L2 retry events");
+                unreachable!("skip_target only parks L2 retry events"); // simlint::allow(P003, reason = "skip_target parks only L2 retry events, so no other kind can be due here")
             };
             let (miss_target, kind) = miss_params(req);
             let bank = self.mapper.decode(req.line.base()).mc.index();
@@ -723,7 +725,7 @@ impl System {
                     self.probe_hist.record_n(e.probes() as u64, n);
                     self.mshr_full_retries += n;
                 }
-                Ok(_) => unreachable!("parked retries were proven unable to allocate"),
+                Ok(_) => unreachable!("parked retries were proven unable to allocate"), // simlint::allow(P003, reason = "quiescence proves no MSHR entry freed, so a parked retry cannot allocate")
             }
         }
         self.events.advance_by(n);
@@ -815,7 +817,7 @@ impl System {
                 };
                 self.mcs[i]
                     .enqueue(req)
-                    .expect("routing checked at creation");
+                    .expect("routing checked at creation"); // simlint::allow(P002, reason = "the mapper routed this request to MC i at creation, so its queue accepts it")
             }
         }
 

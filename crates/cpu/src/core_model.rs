@@ -227,7 +227,7 @@ impl Core {
                         // A µop retrying after an MSHR-full stall: it was
                         // already counted, translated, and already trained
                         // the prefetchers; probe quietly.
-                        let line = stalled_line.expect("stalled memory op kept its line");
+                        let line = stalled_line.expect("stalled memory op kept its line"); // simlint::allow(P002, reason = "a resumed uop is re-probed only after an MSHR-full stall recorded its line")
                         if self.dl1.contains(line) {
                             self.window.push_back(Slot::Done);
                         } else if !self.try_miss(line, pc, is_write, requests) {
@@ -283,7 +283,7 @@ impl Core {
             .allocator
             .borrow_mut()
             .translate(vm.asid, vaddr)
-            .expect("physical memory exhausted; grow the machine's memory");
+            .expect("physical memory exhausted; grow the machine's memory"); // simlint::allow(P002, reason = "physical memory is sized to cover every mix footprint; exhaustion is a config bug worth stopping on")
         (paddr.line(), walk)
     }
 
@@ -337,7 +337,7 @@ impl Core {
             let target = MissTarget::prefetch(self.id, self.token << 1);
             self.mshr
                 .allocate(target_line, target, MissKind::Read, Cycle::ZERO)
-                .expect("mshr has room");
+                .expect("mshr has room"); // simlint::allow(P002, reason = "prefetch issue is gated on MSHR headroom checked just above")
             requests.push(CoreRequest::prefetch(self.id, target_line));
             self.prefetches_issued += 1;
         }

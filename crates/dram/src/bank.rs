@@ -48,7 +48,7 @@ impl BankConfig {
         refresh_interval: Option<Cycles>,
     ) -> Self {
         Self::try_new(timing, row_buffer_entries, refresh_interval)
-            .unwrap_or_else(|e| panic!("{e}"))
+            .unwrap_or_else(|e| panic!("{e}")) // simlint::allow(P003, reason = "documented panicking convenience constructor; try_new is the fallible path")
     }
 
     /// Creates a bank configuration, rejecting degenerate parameters with a
@@ -177,7 +177,7 @@ impl Bank {
     ///
     /// Panics if `rows` is zero.
     pub fn new(config: BankConfig, rows: u64) -> Self {
-        Self::try_new(config, rows).unwrap_or_else(|e| panic!("{e}"))
+        Self::try_new(config, rows).unwrap_or_else(|e| panic!("{e}")) // simlint::allow(P003, reason = "documented panicking convenience constructor; try_new is the fallible path")
     }
 
     /// Creates a bank with `rows` rows, returning a typed error on a

@@ -35,6 +35,7 @@ impl Rank {
     ///
     /// Panics if `banks` is zero.
     pub fn new(config: BankConfig, banks: usize, rows_per_bank: u64) -> Self {
+        // simlint::allow(P003, reason = "documented panicking convenience constructor; try_new is the fallible path")
         Self::try_new(config, banks, rows_per_bank).unwrap_or_else(|e| panic!("{e}"))
     }
 

@@ -47,11 +47,6 @@ impl CamMshr {
             limit: capacity,
         }
     }
-
-    /// Iterates over all outstanding entries in unspecified order.
-    pub fn iter(&self) -> impl Iterator<Item = &MshrEntry> {
-        self.entries.values()
-    }
 }
 
 impl MissHandler for CamMshr {

@@ -165,7 +165,7 @@ impl DynamicTuner {
                         .enumerate()
                         .max_by_key(|&(i, &s)| (s, core::cmp::Reverse(i)))
                         .map(|(i, _)| i)
-                        .expect("scores are non-empty");
+                        .expect("scores are non-empty"); // simlint::allow(P002, reason = "scores has one entry per candidate capacity and is never empty")
                     self.phase = TunerPhase::Applying;
                 }
                 Some(self.current_limit())

@@ -243,7 +243,7 @@ impl MissHandler for VbfMshr {
     ) -> Result<AllocOutcome, AllocError> {
         let (slot, probes) = self.find(line);
         if let Some(s) = slot {
-            let e = self.slots[s].as_mut().expect("found slot is occupied");
+            let e = self.slots[s].as_mut().expect("found slot is occupied"); // simlint::allow(P002, reason = "find only returns occupied slots for this line")
             e.merge(target);
             return Ok(AllocOutcome::Merged {
                 probes,
@@ -256,7 +256,7 @@ impl MissHandler for VbfMshr {
         let home = self.home(line);
         let s = self
             .free_slot(home)
-            .expect("occupancy below capacity implies a free slot");
+            .expect("occupancy below capacity implies a free slot"); // simlint::allow(P002, reason = "occupancy below the limit was just checked, so a free slot exists")
         let displacement = (s + self.slots.len() - home) % self.slots.len();
         self.slots[s] = Some(MshrEntry::new(line, target, kind, now));
         self.vbf.set(home, displacement);
@@ -267,7 +267,7 @@ impl MissHandler for VbfMshr {
     fn deallocate(&mut self, line: LineAddr) -> Option<(MshrEntry, u32)> {
         let (slot, probes) = self.find(line);
         let s = slot?;
-        let e = self.slots[s].take().expect("found slot is occupied");
+        let e = self.slots[s].take().expect("found slot is occupied"); // simlint::allow(P002, reason = "find only returns occupied slots for this line")
         let home = self.home(line);
         let displacement = (s + self.slots.len() - home) % self.slots.len();
         self.vbf.clear(home, displacement);

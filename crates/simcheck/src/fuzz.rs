@@ -162,6 +162,7 @@ fn machine_metrics(result: &RunResult) -> Vec<(String, f64)> {
 /// # Errors
 ///
 /// Returns the first [`FuzzFailure`] detected.
+#[must_use = "Ok means the case passed; dropping the result hides failures"]
 pub fn run_case(case: &FuzzCase) -> Result<(), FuzzFailure> {
     // 1. Differential MSHR oracle on the sampled organization.
     let params = StreamParams {
@@ -318,6 +319,7 @@ impl Repro {
     /// # Errors
     ///
     /// Returns a description of the first structural problem found.
+    #[must_use = "the parsed repro or the parse error"]
     pub fn from_json(v: &Json) -> Result<Repro, String> {
         let schema = v
             .get("schema")
@@ -358,6 +360,7 @@ impl Repro {
 ///
 /// Returns the name of any shrink transformation this build no longer
 /// knows (artifact written by an incompatible version).
+#[must_use = "the rebuilt case or the reason the repro is stale"]
 pub fn materialize(repro: &Repro) -> Result<FuzzCase, String> {
     let mut case = generate(repro.seed);
     for name in &repro.shrink_ops {
@@ -377,6 +380,7 @@ pub fn materialize(repro: &Repro) -> Result<FuzzCase, String> {
 /// Returns the [`FuzzFailure`] if the case still fails (i.e. the bug it
 /// recorded is still present), or a [`FuzzFailure::Config`] wrapping the
 /// materialization error for incompatible artifacts.
+#[must_use = "Ok means the repro passed; dropping the result hides failures"]
 pub fn replay(repro: &Repro) -> Result<(), FuzzFailure> {
     let case = materialize(repro).map_err(FuzzFailure::Config)?;
     run_case(&case)

@@ -353,6 +353,7 @@ pub struct DriveReport {
 ///
 /// Returns the first [`OracleDivergence`] if the implementation and the
 /// reference model ever disagree.
+#[must_use = "the drive report or the first divergence"]
 pub fn drive_stream(
     kind: MshrKind,
     seed: u64,

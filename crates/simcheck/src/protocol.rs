@@ -51,6 +51,7 @@ impl ProtocolParams {
     /// # Errors
     ///
     /// Returns [`ConfigError`] if `cfg` does not validate.
+    #[must_use = "the derived protocol parameters or the configuration problem"]
     pub fn for_config(cfg: &SystemConfig) -> Result<ProtocolParams, ConfigError> {
         cfg.validate()?;
         let geometry = cfg.geometry()?;
@@ -376,6 +377,7 @@ pub fn check_trace(params: &ProtocolParams, trace: &Trace) -> Vec<Violation> {
 ///
 /// Returns [`ConfigError`] if `cfg` does not validate or `result` carries
 /// no DRAM command trace to check.
+#[must_use = "the violation list; dropping it defeats the check"]
 pub fn check_run(cfg: &SystemConfig, result: &RunResult) -> Result<Vec<Violation>, ConfigError> {
     let params = ProtocolParams::for_config(cfg)?;
     let trace = result.trace.as_ref().ok_or_else(|| {

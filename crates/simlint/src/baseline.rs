@@ -1,0 +1,113 @@
+//! The baseline (allowlist) file: intentional exceptions that live outside
+//! the source, each with a mandatory reason.
+//!
+//! Format — one entry per line, pipe-separated, `#` starts a comment:
+//!
+//! ```text
+//! # rule | file | key | reason
+//! M002 | docs/METRICS.md | cmd_act | synthesized per command kind at trace time
+//! ```
+//!
+//! `key` is the *trimmed source text* of the offending line (for doc
+//! findings, the documented name), so entries survive unrelated line-number
+//! drift but go stale — and start failing — when the flagged code itself
+//! changes.
+
+use crate::rules::Finding;
+
+/// One baseline entry.
+#[derive(Clone, Debug)]
+pub struct BaselineEntry {
+    /// Rule id the entry suppresses.
+    pub rule: String,
+    /// Workspace-relative file the finding is in.
+    pub file: String,
+    /// Trimmed source-line text (or documented name) to match.
+    pub key: String,
+    /// Why the exception is intentional.
+    pub reason: String,
+}
+
+/// A parsed baseline file.
+#[derive(Clone, Debug, Default)]
+pub struct Baseline {
+    /// Entries in file order.
+    pub entries: Vec<BaselineEntry>,
+}
+
+impl Baseline {
+    /// Parses the pipe-separated baseline format.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first malformed line (wrong field
+    /// count or empty reason).
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let mut entries = Vec::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let fields: Vec<&str> = line.split('|').map(str::trim).collect();
+            let [rule, file, key, reason] = fields.as_slice() else {
+                return Err(format!(
+                    "baseline line {}: expected 'rule | file | key | reason'",
+                    i + 1
+                ));
+            };
+            if rule.is_empty() || file.is_empty() || key.is_empty() || reason.is_empty() {
+                return Err(format!(
+                    "baseline line {}: empty field (a reason is mandatory)",
+                    i + 1
+                ));
+            }
+            entries.push(BaselineEntry {
+                rule: rule.to_string(),
+                file: file.to_string(),
+                key: key.to_string(),
+                reason: reason.to_string(),
+            });
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Whether a finding is covered by some entry.
+    pub fn matches(&self, f: &Finding) -> bool {
+        self.entries
+            .iter()
+            .any(|e| e.rule == f.rule && e.file == f.file && e.key == f.snippet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &str, file: &str, snippet: &str) -> Finding {
+        Finding {
+            file: file.to_string(),
+            line: 10,
+            rule: rule.to_string(),
+            message: String::new(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn parse_and_match() {
+        let b = Baseline::parse(
+            "# comment\n\nP001 | crates/core/src/x.rs | x.unwrap(); | legacy site\n",
+        )
+        .expect("valid baseline parses");
+        assert!(b.matches(&finding("P001", "crates/core/src/x.rs", "x.unwrap();")));
+        assert!(!b.matches(&finding("P001", "crates/core/src/x.rs", "y.unwrap();")));
+        assert!(!b.matches(&finding("P002", "crates/core/src/x.rs", "x.unwrap();")));
+    }
+
+    #[test]
+    fn reason_is_mandatory() {
+        assert!(Baseline::parse("P001 | f.rs | key |  \n").is_err());
+        assert!(Baseline::parse("P001 | f.rs | key\n").is_err());
+    }
+}

@@ -1,0 +1,112 @@
+//! The `simlint` binary: scans the workspace and reports findings.
+//!
+//! ```text
+//! simlint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]
+//! ```
+//!
+//! Exit codes: 0 = clean, 1 = unbaselined findings, 2 = usage or I/O error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use stacksim_simlint::{engine, Options, RULES};
+
+struct Args {
+    root: Option<PathBuf>,
+    format: Format,
+    baseline: Option<PathBuf>,
+    list_rules: bool,
+}
+
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        root: None,
+        format: Format::Text,
+        baseline: None,
+        list_rules: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root needs a directory")?;
+                args.root = Some(PathBuf::from(v));
+            }
+            "--format" => match it.next().as_deref() {
+                Some("text") => args.format = Format::Text,
+                Some("json") => args.format = Format::Json,
+                other => return Err(format!("--format expects text|json, got {other:?}")),
+            },
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline needs a file")?;
+                args.baseline = Some(PathBuf::from(v));
+            }
+            "--list-rules" => args.list_rules = true,
+            "--help" | "-h" => {
+                println!(
+                    "simlint [--root DIR] [--format text|json] [--baseline FILE] [--list-rules]\n\
+                     \n\
+                     Static analysis for the stacksim workspace: determinism (D), panic\n\
+                     surface (P), narrowing (N) and metric/doc drift (M) rules. See\n\
+                     docs/LINTS.md for rule ids, pragmas and the baseline format.\n\
+                     Exit codes: 0 clean, 1 findings, 2 error."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, desc) in RULES {
+            println!("{id}  {desc}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let root = match args.root.or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| engine::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (use --root)");
+            return ExitCode::from(2);
+        }
+    };
+    let opts = Options {
+        baseline: args.baseline,
+    };
+    let report = match engine::scan(&root, &opts) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match args.format {
+        Format::Text => print!("{}", report.to_text()),
+        Format::Json => print!("{}", report.to_json()),
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}

@@ -1,0 +1,167 @@
+//! Parsing of `docs/METRICS.md` for the metric/doc drift rules (M family).
+//!
+//! Two views of the document are extracted:
+//!
+//! * **All documented names** — every backtick-quoted, metric-shaped token
+//!   anywhere in the file, with `prefix.{a,b}` brace groups expanded. A
+//!   metric registered in code is "documented" (rule `M001` passes) when
+//!   its leaf name appears in this set, so prose mentions count.
+//! * **Inventory names** — names from the first cell of metric-inventory
+//!   table rows (tables whose header's first column is `metric`). Each of
+//!   these must have a literal registration site in code (rule `M002`),
+//!   so the inventory tables can't document metrics that no longer exist.
+
+use crate::rules::leaf;
+
+/// A metric name documented in an inventory table row.
+#[derive(Clone, Debug)]
+pub struct InventoryEntry {
+    /// The name as documented (may be dotted, e.g. `ranks.refreshes`).
+    pub name: String,
+    /// 1-based line in the docs file.
+    pub line: u32,
+}
+
+/// Parsed view of `docs/METRICS.md`.
+#[derive(Clone, Debug, Default)]
+pub struct MetricDocs {
+    /// Leaf names of every documented metric-shaped token.
+    pub documented_leaves: Vec<String>,
+    /// Names listed in metric-inventory tables.
+    pub inventory: Vec<InventoryEntry>,
+}
+
+impl MetricDocs {
+    /// Parses the markdown text.
+    pub fn parse(text: &str) -> MetricDocs {
+        let mut docs = MetricDocs::default();
+        let mut in_metric_table = false;
+        for (i, raw_line) in text.lines().enumerate() {
+            let line_no = (i + 1) as u32;
+            let line = raw_line.trim();
+            for name in backtick_names(line) {
+                let l = leaf(&name).to_string();
+                if !docs.documented_leaves.contains(&l) {
+                    docs.documented_leaves.push(l);
+                }
+            }
+            // Track metric-inventory tables: header row `| metric | … |`.
+            if line.starts_with('|') {
+                let first_cell = line
+                    .trim_start_matches('|')
+                    .split('|')
+                    .next()
+                    .unwrap_or("")
+                    .trim()
+                    .to_ascii_lowercase();
+                if first_cell == "metric" {
+                    in_metric_table = true;
+                    continue;
+                }
+                if first_cell.chars().all(|c| c == '-' || c == ':') {
+                    continue; // separator row keeps table state
+                }
+                if in_metric_table {
+                    let cell = line.trim_start_matches('|').split('|').next().unwrap_or("");
+                    for name in backtick_names(cell) {
+                        docs.inventory.push(InventoryEntry {
+                            name,
+                            line: line_no,
+                        });
+                    }
+                }
+            } else {
+                in_metric_table = false;
+            }
+        }
+        docs
+    }
+
+    /// Whether a registered metric name is documented (by leaf).
+    pub fn documents(&self, name: &str) -> bool {
+        self.documented_leaves.iter().any(|d| d == leaf(name))
+    }
+}
+
+/// Extracts metric-shaped names from the backtick spans of one line,
+/// expanding `prefix.{a,b}` brace groups and splitting comma lists.
+fn backtick_names(line: &str) -> Vec<String> {
+    let mut names = Vec::new();
+    let mut rest = line;
+    while let Some(open) = rest.find('`') {
+        let after = &rest[open + 1..];
+        let Some(close) = after.find('`') else { break };
+        let span = &after[..close];
+        for part in expand_braces(span) {
+            for token in part.split(',') {
+                let token = token.trim();
+                if !token.is_empty()
+                    && token
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+                    && token.chars().any(|c| c.is_ascii_lowercase())
+                {
+                    names.push(token.to_string());
+                }
+            }
+        }
+        rest = &after[close + 1..];
+    }
+    names
+}
+
+/// Expands one level of `prefix.{a,b,c}` into `prefix.a`, `prefix.b`, …
+fn expand_braces(span: &str) -> Vec<String> {
+    let (Some(open), Some(close)) = (span.find('{'), span.rfind('}')) else {
+        return vec![span.to_string()];
+    };
+    if close < open {
+        return vec![span.to_string()];
+    }
+    let prefix = &span[..open];
+    let suffix = &span[close + 1..];
+    span[open + 1..close]
+        .split(',')
+        .map(|mid| format!("{prefix}{}{suffix}", mid.trim()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = "\
+# METRICS
+
+Prose mentions `dram_energy.{activate_nj,read_nj}` and `RunConfig::quick`.
+
+| metric | kind |
+|---|---|
+| `cycles` | counter |
+| `dl1.hits`, `dl1.misses` | gauge |
+
+Not a table line.
+";
+
+    #[test]
+    fn brace_expansion_and_prose_names() {
+        let docs = MetricDocs::parse(SAMPLE);
+        assert!(docs.documents("activate_nj"));
+        assert!(docs.documents("dram_energy.read_nj"));
+        assert!(!docs.documents("total_nj"));
+    }
+
+    #[test]
+    fn inventory_rows_are_collected_with_lines() {
+        let docs = MetricDocs::parse(SAMPLE);
+        let names: Vec<&str> = docs.inventory.iter().map(|e| e.name.as_str()).collect();
+        assert_eq!(names, ["cycles", "dl1.hits", "dl1.misses"]);
+        assert_eq!(docs.inventory[0].line, 7);
+    }
+
+    #[test]
+    fn non_metric_backticks_are_ignored() {
+        let docs = MetricDocs::parse("uses `MetricsSink::to_json` and `--tol`");
+        assert!(docs.documented_leaves.is_empty());
+    }
+}

@@ -1,0 +1,313 @@
+//! The workspace scanner: file walking, rule dispatch, pragma and
+//! baseline suppression, and report assembly.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::baseline::Baseline;
+use crate::docs::MetricDocs;
+use crate::rules::{self, Finding, Registration, KERNEL_CRATES};
+use crate::source::SourceFile;
+
+/// Scanner options.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Baseline file path; `None` uses `<root>/simlint.baseline` if present.
+    pub baseline: Option<PathBuf>,
+}
+
+/// Result of a workspace scan.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Workspace root the scan ran against.
+    pub root: PathBuf,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+    /// Unsuppressed findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Findings suppressed by in-source pragmas.
+    pub suppressed_by_pragma: usize,
+    /// Findings suppressed by baseline entries.
+    pub suppressed_by_baseline: usize,
+}
+
+impl Report {
+    /// Renders findings in `file:line:rule-id: message` form.
+    pub fn to_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            out.push_str(&format!(
+                "{}:{}:{}: {}\n",
+                f.file, f.line, f.rule, f.message
+            ));
+        }
+        out.push_str(&format!(
+            "simlint: {} file(s) scanned, {} finding(s), {} suppressed by pragma, {} by baseline\n",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed_by_pragma,
+            self.suppressed_by_baseline
+        ));
+        out
+    }
+
+    /// Renders the report as machine-readable JSON
+    /// (`stacksim-simlint/1` schema).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"schema\": \"stacksim-simlint/1\",\n");
+        out.push_str(&format!(
+            "  \"files_scanned\": {},\n  \"suppressed_by_pragma\": {},\n  \"suppressed_by_baseline\": {},\n",
+            self.files_scanned, self.suppressed_by_pragma, self.suppressed_by_baseline
+        ));
+        out.push_str("  \"findings\": [");
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"file\": {}, \"line\": {}, \"rule\": {}, \"message\": {}, \"snippet\": {}}}",
+                json_str(&f.file),
+                f.line,
+                json_str(&f.rule),
+                json_str(&f.message),
+                json_str(&f.snippet)
+            ));
+        }
+        if !self.findings.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Escapes a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Locates the workspace root by walking up from `start` until a
+/// `Cargo.toml` containing `[workspace]` is found.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start.to_path_buf());
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d);
+            }
+        }
+        dir = d.parent().map(Path::to_path_buf);
+    }
+    None
+}
+
+/// Scans the workspace under `root` and returns the report.
+///
+/// Walks `crates/*/src/**/*.rs` in sorted order (so output is
+/// deterministic across platforms), applies the D/P/N rules to kernel
+/// crates, collects metric registrations everywhere, cross-checks them
+/// against `docs/METRICS.md`, then filters findings through in-source
+/// pragmas and the baseline file.
+///
+/// # Errors
+///
+/// Returns a message when the root has no `crates/` directory or a file
+/// cannot be read.
+pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(format!("no crates/ directory under {}", root.display()));
+    }
+    let baseline = load_baseline(root, opts)?;
+    let docs_path = root.join("docs/METRICS.md");
+    let docs = match fs::read_to_string(&docs_path) {
+        Ok(text) => Some(MetricDocs::parse(&text)),
+        Err(_) => None,
+    };
+
+    let mut findings = Vec::new();
+    let mut regs: Vec<Registration> = Vec::new();
+    let mut suppressed_by_pragma = 0usize;
+    let mut files_scanned = 0usize;
+
+    for crate_dir in sorted_dirs(&crates_dir)? {
+        let crate_name = crate_dir
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("")
+            .to_string();
+        let kernel = KERNEL_CRATES.contains(&crate_name.as_str());
+        let src = crate_dir.join("src");
+        if !src.is_dir() {
+            continue;
+        }
+        for path in rust_files(&src)? {
+            let rel = path
+                .strip_prefix(root)
+                .unwrap_or(&path)
+                .to_string_lossy()
+                .replace('\\', "/");
+            let text =
+                fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
+            files_scanned += 1;
+            let file = SourceFile::parse(&rel, &text);
+            let raw = rules::check_file(&file, kernel, &mut regs);
+            for f in raw {
+                if f.rule != "X001" && file.pragma_for(f.line, &f.rule).is_some() {
+                    suppressed_by_pragma += 1;
+                } else {
+                    findings.push(f);
+                }
+            }
+            // Rule M001 needs the docs index; check this file's
+            // registrations now so pragmas on the same line apply.
+            if let Some(docs) = &docs {
+                let file_regs: Vec<&Registration> = regs.iter().filter(|r| r.file == rel).collect();
+                for r in file_regs {
+                    if !docs.documents(&r.name) {
+                        let f = Finding {
+                            file: rel.clone(),
+                            line: r.line,
+                            rule: "M001".to_string(),
+                            message: format!(
+                                "metric `{}` is registered here but not documented in docs/METRICS.md",
+                                r.name
+                            ),
+                            snippet: file.line_text(r.line).to_string(),
+                        };
+                        if file.pragma_for(f.line, "M001").is_some() {
+                            suppressed_by_pragma += 1;
+                        } else {
+                            findings.push(f);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Rule M002: documented inventory entries must exist in code.
+    if let Some(docs) = &docs {
+        let doc_rel = docs_path
+            .strip_prefix(root)
+            .unwrap_or(&docs_path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        for entry in &docs.inventory {
+            let l = rules::leaf(&entry.name);
+            if !regs.iter().any(|r| rules::leaf(&r.name) == l) {
+                findings.push(Finding {
+                    file: doc_rel.clone(),
+                    line: entry.line,
+                    rule: "M002".to_string(),
+                    message: format!(
+                        "metric `{}` is documented in the inventory but never registered in code",
+                        entry.name
+                    ),
+                    snippet: entry.name.clone(),
+                });
+            }
+        }
+    }
+
+    // Baseline suppression, then deterministic ordering.
+    let mut suppressed_by_baseline = 0usize;
+    findings.retain(|f| {
+        if baseline.matches(f) {
+            suppressed_by_baseline += 1;
+            false
+        } else {
+            true
+        }
+    });
+    findings.sort_by(|a, b| {
+        (a.file.as_str(), a.line, a.rule.as_str()).cmp(&(b.file.as_str(), b.line, b.rule.as_str()))
+    });
+
+    Ok(Report {
+        root: root.to_path_buf(),
+        files_scanned,
+        findings,
+        suppressed_by_pragma,
+        suppressed_by_baseline,
+    })
+}
+
+fn load_baseline(root: &Path, opts: &Options) -> Result<Baseline, String> {
+    let path = match &opts.baseline {
+        Some(p) => p.clone(),
+        None => {
+            let default = root.join("simlint.baseline");
+            if !default.is_file() {
+                return Ok(Baseline::default());
+            }
+            default
+        }
+    };
+    let text =
+        fs::read_to_string(&path).map_err(|e| format!("read baseline {}: {e}", path.display()))?;
+    Baseline::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// Immediate subdirectories of `dir`, sorted by name.
+fn sorted_dirs(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut dirs = Vec::new();
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        if entry.path().is_dir() {
+            dirs.push(entry.path());
+        }
+    }
+    dirs.sort();
+    Ok(dirs)
+}
+
+/// All `.rs` files under `dir`, recursively, sorted.
+fn rust_files(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let mut files = Vec::new();
+    collect_rust_files(dir, &mut files)?;
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rust_files(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let entries = fs::read_dir(dir).map_err(|e| format!("read {}: {e}", dir.display()))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| format!("read {}: {e}", dir.display()))?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rust_files(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escaping() {
+        assert_eq!(json_str("a\"b\\c\n"), "\"a\\\"b\\\\c\\n\"");
+        assert_eq!(json_str("plain"), "\"plain\"");
+    }
+}

@@ -1,0 +1,382 @@
+//! A lightweight Rust lexer: just enough token structure for the rule
+//! engine, with no external parser dependencies.
+//!
+//! The lexer classifies source text into identifiers, literals, punctuation
+//! and comments, tracking the 1-based line of every token. It understands
+//! the Rust lexical forms that would otherwise confuse a text-level scan:
+//! nested block comments, raw strings (`r#"…"#`), byte strings, char
+//! literals vs. lifetimes, and doc comments (which are comments here, so
+//! doctest code is never mistaken for library code).
+//!
+//! # Examples
+//!
+//! ```
+//! use stacksim_simlint::lexer::{lex, TokKind};
+//!
+//! let toks = lex("let x = m.keys(); // simlint::allow(D003, reason = \"why\")");
+//! assert_eq!(toks[0].text, "let");
+//! assert!(toks.iter().any(|t| t.kind == TokKind::LineComment));
+//! ```
+
+/// The lexical class of a [`Tok`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `as`, `HashMap`, …).
+    Ident,
+    /// A lifetime such as `'a`.
+    Lifetime,
+    /// Numeric literal.
+    Num,
+    /// String literal (plain, raw, or byte); `text` keeps the quotes.
+    Str,
+    /// Character literal.
+    Char,
+    /// A single punctuation character.
+    Punct,
+    /// `// …` comment (including `///` and `//!` doc comments).
+    LineComment,
+    /// `/* … */` comment, possibly nested.
+    BlockComment,
+}
+
+/// One lexed token with its source line.
+#[derive(Clone, Debug)]
+pub struct Tok {
+    /// Lexical class.
+    pub kind: TokKind,
+    /// Raw source text of the token.
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// Whether this token is a comment of either form.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+}
+
+/// Lexes `src` into a token stream. Unterminated literals or comments are
+/// tolerated (the remainder of the file becomes one token) so the rule
+/// engine degrades gracefully on mid-edit files.
+pub fn lex(src: &str) -> Vec<Tok> {
+    Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    out: Vec<Tok>,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek(0)?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+        }
+        Some(c)
+    }
+
+    fn push(&mut self, kind: TokKind, text: String, line: u32) {
+        self.out.push(Tok { kind, text, line });
+    }
+
+    fn run(mut self) -> Vec<Tok> {
+        while let Some(c) = self.peek(0) {
+            let line = self.line;
+            match c {
+                c if c.is_whitespace() => {
+                    self.bump();
+                }
+                '/' if self.peek(1) == Some('/') => self.line_comment(line),
+                '/' if self.peek(1) == Some('*') => self.block_comment(line),
+                '"' => self.string(line, String::new()),
+                'r' | 'b' if self.raw_or_byte_prefix() => self.prefixed_literal(line),
+                '\'' => self.char_or_lifetime(line),
+                c if c.is_ascii_digit() => self.number(line),
+                c if c == '_' || c.is_alphanumeric() => self.ident(line),
+                _ => {
+                    self.bump();
+                    self.push(TokKind::Punct, c.to_string(), line);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn line_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '\n' {
+                break;
+            }
+            text.push(c);
+            self.bump();
+        }
+        self.push(TokKind::LineComment, text, line);
+    }
+
+    fn block_comment(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut depth = 0usize;
+        while let Some(c) = self.peek(0) {
+            if c == '/' && self.peek(1) == Some('*') {
+                depth += 1;
+                text.push_str("/*");
+                self.bump();
+                self.bump();
+            } else if c == '*' && self.peek(1) == Some('/') {
+                depth -= 1;
+                text.push_str("*/");
+                self.bump();
+                self.bump();
+                if depth == 0 {
+                    break;
+                }
+            } else {
+                text.push(c);
+                self.bump();
+            }
+        }
+        self.push(TokKind::BlockComment, text, line);
+    }
+
+    /// Plain (escaped) string body; `text` already holds any prefix.
+    fn string(&mut self, line: u32, mut text: String) {
+        text.push('"');
+        self.bump(); // opening quote
+        while let Some(c) = self.bump() {
+            text.push(c);
+            match c {
+                '\\' => {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                }
+                '"' => break,
+                _ => {}
+            }
+        }
+        self.push(TokKind::Str, text, line);
+    }
+
+    /// Whether the current `r`/`b` starts a raw/byte string or raw ident
+    /// rather than a plain identifier.
+    fn raw_or_byte_prefix(&self) -> bool {
+        match (self.peek(0), self.peek(1)) {
+            (Some('r') | Some('b'), Some('"')) => true,
+            (Some('r') | Some('b'), Some('#')) => true, // r#".."# / r#ident / b#?
+            (Some('b'), Some('r')) => matches!(self.peek(2), Some('"') | Some('#')),
+            (Some('b'), Some('\'')) => true, // byte char b'x'
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self, line: u32) {
+        let mut prefix = String::new();
+        while matches!(self.peek(0), Some('r') | Some('b')) {
+            prefix.push(self.bump().unwrap_or('r'));
+        }
+        if self.peek(0) == Some('\'') {
+            // byte char literal b'x'
+            self.bump();
+            let mut text = prefix;
+            text.push('\'');
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, text, line);
+            return;
+        }
+        let mut hashes = 0usize;
+        while self.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if self.peek(hashes) == Some('"') {
+            // raw string r##"..."##
+            let mut text = prefix;
+            for _ in 0..hashes {
+                text.push('#');
+                self.bump();
+            }
+            text.push('"');
+            self.bump();
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '"' && (0..hashes).all(|i| self.peek(i) == Some('#')) {
+                    for _ in 0..hashes {
+                        text.push('#');
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            self.push(TokKind::Str, text, line);
+        } else if hashes > 0 && prefix == "r" {
+            // raw identifier r#ident
+            self.bump(); // '#'
+            let mut text = String::from("r#");
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, text, line);
+        } else {
+            // just an identifier starting with r/b after all
+            let mut text = prefix;
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Ident, text, line);
+        }
+    }
+
+    fn char_or_lifetime(&mut self, line: u32) {
+        // 'a (lifetime) vs 'a' (char). A quote two chars ahead, or an escape
+        // right after the quote, means a char literal.
+        let is_char = matches!(
+            (self.peek(1), self.peek(2)),
+            (Some('\\'), _) | (Some(_), Some('\''))
+        );
+        if is_char {
+            let mut text = String::new();
+            text.push(self.bump().unwrap_or('\'')); // opening '
+            while let Some(c) = self.bump() {
+                text.push(c);
+                if c == '\\' {
+                    if let Some(esc) = self.bump() {
+                        text.push(esc);
+                    }
+                } else if c == '\'' {
+                    break;
+                }
+            }
+            self.push(TokKind::Char, text, line);
+        } else {
+            let mut text = String::from("'");
+            self.bump();
+            while let Some(c) = self.peek(0) {
+                if c == '_' || c.is_alphanumeric() {
+                    text.push(c);
+                    self.bump();
+                } else {
+                    break;
+                }
+            }
+            self.push(TokKind::Lifetime, text, line);
+        }
+    }
+
+    fn number(&mut self, line: u32) {
+        let mut text = String::new();
+        let mut seen_dot = false;
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else if c == '.' && !seen_dot && self.peek(1).is_some_and(|d| d.is_ascii_digit()) {
+                seen_dot = true;
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Num, text, line);
+    }
+
+    fn ident(&mut self, line: u32) {
+        let mut text = String::new();
+        while let Some(c) = self.peek(0) {
+            if c == '_' || c.is_alphanumeric() {
+                text.push(c);
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        self.push(TokKind::Ident, text, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_leak_tokens() {
+        let toks = lex("// x.unwrap()\nlet s = \"y.unwrap()\";");
+        let idents: Vec<&str> = toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(idents, ["let", "s"]);
+    }
+
+    #[test]
+    fn raw_strings_and_nested_block_comments() {
+        let toks = lex(r####"let s = r#"quote " inside"#; /* a /* b */ c */ x"####);
+        assert!(toks.iter().any(|t| t.kind == TokKind::Str));
+        assert!(toks.iter().any(|t| t.kind == TokKind::BlockComment));
+        assert_eq!(toks.last().map(|t| t.text.as_str()), Some("x"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        assert!(kinds("&'a str").contains(&TokKind::Lifetime));
+        assert!(kinds("'x'").contains(&TokKind::Char));
+        assert!(kinds(r"'\n'").contains(&TokKind::Char));
+        assert!(kinds("b'q'").contains(&TokKind::Char));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let toks = lex("a\nb\n\nc");
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, [1, 2, 4]);
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let toks = lex("0..10");
+        assert_eq!(toks[0].text, "0");
+        assert_eq!(toks[1].text, ".");
+        assert_eq!(toks[2].text, ".");
+        assert_eq!(toks[3].text, "10");
+    }
+}

@@ -1,0 +1,121 @@
+//! Integration tests against the fixture workspace in
+//! `tests/fixtures/ws/`: every rule fires exactly once on its injected
+//! violation, every pragma'd twin is suppressed, the baseline file
+//! suppresses its one entry, and the JSON report matches the checked-in
+//! snapshot byte for byte.
+
+use std::path::{Path, PathBuf};
+
+use stacksim_simlint::{engine, Options};
+
+fn fixture_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ws")
+}
+
+fn scan(opts: &Options) -> engine::Report {
+    engine::scan(&fixture_root(), opts).expect("fixture scan succeeds")
+}
+
+#[test]
+fn every_rule_fires_on_its_injected_violation() {
+    let report = scan(&Options::default());
+    let mut rules: Vec<&str> = report.findings.iter().map(|f| f.rule.as_str()).collect();
+    rules.sort_unstable();
+    assert_eq!(
+        rules,
+        [
+            "D001", "D002", "D003", "M001", "M001", "M002", "N001", "P001", "P001", "P002", "P003",
+            "P004", "X001"
+        ],
+        "unexpected finding set:\n{}",
+        report.to_text()
+    );
+    // Each D/P/N violation has a pragma'd twin on the next line that
+    // must be suppressed, and rule M001's pragma support is covered by
+    // the workspace's own pragmas.
+    assert_eq!(report.suppressed_by_pragma, 8);
+    assert_eq!(report.suppressed_by_baseline, 0);
+    assert_eq!(report.files_scanned, 2);
+}
+
+#[test]
+fn kernel_rules_do_not_apply_outside_kernel_crates() {
+    let report = scan(&Options::default());
+    // util/src/lib.rs has an unwrap() but is not a kernel crate: its
+    // only findings are metric-drift ones.
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/util/src/lib.rs")
+        .all(|f| f.rule == "M001"));
+}
+
+#[test]
+fn test_code_is_exempt_from_kernel_rules() {
+    let report = scan(&Options::default());
+    // The #[cfg(test)] module in the fixture repeats an unwrap and an
+    // Instant::now(); neither may be flagged (lines 48-53).
+    assert!(report
+        .findings
+        .iter()
+        .filter(|f| f.file == "crates/dram/src/lib.rs")
+        .all(|f| f.line < 47));
+}
+
+#[test]
+fn malformed_pragma_is_flagged_and_does_not_suppress() {
+    let report = scan(&Options::default());
+    let on_line = |rule: &str| {
+        report
+            .findings
+            .iter()
+            .find(|f| f.rule == rule && f.file == "crates/dram/src/lib.rs" && f.line == 44)
+    };
+    assert!(
+        on_line("X001").is_some(),
+        "missing X001:\n{}",
+        report.to_text()
+    );
+    assert!(
+        on_line("P001").is_some(),
+        "a reason-less pragma must not suppress:\n{}",
+        report.to_text()
+    );
+}
+
+#[test]
+fn baseline_suppresses_exactly_its_entry() {
+    let opts = Options {
+        baseline: Some(fixture_root().join("baseline.txt")),
+    };
+    let report = scan(&opts);
+    assert_eq!(report.suppressed_by_baseline, 1);
+    assert!(
+        !report
+            .findings
+            .iter()
+            .any(|f| f.snippet.contains("baselined_metric")),
+        "baselined finding still reported:\n{}",
+        report.to_text()
+    );
+    // The other M001 finding is untouched.
+    assert!(report
+        .findings
+        .iter()
+        .any(|f| f.rule == "M001" && f.snippet.contains("undocumented_metric")));
+}
+
+#[test]
+fn json_report_matches_snapshot() {
+    let report = scan(&Options::default());
+    let expected = std::fs::read_to_string(
+        Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/expected.json"),
+    )
+    .expect("snapshot file present");
+    assert_eq!(
+        report.to_json(),
+        expected,
+        "JSON report drifted from tests/fixtures/expected.json; \
+         if the change is intentional, update the snapshot"
+    );
+}

@@ -1,0 +1,10 @@
+//! Fixture non-kernel crate: D/P/N rules must not apply here, but
+//! metric registrations still feed rule M. Never compiled.
+
+pub fn report(sink: &mut MetricsSink) {
+    let x: Option<u32> = None;
+    let _ = x.unwrap();
+    sink.counter("good_metric", 1);
+    sink.counter("undocumented_metric", 1);
+    sink.counter("baselined_metric", 1);
+}

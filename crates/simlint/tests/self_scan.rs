@@ -1,0 +1,26 @@
+//! The workspace must lint clean: every determinism, panic-surface,
+//! narrowing and metric-drift finding is either fixed or carries a
+//! reasoned `simlint::allow` pragma. This is the same gate CI runs via
+//! the `simlint` binary.
+
+use std::path::Path;
+
+use stacksim_simlint::{engine, Options};
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/simlint sits two levels under the workspace root")
+        .to_path_buf();
+    let report = engine::scan(&root, &Options::default()).expect("workspace scan succeeds");
+    assert!(
+        report.findings.is_empty(),
+        "workspace must be simlint-clean (fix or pragma with a reason):\n{}",
+        report.to_text()
+    );
+    // Sanity: the scan actually visited the workspace, and the pragma
+    // budget only moves deliberately.
+    assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
