@@ -1,0 +1,110 @@
+//! Microbench: the two structural hot-path optimisations behind the batched
+//! tick engine — block-refilled instruction generation vs per-instruction
+//! calls, and struct-of-arrays bank scans vs walking the rich rank/bank
+//! structs. Both pairs compute identical results; the delta is pure
+//! dispatch-and-locality overhead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use stacksim_dram::{BankConfig, BankTickState, Rank};
+use stacksim_types::{BankId, Cycle, DramTiming};
+use stacksim_workload::{Benchmark, InstrBlock, SyntheticWorkload, TraceGenerator};
+
+const INSTRS: usize = 100_000;
+
+/// Per-instruction vs block-refilled generation over the same specs the
+/// existing `workload_micro` bench samples (one per pattern family).
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching_generation");
+    for name in ["S.copy", "mcf", "soplex", "namd"] {
+        let spec = Benchmark::by_name(name).expect("known benchmark");
+        group.bench_with_input(
+            BenchmarkId::new("per_instr_100k", name),
+            &spec,
+            |b, spec| {
+                b.iter(|| {
+                    let mut generator = SyntheticWorkload::new(spec, 7, 0);
+                    let mut mem_ops = 0u64;
+                    for _ in 0..INSTRS {
+                        if generator.next_instr().is_mem() {
+                            mem_ops += 1;
+                        }
+                    }
+                    mem_ops
+                })
+            },
+        );
+        group.bench_with_input(BenchmarkId::new("block_100k", name), &spec, |b, spec| {
+            b.iter(|| {
+                let mut generator = SyntheticWorkload::new(spec, 7, 0);
+                let mut block = InstrBlock::default();
+                let mut mem_ops = 0u64;
+                let mut taken = 0usize;
+                while taken < INSTRS {
+                    let instr = match block.take() {
+                        Some(i) => i,
+                        None => {
+                            generator.refill(&mut block);
+                            block.take().expect("refilled block is non-empty")
+                        }
+                    };
+                    if instr.is_mem() {
+                        mem_ops += 1;
+                    }
+                    taken += 1;
+                }
+                mem_ops
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The scheduler's per-tick question — "which banks are free, is this row
+/// open" — answered through the rich structs vs the flat mirror.
+fn bench_bank_scan(c: &mut Criterion) {
+    let mut group = c.benchmark_group("batching_bank_scan");
+    let cfg = BankConfig::new(DramTiming::TRUE_3D.to_cycles(3.333e9), 4, None);
+    let mut ranks = vec![Rank::new(cfg, 8, 32768), Rank::new(cfg, 8, 32768)];
+    // Touch every bank so the row-buffer caches hold real rows.
+    let mut now = Cycle::ZERO;
+    for rank in &mut ranks {
+        for b in 0..8u16 {
+            for row in 0..4u64 {
+                let res = rank.read(BankId::new(b), row * 7 + b as u64, now);
+                now = res.bank_free;
+            }
+        }
+    }
+    let state = BankTickState::new(&ranks);
+    let probes: Vec<(usize, BankId, u64)> = (0..64)
+        .map(|i| (i % 2, BankId::new((i % 8) as u16), (i % 5) as u64 * 7))
+        .collect();
+
+    group.bench_function("aos_rank_walk_64probes", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(r, bank, row) in &probes {
+                if ranks[r].bank_free_at(bank) <= now && ranks[r].is_row_open(bank, row) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.bench_function("soa_mirror_scan_64probes", |b| {
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &(r, bank, row) in &probes {
+                if state.bank_free_at(r, bank) <= now && state.is_row_open(r, bank, row) {
+                    hits += 1;
+                }
+            }
+            hits
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generation, bench_bank_scan);
+criterion_main!(benches);

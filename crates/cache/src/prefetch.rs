@@ -6,8 +6,19 @@ use stacksim_types::LineAddr;
 /// A hardware prefetcher observing the demand-access stream.
 pub trait Prefetcher {
     /// Observes one demand access (`pc` of the memory µop and the accessed
-    /// line) and returns the lines to prefetch, if any.
-    fn observe(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr>;
+    /// line) and appends the lines to prefetch, if any, to `out`. This is
+    /// the hot-path form: it runs on every demand access, so callers keep
+    /// a reusable buffer instead of allocating per call.
+    fn observe_into(&mut self, pc: u64, line: LineAddr, out: &mut Vec<LineAddr>);
+
+    /// Convenience form of [`observe_into`](Self::observe_into) returning a
+    /// fresh vector (tests and examples; the simulator uses the buffered
+    /// form).
+    fn observe(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr> {
+        let mut out = Vec::new();
+        self.observe_into(pc, line, &mut out);
+        out
+    }
 
     /// Prefetch candidates issued so far.
     fn issued(&self) -> u64;
@@ -43,10 +54,9 @@ impl NextLinePrefetcher {
 }
 
 impl Prefetcher for NextLinePrefetcher {
-    fn observe(&mut self, _pc: u64, line: LineAddr) -> Vec<LineAddr> {
-        let out: Vec<LineAddr> = (1..=self.degree as i64).map(|d| line.offset(d)).collect();
-        self.issued += out.len() as u64;
-        out
+    fn observe_into(&mut self, _pc: u64, line: LineAddr, out: &mut Vec<LineAddr>) {
+        out.extend((1..=self.degree as i64).map(|d| line.offset(d)));
+        self.issued += self.degree as u64;
     }
 
     fn issued(&self) -> u64 {
@@ -116,7 +126,7 @@ impl StridePrefetcher {
 }
 
 impl Prefetcher for StridePrefetcher {
-    fn observe(&mut self, pc: u64, line: LineAddr) -> Vec<LineAddr> {
+    fn observe_into(&mut self, pc: u64, line: LineAddr, out: &mut Vec<LineAddr>) {
         let idx = (pc % self.table.len() as u64) as usize;
         let entry = &mut self.table[idx];
         if !entry.valid || entry.pc != pc {
@@ -127,30 +137,27 @@ impl Prefetcher for StridePrefetcher {
                 stride: 0,
                 confidence: 0,
             };
-            return Vec::new();
+            return;
         }
         let delta = line.index() as i64 - entry.last_line as i64;
         entry.last_line = line.index();
         if delta == 0 {
             // Same line again (different word): no stride information.
-            return Vec::new();
+            return;
         }
         if delta == entry.stride {
             entry.confidence = (entry.confidence + 1).min(Self::MAX_CONFIDENCE);
         } else {
             entry.stride = delta;
             entry.confidence = 0;
-            return Vec::new();
+            return;
         }
         if entry.confidence < Self::THRESHOLD {
-            return Vec::new();
+            return;
         }
         let stride = entry.stride;
-        let out: Vec<LineAddr> = (1..=self.degree as i64)
-            .map(|d| line.offset(stride * d))
-            .collect();
-        self.issued += out.len() as u64;
-        out
+        out.extend((1..=self.degree as i64).map(|d| line.offset(stride * d)));
+        self.issued += self.degree as u64;
     }
 
     fn issued(&self) -> u64 {

@@ -24,13 +24,9 @@ pub struct Victim {
     pub dirty: bool,
 }
 
-#[derive(Clone, Copy, Debug, Default)]
-struct Way {
-    tag: u64,
-    valid: bool,
-    dirty: bool,
-    last_use: u64,
-}
+/// Sentinel tag marking an invalid way. No real line reaches it: tags are
+/// line indices (physical addresses shifted down by the line-size bits).
+const INVALID_TAG: u64 = u64::MAX;
 
 /// A set-associative cache holding tags and metadata only (no data bytes —
 /// the simulator tracks timing and movement, not values).
@@ -39,10 +35,21 @@ struct Way {
 /// line, and then calls [`fill`](SetAssocCache::fill). This mirrors the
 /// lockup-free pipeline of the simulated machine and keeps "in flight" state
 /// in the MSHRs where the paper's §5 analysis needs it.
+///
+/// Way state lives in flat parallel arrays (`tags` / `dirty` / `last_use`,
+/// set *s* at indices `s * assoc .. (s + 1) * assoc`, `INVALID_TAG` for
+/// empty ways) rather than per-set `Vec<Way>` structs: `contains` — the
+/// single hottest probe in the simulator (every demand access, every
+/// prefetch candidate, every inclusion check) — scans `assoc` consecutive
+/// words instead of pointer-chasing a nested vector of 32-byte structs.
 #[derive(Clone, Debug)]
 pub struct SetAssocCache {
     config: CacheConfig,
-    sets: Vec<Vec<Way>>,
+    set_count: usize,
+    assoc: usize,
+    tags: Vec<u64>,
+    dirty: Vec<bool>,
+    last_use: Vec<u64>,
     clock: u64,
     hits: u64,
     misses: u64,
@@ -57,10 +64,15 @@ impl SetAssocCache {
     ///
     /// Panics if the configuration does not describe a whole number of sets.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = config.sets();
+        let set_count = config.sets();
+        let ways = set_count * config.associativity;
         SetAssocCache {
             config,
-            sets: vec![vec![Way::default(); config.associativity]; sets],
+            set_count,
+            assoc: config.associativity,
+            tags: vec![INVALID_TAG; ways],
+            dirty: vec![false; ways],
+            last_use: vec![0; ways],
             clock: 0,
             hits: 0,
             misses: 0,
@@ -74,24 +86,32 @@ impl SetAssocCache {
         &self.config
     }
 
+    /// Index of the first way of `line`'s set.
     #[inline]
-    fn set_of(&self, line: LineAddr) -> usize {
-        (line.index() % self.sets.len() as u64) as usize
+    fn set_base(&self, line: LineAddr) -> usize {
+        debug_assert_ne!(line.index(), INVALID_TAG, "line index hit the sentinel");
+        (line.index() % self.set_count as u64) as usize * self.assoc
+    }
+
+    /// Way index holding `tag` within the set starting at `base`, if any.
+    #[inline]
+    fn find_way(&self, base: usize, tag: u64) -> Option<usize> {
+        self.tags[base..base + self.assoc]
+            .iter()
+            .position(|&t| t == tag)
+            .map(|p| base + p)
     }
 
     /// Probes for `line`; on a hit updates recency and, for writes, the
     /// dirty bit.
     pub fn access(&mut self, line: LineAddr, is_write: bool) -> AccessOutcome {
         self.clock += 1;
-        let set = self.set_of(line);
-        let tag = line.index();
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.last_use = self.clock;
-                way.dirty |= is_write;
-                self.hits += 1;
-                return AccessOutcome::Hit;
-            }
+        let base = self.set_base(line);
+        if let Some(w) = self.find_way(base, line.index()) {
+            self.last_use[w] = self.clock;
+            self.dirty[w] |= is_write;
+            self.hits += 1;
+            return AccessOutcome::Hit;
         }
         self.misses += 1;
         AccessOutcome::Miss
@@ -99,9 +119,8 @@ impl SetAssocCache {
 
     /// Probes without updating any state (for inclusive-hierarchy checks).
     pub fn contains(&self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        let tag = line.index();
-        self.sets[set].iter().any(|w| w.valid && w.tag == tag)
+        let base = self.set_base(line);
+        self.tags[base..base + self.assoc].contains(&line.index())
     }
 
     /// Installs `line`, evicting the LRU way of its set if necessary.
@@ -110,69 +129,63 @@ impl SetAssocCache {
     pub fn fill(&mut self, line: LineAddr, dirty: bool) -> Option<Victim> {
         self.clock += 1;
         self.fills += 1;
-        let set = self.set_of(line);
+        let base = self.set_base(line);
         let tag = line.index();
         // Refresh in place if the line raced in already.
-        if let Some(way) = self.sets[set].iter_mut().find(|w| w.valid && w.tag == tag) {
-            way.last_use = self.clock;
-            way.dirty |= dirty;
+        if let Some(w) = self.find_way(base, tag) {
+            self.last_use[w] = self.clock;
+            self.dirty[w] |= dirty;
             return None;
         }
-        let clock = self.clock;
-        let victim_way = if let Some(invalid) = self.sets[set].iter_mut().find(|w| !w.valid) {
-            invalid
-        } else {
-            self.sets[set]
-                .iter_mut()
-                .min_by_key(|w| w.last_use)
-                .expect("associativity is non-zero") // simlint::allow(P002, reason = "the constructor rejects zero associativity, so every set has a way")
+        // First invalid way, else the least recently used (first minimum,
+        // matching scan order).
+        let (w, evicted) = match self.find_way(base, INVALID_TAG) {
+            Some(w) => (w, false),
+            None => {
+                let set = base..base + self.assoc;
+                let w = set
+                    .min_by_key(|&w| self.last_use[w])
+                    .expect("associativity is non-zero"); // simlint::allow(P002, reason = "the constructor rejects zero associativity, so every set has a way")
+                (w, true)
+            }
         };
-        let victim = victim_way.valid.then(|| Victim {
-            line: LineAddr::new(victim_way.tag),
-            dirty: victim_way.dirty,
+        let victim = evicted.then(|| Victim {
+            line: LineAddr::new(self.tags[w]),
+            dirty: self.dirty[w],
         });
         if victim.as_ref().is_some_and(|v| v.dirty) {
             self.writebacks += 1;
         }
-        *victim_way = Way {
-            tag,
-            valid: true,
-            dirty,
-            last_use: clock,
-        };
+        self.tags[w] = tag;
+        self.dirty[w] = dirty;
+        self.last_use[w] = self.clock;
         victim
     }
 
     /// Removes `line` if present, returning whether it was dirty.
     pub fn invalidate(&mut self, line: LineAddr) -> Option<bool> {
-        let set = self.set_of(line);
-        let tag = line.index();
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.valid = false;
-                return Some(way.dirty);
-            }
-        }
-        None
+        let base = self.set_base(line);
+        let w = self.find_way(base, line.index())?;
+        self.tags[w] = INVALID_TAG;
+        Some(self.dirty[w])
     }
 
     /// Marks `line` dirty if present (write to an already-resident line
     /// discovered through another path).
     pub fn mark_dirty(&mut self, line: LineAddr) -> bool {
-        let set = self.set_of(line);
-        let tag = line.index();
-        for way in &mut self.sets[set] {
-            if way.valid && way.tag == tag {
-                way.dirty = true;
-                return true;
+        let base = self.set_base(line);
+        match self.find_way(base, line.index()) {
+            Some(w) => {
+                self.dirty[w] = true;
+                true
             }
+            None => false,
         }
-        false
     }
 
     /// Number of valid lines.
     pub fn occupancy(&self) -> usize {
-        self.sets.iter().flatten().filter(|w| w.valid).count()
+        self.tags.iter().filter(|&&t| t != INVALID_TAG).count()
     }
 
     /// Demand hits observed.

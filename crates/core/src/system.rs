@@ -929,10 +929,10 @@ impl System {
         let mut candidates = std::mem::take(&mut self.pf_candidates);
         candidates.clear();
         if let Some(pf) = &mut self.l2_nextline {
-            candidates.extend(pf.observe(pc, line));
+            pf.observe_into(pc, line, &mut candidates);
         }
         if let Some(pf) = &mut self.l2_stride {
-            candidates.extend(pf.observe(pc, line));
+            pf.observe_into(pc, line, &mut candidates);
         }
         for candidate in candidates.drain(..) {
             if self.l2.contains(candidate) {

@@ -11,7 +11,7 @@ use stacksim_mshr::{CamMshr, MissHandler, MissKind, MissTarget};
 use stacksim_stats::StatRecord;
 use stacksim_types::{CoreId, Cycle, Cycles, LineAddr};
 use stacksim_vm::{PageAllocator, Tlb, TlbConfig, TlbOutcome, VirtAddr};
-use stacksim_workload::{Instr, TraceGenerator};
+use stacksim_workload::{Instr, InstrBlock, TraceGenerator};
 
 use crate::branch::Tage;
 use crate::config::CoreConfig;
@@ -48,10 +48,19 @@ pub struct Core {
     id: CoreId,
     config: CoreConfig,
     generator: Box<dyn TraceGenerator>,
+    /// Batched fetch buffer: the generator refills a whole block per
+    /// virtual call; the fetch path drains it through a bump cursor. The
+    /// observable µop sequence is identical to per-instruction pulls
+    /// (generators run ahead, but they are pure sources — no simulation
+    /// state feeds back into them).
+    block: InstrBlock,
     dl1: SetAssocCache,
     mshr: CamMshr,
     nextline: Option<NextLinePrefetcher>,
     stride: Option<StridePrefetcher>,
+    /// Scratch buffer for prefetch candidates, reused across accesses so
+    /// the per-demand-access training loop never allocates.
+    pf_buf: Vec<LineAddr>,
     window: VecDeque<Slot>,
     stalled_instr: Option<(Instr, LineAddr)>,
     vm: Option<CoreVm>,
@@ -83,12 +92,14 @@ impl Core {
         Core {
             id,
             generator,
+            block: InstrBlock::default(),
             dl1: SetAssocCache::new(config.dl1),
             mshr: CamMshr::new(config.l1_mshrs),
             nextline: (config.nextline_degree > 0)
                 .then(|| NextLinePrefetcher::new(config.nextline_degree)),
             stride: (config.stride_entries > 0)
                 .then(|| StridePrefetcher::new(config.stride_entries, 1)),
+            pf_buf: Vec::new(),
             window: VecDeque::with_capacity(config.window),
             config,
             stalled_instr: None,
@@ -201,7 +212,17 @@ impl Core {
             let resumed = self.stalled_instr.is_some();
             let (instr, stalled_line) = match self.stalled_instr.take() {
                 Some((i, line)) => (i, Some(line)),
-                None => (self.generator.next_instr(), None),
+                None => {
+                    let instr = match self.block.take() {
+                        Some(i) => i,
+                        None => {
+                            self.generator.refill(&mut self.block);
+                            // simlint::allow(P002, reason = "refill fills the block to its capacity, which is validated non-zero at construction")
+                            self.block.take().expect("a refilled block is non-empty")
+                        }
+                    };
+                    (instr, None)
+                }
             };
             match instr {
                 Instr::Compute => self.window.push_back(Slot::Done),
@@ -318,14 +339,15 @@ impl Core {
     }
 
     fn train_prefetchers(&mut self, pc: u64, line: LineAddr, requests: &mut Vec<CoreRequest>) {
-        let mut candidates: Vec<LineAddr> = Vec::new();
+        let mut candidates = std::mem::take(&mut self.pf_buf);
+        candidates.clear();
         if let Some(pf) = &mut self.nextline {
-            candidates.extend(pf.observe(pc, line));
+            pf.observe_into(pc, line, &mut candidates);
         }
         if let Some(pf) = &mut self.stride {
-            candidates.extend(pf.observe(pc, line));
+            pf.observe_into(pc, line, &mut candidates);
         }
-        for target_line in candidates {
+        for target_line in candidates.drain(..) {
             if self.dl1.contains(target_line) || self.mshr.lookup(target_line).found {
                 continue;
             }
@@ -341,6 +363,7 @@ impl Core {
             requests.push(CoreRequest::prefetch(self.id, target_line));
             self.prefetches_issued += 1;
         }
+        self.pf_buf = candidates;
     }
 
     /// Delivers a line fill from the memory system: wakes every waiting

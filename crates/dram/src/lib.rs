@@ -36,9 +36,11 @@ mod cmd;
 mod power;
 mod rank;
 mod row_buffer;
+mod soa;
 
 pub use bank::{AccessResult, Bank, BankConfig, CmdTimes, PagePolicy};
 pub use cmd::{DramCmd, DramCmdKind};
 pub use power::{EnergyModel, EnergyReport};
 pub use rank::Rank;
 pub use row_buffer::{ProbeOutcome, RowBufferCache};
+pub use soa::BankTickState;

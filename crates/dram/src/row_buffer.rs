@@ -117,6 +117,12 @@ impl RowBufferCache {
         }
     }
 
+    /// The open rows, least-recently-used first (for mirroring into
+    /// scan-friendly flat state; see [`BankTickState`](crate::BankTickState)).
+    pub fn rows(&self) -> &[u64] {
+        &self.rows
+    }
+
     /// The least-recently-used open row, if any.
     pub fn lru(&self) -> Option<u64> {
         self.rows.first().copied()

@@ -1,0 +1,191 @@
+//! Struct-of-arrays mirror of the per-bank state scanned every tick.
+//!
+//! The memory-controller scheduler reads exactly two facts about every
+//! queued request's bank on every controller tick: *when is the bank free*
+//! and *is the request's row open*. Answering those through the rich
+//! [`Bank`] structs means pointer-chasing `Rank -> Vec<Bank> -> Bank ->
+//! RowBufferCache -> Vec<u64>` per probe — several dependent cache lines
+//! for two words of information. [`BankTickState`] keeps those two fields
+//! in flat parallel arrays, sized `ranks × banks` (plus `entries` open-row
+//! slots per bank), so a whole scheduler scan walks contiguous memory.
+//!
+//! The mirror is **derived state**: the [`Bank`]s stay authoritative (the
+//! slow path — refresh catch-up, command-time maths, energy counters, the
+//! simcheck oracles and protocol checker — reads them unchanged), and the
+//! controller resynchronizes a bank's mirror entry after every mutating
+//! access. Bit-identity is structural: every answer the mirror gives is a
+//! copy of what the rich structs would have answered.
+
+use stacksim_types::{BankId, Cycle};
+
+use crate::bank::Bank;
+use crate::rank::Rank;
+
+/// Sentinel marking an unused open-row slot. No real row id gets close:
+/// row indices are bounded by `rows_per_bank`, which is at most memory
+/// size / row size.
+const NO_ROW: u64 = u64::MAX;
+
+/// Flat per-bank timing state for the controller's hot scan loops.
+///
+/// # Examples
+///
+/// ```
+/// use stacksim_dram::{Bank, BankConfig, BankTickState, Rank};
+/// use stacksim_types::{BankId, Cycle, DramTiming};
+///
+/// let cfg = BankConfig::new(DramTiming::TRUE_3D.to_cycles(3.333e9), 1, None);
+/// let mut ranks = vec![Rank::new(cfg, 8, 32768)];
+/// let mut state = BankTickState::new(&ranks);
+/// assert_eq!(state.bank_free_at(0, BankId::new(3)), Cycle::ZERO);
+///
+/// let r = ranks[0].read(BankId::new(3), 17, Cycle::ZERO);
+/// state.sync_bank(0, BankId::new(3), ranks[0].bank(BankId::new(3)));
+/// assert_eq!(state.bank_free_at(0, BankId::new(3)), r.bank_free);
+/// assert!(state.is_row_open(0, BankId::new(3), 17));
+/// ```
+#[derive(Clone, Debug)]
+pub struct BankTickState {
+    banks_per_rank: usize,
+    entries_per_bank: usize,
+    /// Earliest cycle each bank accepts a command, indexed
+    /// `rank * banks_per_rank + bank`.
+    free_at: Vec<Cycle>,
+    /// Open-row ids per bank ([`NO_ROW`] when the slot is empty), indexed
+    /// `(rank * banks_per_rank + bank) * entries_per_bank + slot`.
+    open_rows: Vec<u64>,
+}
+
+impl BankTickState {
+    /// Builds the mirror from the current state of `ranks`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks` is empty (a controller always owns at least one).
+    pub fn new(ranks: &[Rank]) -> Self {
+        assert!(!ranks.is_empty(), "mirror needs at least one rank");
+        let banks_per_rank = ranks[0].bank_count();
+        let entries_per_bank = ranks[0].bank(BankId::new(0)).row_buffers().entries();
+        let total = ranks.len() * banks_per_rank;
+        let mut state = BankTickState {
+            banks_per_rank,
+            entries_per_bank,
+            free_at: vec![Cycle::ZERO; total],
+            open_rows: vec![NO_ROW; total * entries_per_bank],
+        };
+        for (r, rank) in ranks.iter().enumerate() {
+            for b in 0..banks_per_rank {
+                let bank = BankId::new(b as u16);
+                state.sync_bank(r, bank, rank.bank(bank));
+            }
+        }
+        state
+    }
+
+    #[inline]
+    fn flat(&self, rank: usize, bank: BankId) -> usize {
+        rank * self.banks_per_rank + bank.index()
+    }
+
+    /// Re-copies one bank's scanned fields from its authoritative struct.
+    /// Call after every mutating access to that bank (reads, writes and the
+    /// lazy refresh catch-up they trigger all happen inside those calls).
+    pub fn sync_bank(&mut self, rank: usize, bank: BankId, state: &Bank) {
+        let f = self.flat(rank, bank);
+        self.free_at[f] = state.busy_until();
+        let rows = state.row_buffers().rows();
+        debug_assert!(rows.iter().all(|&r| r != NO_ROW), "row id hit the sentinel");
+        let base = f * self.entries_per_bank;
+        for (slot, mirror) in self.open_rows[base..base + self.entries_per_bank]
+            .iter_mut()
+            .enumerate()
+        {
+            *mirror = rows.get(slot).copied().unwrap_or(NO_ROW);
+        }
+    }
+
+    /// Earliest cycle the bank can accept a command (mirror of
+    /// [`Rank::bank_free_at`]).
+    #[inline]
+    pub fn bank_free_at(&self, rank: usize, bank: BankId) -> Cycle {
+        self.free_at[self.flat(rank, bank)]
+    }
+
+    /// Whether `row` is open in the bank's row-buffer cache (mirror of
+    /// [`Rank::is_row_open`]).
+    #[inline]
+    pub fn is_row_open(&self, rank: usize, bank: BankId, row: u64) -> bool {
+        let base = self.flat(rank, bank) * self.entries_per_bank;
+        self.open_rows[base..base + self.entries_per_bank].contains(&row)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::BankConfig;
+    use stacksim_types::DramTiming;
+
+    fn ranks(entries: usize) -> Vec<Rank> {
+        let cfg = BankConfig::new(DramTiming::COMMODITY_2D.to_cycles(3.333e9), entries, None);
+        vec![Rank::new(cfg, 8, 1024), Rank::new(cfg, 8, 1024)]
+    }
+
+    /// The mirror must answer exactly as the rich structs would, across
+    /// accesses, multi-entry row-buffer caches and LRU evictions.
+    #[test]
+    fn mirror_tracks_rank_answers() {
+        let mut rs = ranks(2);
+        let mut state = BankTickState::new(&rs);
+        let accesses = [
+            (0usize, 2u16, 10u64),
+            (1, 2, 11),
+            (0, 2, 12), // evicts row 10 (2-entry LRU)
+            (0, 5, 10),
+            (1, 7, 99),
+            (0, 2, 10),
+        ];
+        let mut now = Cycle::ZERO;
+        for &(r, b, row) in &accesses {
+            let bank = BankId::new(b);
+            let res = rs[r].read(bank, row, now);
+            state.sync_bank(r, bank, rs[r].bank(bank));
+            now = res.bank_free;
+            for (rank, rich) in rs.iter().enumerate() {
+                for bi in 0..8u16 {
+                    let bid = BankId::new(bi);
+                    assert_eq!(
+                        state.bank_free_at(rank, bid),
+                        rich.bank_free_at(bid),
+                        "free_at diverged at rank {rank} bank {bi}"
+                    );
+                    for probe_row in [10u64, 11, 12, 99, 1000] {
+                        assert_eq!(
+                            state.is_row_open(rank, bid, probe_row),
+                            rich.is_row_open(bid, probe_row),
+                            "open-row diverged at rank {rank} bank {bi} row {probe_row}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_mirror_reports_everything_idle_and_closed() {
+        let rs = ranks(1);
+        let state = BankTickState::new(&rs);
+        for r in 0..2 {
+            for b in 0..8u16 {
+                assert_eq!(state.bank_free_at(r, BankId::new(b)), Cycle::ZERO);
+                assert!(!state.is_row_open(r, BankId::new(b), 0));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn empty_ranks_panic() {
+        let _ = BankTickState::new(&[]);
+    }
+}

@@ -2,7 +2,9 @@
 
 use std::collections::VecDeque;
 
-use stacksim_dram::{AccessResult, BankConfig, DramCmd, DramCmdKind, PagePolicy, Rank};
+use stacksim_dram::{
+    AccessResult, BankConfig, BankTickState, DramCmd, DramCmdKind, PagePolicy, Rank,
+};
 use stacksim_stats::{Histogram, RunningStats, StatRecord};
 use stacksim_types::{BusConfig, ConfigError, Cycle, Cycles, DramTimingCycles, McId, LINE_BYTES};
 
@@ -66,6 +68,18 @@ pub struct MemoryController {
     id: McId,
     config: McConfig,
     ranks: Vec<Rank>,
+    /// Flat mirror of the per-bank fields the scheduler scans every tick
+    /// (see [`BankTickState`]); resynced after every mutating DRAM access.
+    banks: BankTickState,
+    /// Bus occupancy of one cache line, hoisted out of the tick path
+    /// (derived from `config.bus`, validated at construction).
+    line_transfer: Cycles,
+    /// Scan-skip memo: when a tick's pick came up empty, the earliest cycle
+    /// the scheduler could possibly issue (no bank frees before it, and
+    /// bank state only changes when this controller issues). Ticks before
+    /// it return without rescanning the queue; any enqueue or issue resets
+    /// it to zero.
+    issue_blocked_until: Cycle,
     queue: VecDeque<MemRequest>,
     in_flight: Vec<Completion>,
     bus_free: Cycle,
@@ -111,13 +125,18 @@ impl MemoryController {
         )?
         .with_smart_refresh(config.smart_refresh)
         .with_page_policy(config.page_policy);
-        let ranks = (0..config.ranks)
+        let ranks: Vec<Rank> = (0..config.ranks)
             .map(|_| Rank::try_new(bank_cfg, config.banks_per_rank, config.rows_per_bank))
             .collect::<Result<_, _>>()?;
+        let banks = BankTickState::new(&ranks);
+        let line_transfer = config.bus.transfer_cycles(LINE_BYTES as u32)?;
         Ok(MemoryController {
             id,
             config,
             ranks,
+            banks,
+            line_transfer,
+            issue_blocked_until: Cycle::ZERO,
             queue: VecDeque::with_capacity(config.queue_capacity),
             in_flight: Vec::new(),
             bus_free: Cycle::ZERO,
@@ -177,6 +196,8 @@ impl MemoryController {
             return Err(ConfigError::new("memory request queue full"));
         }
         self.queue.push_back(request);
+        // A new request may be issuable immediately: drop the scan-skip memo.
+        self.issue_blocked_until = Cycle::ZERO;
         Ok(())
     }
 
@@ -187,6 +208,12 @@ impl MemoryController {
         if self.queue.is_empty() {
             return; // nothing to schedule; skip the pick machinery entirely
         }
+        if now < self.issue_blocked_until {
+            // A previous tick proved no queued request's bank frees before
+            // this cycle, and nothing has changed since: the pick below
+            // would scan the queue just to return `None` again.
+            return;
+        }
         let pick = {
             // VecDeque -> slice; the scheduler sees arrival order. Only
             // straighten the deque when it has actually wrapped.
@@ -194,19 +221,22 @@ impl MemoryController {
                 self.queue.make_contiguous();
             }
             let (slice, _) = self.queue.as_slices();
-            self.config.policy.pick(slice, &self.ranks, now)
+            self.config.policy.pick(slice, &self.banks, now)
         };
-        let Some(idx) = pick else { return };
+        let Some(idx) = pick else {
+            // All queued banks are busy; remember until when, so the ticks
+            // in between skip the scan. `pick == None` with a non-empty
+            // queue implies every queued bank's free time is beyond `now`,
+            // so `earliest_ready` is `Some` and in the future.
+            self.issue_blocked_until = self.next_issue_ready().unwrap_or(Cycle::ZERO);
+            return;
+        };
         let request = self
             .queue
             .remove(idx)
             .expect("scheduler picked a valid index"); // simlint::allow(P002, reason = "the scheduler just selected idx from this queue")
         let rank = &mut self.ranks[request.location.rank_in_mc as usize];
-        let transfer = self
-            .config
-            .bus
-            .transfer_cycles(LINE_BYTES as u32)
-            .expect("bus width validated at construction"); // simlint::allow(P002, reason = "try_new validates the bus width, so transfer_cycles is defined")
+        let transfer = self.line_transfer;
         let (finished, access) = match request.kind {
             RequestKind::Read => {
                 let access = rank.read(request.location.bank, request.location.row, now);
@@ -235,6 +265,16 @@ impl MemoryController {
                 (access.bank_free, access)
             }
         };
+        // Issuing changed bank state and the queue: drop the scan-skip memo.
+        self.issue_blocked_until = Cycle::ZERO;
+        // The access (and any lazy refresh catch-up inside it) changed this
+        // bank's busy window and open rows: refresh its mirror entry.
+        let rank_idx = request.location.rank_in_mc as usize;
+        self.banks.sync_bank(
+            rank_idx,
+            request.location.bank,
+            self.ranks[rank_idx].bank(request.location.bank),
+        );
         let row_hit = access.row_hit;
         self.issued += 1;
         if row_hit {
@@ -293,7 +333,7 @@ impl MemoryController {
     pub fn next_issue_ready(&self) -> Option<Cycle> {
         self.config
             .policy
-            .earliest_ready(self.queue.iter(), &self.ranks)
+            .earliest_ready(self.queue.iter(), &self.banks)
     }
 
     /// Replays `ticks` controller clock edges during which the owner

@@ -1,7 +1,7 @@
 //! Memory request scheduling policies.
 
 use core::fmt;
-use stacksim_dram::Rank;
+use stacksim_dram::BankTickState;
 use stacksim_types::Cycle;
 
 use crate::request::MemRequest;
@@ -30,11 +30,12 @@ impl fmt::Display for SchedulerPolicy {
 
 impl SchedulerPolicy {
     /// Picks the queue index of the request to issue at `now`, or `None` if
-    /// no request's bank can accept a command yet. `ranks` are the
-    /// controller's local ranks, indexed by `location.rank_in_mc`.
-    pub fn pick(&self, queue: &[MemRequest], ranks: &[Rank], now: Cycle) -> Option<usize> {
+    /// no request's bank can accept a command yet. `banks` is the
+    /// controller's flat [`BankTickState`] mirror, indexed by
+    /// `location.rank_in_mc` and `location.bank`.
+    pub fn pick(&self, queue: &[MemRequest], banks: &BankTickState, now: Cycle) -> Option<usize> {
         let ready = |req: &MemRequest| {
-            ranks[req.location.rank_in_mc as usize].bank_free_at(req.location.bank) <= now
+            banks.bank_free_at(req.location.rank_in_mc as usize, req.location.bank) <= now
         };
         match self {
             SchedulerPolicy::Fifo => {
@@ -48,8 +49,11 @@ impl SchedulerPolicy {
                     if !ready(req) {
                         continue;
                     }
-                    let rank = &ranks[req.location.rank_in_mc as usize];
-                    if rank.is_row_open(req.location.bank, req.location.row) {
+                    if banks.is_row_open(
+                        req.location.rank_in_mc as usize,
+                        req.location.bank,
+                        req.location.row,
+                    ) {
                         // First ready row hit in arrival order wins outright.
                         return Some(i);
                     }
@@ -71,10 +75,10 @@ impl SchedulerPolicy {
     pub fn earliest_ready<'a>(
         &self,
         mut queue: impl Iterator<Item = &'a MemRequest>,
-        ranks: &[Rank],
+        banks: &BankTickState,
     ) -> Option<Cycle> {
         let free_at = |req: &MemRequest| {
-            ranks[req.location.rank_in_mc as usize].bank_free_at(req.location.bank)
+            banks.bank_free_at(req.location.rank_in_mc as usize, req.location.bank)
         };
         match self {
             SchedulerPolicy::Fifo => queue.next().map(free_at),
@@ -117,15 +121,16 @@ mod tests {
         let loc = mapper.decode(PhysAddr::new(8 * 4096));
         ranks[0].read(loc.bank, loc.row, Cycle::ZERO);
         let free = ranks[0].bank_free_at(loc.bank);
+        let banks = BankTickState::new(&ranks);
 
         // Queue: older request to a *different* bank's row (closed), newer
         // request that hits the open row.
         let q = vec![req(&mapper, 1, 0), req(&mapper, 8, 5)];
-        let pick = SchedulerPolicy::FrFcfs.pick(&q, &ranks, free).unwrap();
+        let pick = SchedulerPolicy::FrFcfs.pick(&q, &banks, free).unwrap();
         assert_eq!(pick, 1, "row hit should be scheduled first");
 
         // FIFO picks strictly in order.
-        let pick = SchedulerPolicy::Fifo.pick(&q, &ranks, free).unwrap();
+        let pick = SchedulerPolicy::Fifo.pick(&q, &banks, free).unwrap();
         assert_eq!(pick, 0);
     }
 
@@ -134,23 +139,25 @@ mod tests {
         let (mut ranks, mapper) = setup();
         let loc = mapper.decode(PhysAddr::new(3 * 4096));
         ranks[0].read(loc.bank, loc.row, Cycle::ZERO); // bank 3 busy for a while
+        let banks = BankTickState::new(&ranks);
         let q = vec![req(&mapper, 3, 0)];
         assert_eq!(
-            SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::new(1)),
+            SchedulerPolicy::FrFcfs.pick(&q, &banks, Cycle::new(1)),
             None
         );
-        assert_eq!(SchedulerPolicy::Fifo.pick(&q, &ranks, Cycle::new(1)), None);
+        assert_eq!(SchedulerPolicy::Fifo.pick(&q, &banks, Cycle::new(1)), None);
         let free = ranks[0].bank_free_at(BankId::new(3));
-        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &ranks, free), Some(0));
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&q, &banks, free), Some(0));
     }
 
     #[test]
     fn frfcfs_falls_back_to_oldest_ready() {
         let (ranks, mapper) = setup();
+        let banks = BankTickState::new(&ranks);
         // No rows open anywhere: oldest ready request wins.
         let q = vec![req(&mapper, 2, 0), req(&mapper, 3, 1)];
         assert_eq!(
-            SchedulerPolicy::FrFcfs.pick(&q, &ranks, Cycle::ZERO),
+            SchedulerPolicy::FrFcfs.pick(&q, &banks, Cycle::ZERO),
             Some(0)
         );
     }
@@ -158,7 +165,8 @@ mod tests {
     #[test]
     fn empty_queue_picks_nothing() {
         let (ranks, _) = setup();
-        assert_eq!(SchedulerPolicy::FrFcfs.pick(&[], &ranks, Cycle::ZERO), None);
+        let banks = BankTickState::new(&ranks);
+        assert_eq!(SchedulerPolicy::FrFcfs.pick(&[], &banks, Cycle::ZERO), None);
     }
 
     #[test]

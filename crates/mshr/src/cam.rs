@@ -2,7 +2,7 @@
 
 use std::collections::HashMap;
 
-use stacksim_types::{Cycle, LineAddr};
+use stacksim_types::{Cycle, FastBuildHasher, LineAddr};
 
 use crate::entry::{MissKind, MissTarget, MshrEntry};
 use crate::handler::{AllocError, AllocOutcome, LookupResult, MissHandler, MshrKind};
@@ -28,7 +28,10 @@ use crate::handler::{AllocError, AllocOutcome, LookupResult, MissHandler, MshrKi
 /// ```
 #[derive(Clone, Debug)]
 pub struct CamMshr {
-    entries: HashMap<LineAddr, MshrEntry>,
+    // Keyed with a deterministic multiplicative hasher: SipHash is the
+    // dominant cost of single-u64-key operations, and nothing iterates
+    // this map, so the hash function is unobservable in results.
+    entries: HashMap<LineAddr, MshrEntry, FastBuildHasher>,
     capacity: usize,
     limit: usize,
 }
@@ -42,7 +45,7 @@ impl CamMshr {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "mshr capacity must be non-zero");
         CamMshr {
-            entries: HashMap::with_capacity(capacity),
+            entries: HashMap::with_capacity_and_hasher(capacity, FastBuildHasher),
             capacity,
             limit: capacity,
         }

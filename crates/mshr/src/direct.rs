@@ -33,8 +33,19 @@ impl ProbeScheme {
     }
 }
 
+/// Sentinel in the flat line array marking an empty slot. No real line
+/// reaches it: line indices are physical addresses shifted down by the
+/// line-size bits.
+const NO_LINE: u64 = u64::MAX;
+
 /// A direct-mapped MSHR: a hash table of entries searched by open
 /// addressing, with no acceleration structure.
+///
+/// Probing touches only `lines`, a struct-of-arrays mirror of each slot's
+/// line address (with `NO_LINE` for empty slots): an exhaustive miss scan
+/// reads `capacity` consecutive words instead of walking `capacity`
+/// [`MshrEntry`] structs. The rich entries in `slots` stay authoritative
+/// for targets, kinds and timestamps; every mutation updates both.
 ///
 /// # Examples
 ///
@@ -51,6 +62,8 @@ impl ProbeScheme {
 #[derive(Clone, Debug)]
 pub struct DirectMappedMshr {
     slots: Vec<Option<MshrEntry>>,
+    /// Parallel array: `lines[s]` is `slots[s]`'s line, or [`NO_LINE`].
+    lines: Vec<u64>,
     scheme: ProbeScheme,
     occupancy: usize,
     limit: usize,
@@ -74,6 +87,7 @@ impl DirectMappedMshr {
         }
         DirectMappedMshr {
             slots: vec![None; capacity],
+            lines: vec![NO_LINE; capacity],
             scheme,
             occupancy: 0,
             limit: capacity,
@@ -87,16 +101,17 @@ impl DirectMappedMshr {
     }
 
     /// Searches the probe sequence for `line`. Returns `(slot, probes)` on a
-    /// hit or `(None, capacity)` after an exhaustive scan.
+    /// hit or `(None, capacity)` after an exhaustive scan. Scans the flat
+    /// line array only — the hot path never touches the rich entries.
     fn find(&self, line: LineAddr) -> (Option<usize>, u32) {
-        let n = self.slots.len();
+        let n = self.lines.len();
         let home = self.home(line);
+        let want = line.index();
+        debug_assert_ne!(want, NO_LINE, "line address hit the sentinel");
         for i in 0..n {
             let s = self.scheme.slot(home, i, n);
-            if let Some(e) = &self.slots[s] {
-                if e.line() == line {
-                    return (Some(s), (i + 1) as u32);
-                }
+            if self.lines[s] == want {
+                return (Some(s), (i + 1) as u32);
             }
         }
         (None, n as u32)
@@ -104,11 +119,11 @@ impl DirectMappedMshr {
 
     /// First free slot in the probe sequence from `line`'s home.
     fn free_slot(&self, line: LineAddr) -> Option<usize> {
-        let n = self.slots.len();
+        let n = self.lines.len();
         let home = self.home(line);
         (0..n)
             .map(|i| self.scheme.slot(home, i, n))
-            .find(|&s| self.slots[s].is_none())
+            .find(|&s| self.lines[s] == NO_LINE)
     }
 }
 
@@ -151,6 +166,7 @@ impl MissHandler for DirectMappedMshr {
             .free_slot(line)
             .expect("occupancy below capacity implies a free slot"); // simlint::allow(P002, reason = "occupancy below the limit was just checked, so a free slot exists")
         self.slots[s] = Some(MshrEntry::new(line, target, kind, now));
+        self.lines[s] = line.index();
         self.occupancy += 1;
         Ok(AllocOutcome::Primary { probes })
     }
@@ -159,6 +175,7 @@ impl MissHandler for DirectMappedMshr {
         let (slot, probes) = self.find(line);
         let s = slot?;
         let e = self.slots[s].take().expect("found slot is occupied"); // simlint::allow(P002, reason = "find only returns occupied slots for this line")
+        self.lines[s] = NO_LINE;
         self.occupancy -= 1;
         Some((e, probes))
     }

@@ -1,0 +1,133 @@
+//! A fast, deterministic hasher for the simulator's hot keyed maps.
+//!
+//! `std`'s default `HashMap` hasher (SipHash-1-3) dominates the cost of
+//! per-access map operations on the simulator hot path — CAM MSHR lookups,
+//! page-table translations — each paying a full keyed SipHash round for a
+//! single-word key. The keys are simulated addresses, not untrusted input,
+//! so attacker-resistant hashing buys nothing; a two-multiply mix is both
+//! sufficient and several times faster.
+//!
+//! Determinism also matters in its own right: SipHash draws per-process
+//! random keys, and while no simulator code iterates these maps (simlint
+//! D003 enforces that), a fixed hash function removes the randomness from
+//! the picture entirely.
+
+use std::hash::{BuildHasher, Hasher};
+
+/// Multiplier for the streaming mix (the 64-bit golden-ratio constant, as
+/// in Fibonacci hashing).
+const MIX: u64 = 0x9E37_79B9_7F4A_7C15;
+/// Multiplier for the finalizer (from the MurmurHash3/SplitMix64 fmix step).
+const FMIX: u64 = 0xFF51_AFD7_ED55_8CCD;
+
+/// A deterministic multiplicative [`Hasher`].
+///
+/// Streams words through an xor-multiply mix and applies an xor-shift
+/// finalizer so that entropy reaches the low bits the hash table indexes
+/// with. Not collision-resistant against adversarial keys — do not use it
+/// for untrusted input.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastHasher {
+    state: u64,
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        let mut h = self.state;
+        h ^= h >> 33;
+        h = h.wrapping_mul(FMIX);
+        h ^ (h >> 33)
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        // Generic fallback for compound keys; the hot path (u64 newtype
+        // keys) goes through `write_u64` below.
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.write_u64(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.state = (self.state ^ n).wrapping_mul(MIX);
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.write_u64(u64::from(n));
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.write_u64(n as u64);
+    }
+}
+
+/// [`BuildHasher`] producing [`FastHasher`]s. Stateless: every build yields
+/// the same (deterministic) hash function.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FastBuildHasher;
+
+impl BuildHasher for FastBuildHasher {
+    type Hasher = FastHasher;
+
+    #[inline]
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::Hash;
+
+    fn hash_of<T: Hash>(v: &T) -> u64 {
+        FastBuildHasher.hash_one(v)
+    }
+
+    #[test]
+    fn deterministic_across_builds() {
+        assert_eq!(hash_of(&42u64), hash_of(&42u64));
+        let a = FastBuildHasher.build_hasher().finish();
+        let b = FastBuildHasher.build_hasher().finish();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn distinct_keys_disperse_low_bits() {
+        // The table indexes with low bits: sequential line addresses must
+        // not collide there.
+        let mut low_bits: Vec<u64> = (0..64u64).map(|i| hash_of(&i) & 0xFF).collect();
+        low_bits.sort_unstable();
+        low_bits.dedup();
+        assert!(
+            low_bits.len() > 48,
+            "sequential keys collapse in the low bits: {} distinct of 64",
+            low_bits.len()
+        );
+    }
+
+    #[test]
+    fn byte_stream_fallback_matches_word_writes() {
+        let mut a = FastHasher::default();
+        a.write(&7u64.to_le_bytes());
+        let mut b = FastHasher::default();
+        b.write_u64(7);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

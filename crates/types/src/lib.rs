@@ -31,6 +31,7 @@
 mod addr;
 mod config;
 mod error;
+mod fast_hash;
 mod ids;
 mod mapping;
 mod time;
@@ -40,6 +41,7 @@ pub use addr::{
 };
 pub use config::{BusConfig, DramTiming, DramTimingCycles, MemoryKind, RefreshConfig};
 pub use error::ConfigError;
+pub use fast_hash::{FastBuildHasher, FastHasher};
 pub use ids::{BankId, CoreId, L2BankId, McId, MshrBankId, RankId, ThreadId};
 pub use mapping::{AddressMapper, DramLocation, InterleaveGranularity, MemoryGeometry};
 pub use time::{ClockDomain, Cycle, Cycles};

@@ -3,7 +3,7 @@
 use core::fmt;
 use std::collections::HashMap;
 
-use stacksim_types::{PhysAddr, PAGE_BYTES};
+use stacksim_types::{FastBuildHasher, PhysAddr, PAGE_BYTES};
 
 /// A byte-granular virtual address within one program's address space.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -69,7 +69,11 @@ impl std::error::Error for OutOfMemory {}
 /// determines physical placement, exactly as in the paper's methodology.
 #[derive(Clone, Debug, Default)]
 pub struct PageAllocator {
-    tables: HashMap<(u16, u64), u64>,
+    // Deterministic multiplicative hasher: `translate` runs on every
+    // memory access, and SipHash is most of the lookup cost for a
+    // two-word key. Nothing iterates the map, so the hash function is
+    // unobservable in results.
+    tables: HashMap<(u16, u64), u64, FastBuildHasher>,
     next_frame: u64,
     total_frames: u64,
 }
@@ -84,7 +88,7 @@ impl PageAllocator {
         let total_frames = total_bytes / PAGE_BYTES;
         assert!(total_frames > 0, "need at least one physical frame");
         PageAllocator {
-            tables: HashMap::new(),
+            tables: HashMap::default(),
             next_frame: 0,
             total_frames,
         }

@@ -1,5 +1,6 @@
 //! An idle program: compute-only filler for partially-occupied machines.
 
+use crate::block::InstrBlock;
 use crate::instr::Instr;
 use crate::synth::TraceGenerator;
 
@@ -38,6 +39,13 @@ impl TraceGenerator for IdleProgram {
 
     fn name(&self) -> &str {
         "idle"
+    }
+
+    fn refill(&mut self, block: &mut InstrBlock) {
+        block.clear();
+        for _ in 0..block.capacity() {
+            block.push(Instr::Compute);
+        }
     }
 }
 

@@ -33,6 +33,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod block;
 mod idle;
 mod instr;
 mod mix;
@@ -41,6 +42,7 @@ mod spec;
 mod synth;
 mod trace;
 
+pub use block::{InstrBlock, BLOCK_LEN};
 pub use idle::IdleProgram;
 pub use instr::Instr;
 pub use mix::{Mix, MixClass};

@@ -4,6 +4,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stacksim_types::{PhysAddr, LINE_BYTES};
 
+use crate::block::InstrBlock;
 use crate::instr::Instr;
 use crate::pattern::FreshStream;
 use crate::spec::Benchmark;
@@ -36,6 +37,22 @@ pub trait TraceGenerator {
 
     /// The benchmark's display name.
     fn name(&self) -> &str;
+
+    /// Refills `block` with the next `block.capacity()` µops in one call.
+    ///
+    /// The contract is bit-identity: a refill must produce **exactly** the
+    /// sequence that the same number of [`next_instr`](Self::next_instr)
+    /// calls would, consuming generator state (including any RNG draws) in
+    /// the same order. The default implementation delegates to
+    /// `next_instr`, so every generator is automatically correct; hot
+    /// generators override it with a monomorphized loop that amortizes the
+    /// per-µop call overhead away.
+    fn refill(&mut self, block: &mut InstrBlock) {
+        block.clear();
+        for _ in 0..block.capacity() {
+            block.push(self.next_instr());
+        }
+    }
 }
 
 /// Synthesizes the instruction stream of one Table 2(a) benchmark.
@@ -161,10 +178,12 @@ impl SyntheticWorkload {
             Instr::Load { pc, addr }
         }
     }
-}
 
-impl TraceGenerator for SyntheticWorkload {
-    fn next_instr(&mut self) -> Instr {
+    /// The single generation step, shared verbatim by the per-instruction
+    /// and block paths so the two observable sequences cannot drift apart
+    /// (every RNG draw happens here, in one fixed order).
+    #[inline(always)]
+    fn gen_one(&mut self) -> Instr {
         self.generated += 1;
         let r = self.rng.gen::<f64>();
         if r < self.spec.fresh_probability() {
@@ -184,9 +203,24 @@ impl TraceGenerator for SyntheticWorkload {
             Instr::Compute
         }
     }
+}
+
+impl TraceGenerator for SyntheticWorkload {
+    fn next_instr(&mut self) -> Instr {
+        self.gen_one()
+    }
 
     fn name(&self) -> &str {
         self.spec.name
+    }
+
+    /// Monomorphized batch loop: one virtual call per block instead of one
+    /// per µop, with the generation step inlined into a tight loop.
+    fn refill(&mut self, block: &mut InstrBlock) {
+        block.clear();
+        for _ in 0..block.capacity() {
+            block.push(self.gen_one());
+        }
     }
 }
 

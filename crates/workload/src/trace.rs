@@ -17,6 +17,7 @@ use std::io::{self, BufRead, Write};
 
 use stacksim_types::PhysAddr;
 
+use crate::block::InstrBlock;
 use crate::instr::Instr;
 use crate::synth::TraceGenerator;
 
@@ -192,6 +193,23 @@ impl TraceGenerator for TraceReplay {
 
     fn name(&self) -> &str {
         &self.name
+    }
+
+    /// Slice-copy refill: drains the trace in wrapping chunks instead of
+    /// one indexed load (and bounds check) per µop.
+    fn refill(&mut self, block: &mut InstrBlock) {
+        block.clear();
+        let mut needed = block.capacity();
+        while needed > 0 {
+            let run = needed.min(self.instrs.len() - self.pos);
+            block.extend_from_slice(&self.instrs[self.pos..self.pos + run]);
+            self.pos += run;
+            if self.pos == self.instrs.len() {
+                self.pos = 0;
+                self.laps += 1;
+            }
+            needed -= run;
+        }
     }
 }
 
