@@ -3,16 +3,17 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use stacksim::experiments::figure4;
-use stacksim_bench::{bench_mixes, bench_run};
+use stacksim_bench::{bench_machines, bench_mixes, bench_run};
 
 fn bench_figure4(c: &mut Criterion) {
     let run = bench_run();
     let mixes = bench_mixes();
+    let machines = bench_machines();
     let mut group = c.benchmark_group("figure4");
     group.sample_size(10);
     group.bench_function("stacking_progression", |b| {
         b.iter(|| {
-            let r = figure4(&run, &mixes).expect("valid configuration");
+            let r = figure4(&machines, &run, &mixes).expect("valid configuration");
             assert_eq!(r.rows.len(), mixes.len());
             r
         })

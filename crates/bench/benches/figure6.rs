@@ -4,11 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use stacksim::experiments::{figure6a, figure6b};
-use stacksim_bench::bench_run;
+use stacksim_bench::{bench_machines, bench_run};
 use stacksim_workload::Mix;
 
 fn bench_figure6(c: &mut Criterion) {
     let run = bench_run();
+    let machines = bench_machines();
     // 6(a)/(b) sweep many configurations; bench over the stream mixes that
     // define their headline numbers.
     let mixes: Vec<&'static Mix> = ["VH1", "VH2"]
@@ -19,14 +20,14 @@ fn bench_figure6(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("a_mcs_and_ranks", |b| {
         b.iter(|| {
-            let r = figure6a(&run, &mixes).expect("valid configuration");
+            let r = figure6a(&machines, &run, &mixes).expect("valid configuration");
             assert_eq!(r.grid.len(), 6);
             r
         })
     });
     group.bench_function("b_row_buffers", |b| {
         b.iter(|| {
-            let r = figure6b(&run, &mixes).expect("valid configuration");
+            let r = figure6b(&machines, &run, &mixes).expect("valid configuration");
             assert_eq!(r.cells.len(), 8);
             r
         })

@@ -3,11 +3,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use stacksim::experiments::headline;
-use stacksim_bench::bench_run;
+use stacksim_bench::{bench_machines, bench_run};
 use stacksim_workload::Mix;
 
 fn bench_headline(c: &mut Criterion) {
     let run = bench_run();
+    let machines = bench_machines();
     let mixes: Vec<&'static Mix> = ["VH1", "H1"]
         .iter()
         .map(|n| Mix::by_name(n).expect("known mix"))
@@ -16,7 +17,7 @@ fn bench_headline(c: &mut Criterion) {
     group.sample_size(10);
     group.bench_function("cumulative_speedups", |b| {
         b.iter(|| {
-            let h = headline(&run, &mixes).expect("valid configuration");
+            let h = headline(&machines, &run, &mixes).expect("valid configuration");
             assert!(h.total_over_2d > 1.0);
             h
         })

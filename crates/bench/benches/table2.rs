@@ -4,11 +4,12 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 
 use stacksim::experiments::{table2a, table2b};
-use stacksim_bench::{bench_mixes, bench_run};
+use stacksim_bench::{bench_machines, bench_mixes, bench_run};
 use stacksim_workload::Benchmark;
 
 fn bench_table2(c: &mut Criterion) {
     let run = bench_run();
+    let machines = bench_machines();
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);
 
@@ -19,7 +20,7 @@ fn bench_table2(c: &mut Criterion) {
         .collect();
     group.bench_function("2a_characterization", |b| {
         b.iter(|| {
-            let rows = table2a(&run, &benchmarks).expect("valid configuration");
+            let rows = table2a(&machines, &run, &benchmarks).expect("valid configuration");
             assert_eq!(rows.len(), benchmarks.len());
             rows
         })
@@ -28,7 +29,7 @@ fn bench_table2(c: &mut Criterion) {
     let mixes = bench_mixes();
     group.bench_function("2b_mix_baseline", |b| {
         b.iter(|| {
-            let rows = table2b(&run, &mixes).expect("valid configuration");
+            let rows = table2b(&machines, &run, &mixes).expect("valid configuration");
             assert!(rows.iter().all(|r| r.measured_hmipc > 0.0));
             rows
         })

@@ -26,6 +26,13 @@
 //!   experiment plus the fraction of simulated cycles the quiescence
 //!   fast-forward skipped (memoized experiments simulate nothing new, so
 //!   their fraction is `null`).
+//! * `--machines <dir>` — load the six named machines from scenario files
+//!   in `<dir>` instead of the built-in constructors (the shipped
+//!   `scenarios/` directory is picked up automatically when present; see
+//!   `docs/SCENARIOS.md`).
+//! * `--scenario <file>` — instead of the experiment registry, run every
+//!   mix on the one machine described by the scenario file and report
+//!   per-mix HMIPC (works with `--out`/`--baseline`/`--quick`).
 //! * `--check-protocol` — trace DRAM command streams during every run and
 //!   audit them against the JEDEC-style timing invariants after the
 //!   experiments finish (see `docs/TESTING.md`); any violation makes the
@@ -42,23 +49,25 @@ use std::io::Write;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use stacksim::configs;
 use stacksim::experiments::{
     ablation_cwf, ablation_energy, ablation_interleave, ablation_page_policy, ablation_probing,
     ablation_scheduler, ablation_smart_refresh, energy_table, figure4, figure6a, figure6b, figure7,
     figure9, headline, probing_table, table2a, table2a_table, table2b, table2b_table,
     thermal_check, Figure7Result, Figure9Result,
 };
-use stacksim::runner::{self, RunConfig};
+use stacksim::runner::{self, RunConfig, RunPoint};
+use stacksim::scenario::{Machines, Scenario};
 use stacksim::trace::TraceConfig;
 use stacksim_bench::full_run;
 use stacksim_bench::obs;
 use stacksim_simcheck::protocol::{check_trace, ProtocolParams};
-use stacksim_stats::MetricsSink;
+use stacksim_stats::{MetricsSink, Table};
 use stacksim_workload::{Benchmark, Mix};
 
-/// Everything an experiment closure needs: the run window and the mix sets.
+/// Everything an experiment closure needs: the machine set, the run
+/// window and the mix sets.
 struct Ctx {
+    machines: Machines,
     run: RunConfig,
     mixes: Vec<&'static Mix>,
     hv: Vec<&'static Mix>,
@@ -128,7 +137,7 @@ fn scalar_sink(name: &str, metric: &str, value: f64) -> MetricsSink {
 const EXPERIMENTS: &[(&str, ExpFn)] = &[
     ("table2a", |ctx| {
         let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-        let rows = table2a(&ctx.run, &benchmarks)?;
+        let rows = table2a(&ctx.machines, &ctx.run, &benchmarks)?;
         let mut sink = MetricsSink::new("table2a");
         for row in &rows {
             sink.gauge(format!("{}.mpki", row.benchmark.name), row.measured_mpki);
@@ -136,7 +145,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((table2a_table(&rows).to_string(), sink))
     }),
     ("table2b", |ctx| {
-        let rows = table2b(&ctx.run, &ctx.mixes)?;
+        let rows = table2b(&ctx.machines, &ctx.run, &ctx.mixes)?;
         let mut sink = MetricsSink::new("table2b");
         for row in &rows {
             sink.gauge(format!("{}.hmipc", row.mix.name), row.measured_hmipc);
@@ -144,7 +153,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((table2b_table(&rows).to_string(), sink))
     }),
     ("figure4", |ctx| {
-        let r = figure4(&ctx.run, &ctx.mixes)?;
+        let r = figure4(&ctx.machines, &ctx.run, &ctx.mixes)?;
         let mut sink = MetricsSink::new("figure4");
         for row in &r.rows {
             sink.gauge(format!("{}.hmipc_2d", row.mix.name), row.hmipc_2d);
@@ -161,7 +170,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((r.table().to_string(), sink))
     }),
     ("figure6a", |ctx| {
-        let r = figure6a(&ctx.run, &ctx.mixes)?;
+        let r = figure6a(&ctx.machines, &ctx.run, &ctx.mixes)?;
         let mut sink = MetricsSink::new("figure6a");
         for c in &r.grid {
             sink.gauge(format!("{}mc_{}r.hvh", c.mcs, c.ranks), c.speedup_hvh);
@@ -174,7 +183,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((r.table().to_string(), sink))
     }),
     ("figure6b", |ctx| {
-        let r = figure6b(&ctx.run, &ctx.mixes)?;
+        let r = figure6b(&ctx.machines, &ctx.run, &ctx.mixes)?;
         let mut sink = MetricsSink::new("figure6b");
         for c in &r.cells {
             sink.gauge(
@@ -189,23 +198,23 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((r.table().to_string(), sink))
     }),
     ("figure7-dual", |ctx| {
-        let r = figure7(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?;
+        let r = figure7(&ctx.machines.dual_mc, &ctx.run, &ctx.mixes)?;
         Ok((r.table().to_string(), figure7_sink("figure7-dual", &r)))
     }),
     ("figure7-quad", |ctx| {
-        let r = figure7(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?;
+        let r = figure7(&ctx.machines.quad_mc, &ctx.run, &ctx.mixes)?;
         Ok((r.table().to_string(), figure7_sink("figure7-quad", &r)))
     }),
     ("figure9-dual", |ctx| {
-        let r = figure9(&configs::cfg_dual_mc(), &ctx.run, &ctx.mixes)?;
+        let r = figure9(&ctx.machines.dual_mc, &ctx.run, &ctx.mixes)?;
         Ok((r.table().to_string(), figure9_sink("figure9-dual", &r)))
     }),
     ("figure9-quad", |ctx| {
-        let r = figure9(&configs::cfg_quad_mc(), &ctx.run, &ctx.mixes)?;
+        let r = figure9(&ctx.machines.quad_mc, &ctx.run, &ctx.mixes)?;
         Ok((r.table().to_string(), figure9_sink("figure9-quad", &r)))
     }),
     ("headline", |ctx| {
-        let r = headline(&ctx.run, &ctx.hv)?;
+        let r = headline(&ctx.machines, &ctx.run, &ctx.hv)?;
         let mut sink = MetricsSink::new("headline");
         sink.gauge("fast_over_2d", r.fast_over_2d);
         sink.gauge("aggressive_over_fast", r.aggressive_over_fast);
@@ -227,21 +236,21 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((r.table().to_string(), sink))
     }),
     ("ablation-scheduler", |ctx| {
-        let v = ablation_scheduler(&ctx.run, &ctx.hv)?;
+        let v = ablation_scheduler(&ctx.machines, &ctx.run, &ctx.hv)?;
         Ok((
             format!("Ablation: FR-FCFS over FIFO (quad-MC, GM H/VH): {v:.3}x\n"),
             scalar_sink("ablation-scheduler", "speedup", v),
         ))
     }),
     ("ablation-interleave", |ctx| {
-        let v = ablation_interleave(&ctx.run, &ctx.hv)?;
+        let v = ablation_interleave(&ctx.machines, &ctx.run, &ctx.hv)?;
         Ok((
             format!("Ablation: page over line L2 interleave (quad-MC, GM H/VH): {v:.3}x\n"),
             scalar_sink("ablation-interleave", "speedup", v),
         ))
     }),
     ("ablation-cwf", |ctx| {
-        let v = ablation_cwf(&ctx.run, &ctx.hv)?;
+        let v = ablation_cwf(&ctx.machines, &ctx.run, &ctx.hv)?;
         Ok((
             format!(
                 "Ablation: critical-word-first over full-line delivery (narrow-bus 3D, GM H/VH): {v:.3}x\n"
@@ -250,7 +259,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         ))
     }),
     ("ablation-page-policy", |ctx| {
-        let v = ablation_page_policy(&ctx.run, &ctx.hv)?;
+        let v = ablation_page_policy(&ctx.machines, &ctx.run, &ctx.hv)?;
         Ok((
             format!(
                 "Ablation: open- over closed-page row management (quad-MC, GM H/VH): {v:.3}x\n"
@@ -259,8 +268,11 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         ))
     }),
     ("ablation-smart-refresh", |ctx| {
-        let (speedup, plain, smart) =
-            ablation_smart_refresh(&ctx.run, Mix::by_name("VH1").expect("known mix"))?;
+        let (speedup, plain, smart) = ablation_smart_refresh(
+            &ctx.machines,
+            &ctx.run,
+            Mix::by_name("VH1").expect("known mix"),
+        )?;
         let mut sink = MetricsSink::new("ablation-smart-refresh");
         sink.gauge("speedup", speedup);
         sink.gauge("refreshes_plain", plain);
@@ -273,7 +285,7 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         ))
     }),
     ("ablation-probing", |ctx| {
-        let rows = ablation_probing(&ctx.run, &ctx.hv)?;
+        let rows = ablation_probing(&ctx.machines, &ctx.run, &ctx.hv)?;
         let mut sink = MetricsSink::new("ablation-probing");
         for row in &rows {
             sink.gauge(
@@ -288,7 +300,11 @@ const EXPERIMENTS: &[(&str, ExpFn)] = &[
         Ok((probing_table(&rows).to_string(), sink))
     }),
     ("ablation-energy", |ctx| {
-        let rows = ablation_energy(&ctx.run, Mix::by_name("H2").expect("known mix"))?;
+        let rows = ablation_energy(
+            &ctx.machines,
+            &ctx.run,
+            Mix::by_name("H2").expect("known mix"),
+        )?;
         let mut sink = MetricsSink::new("ablation-energy");
         for row in &rows {
             sink.gauge(
@@ -366,6 +382,8 @@ struct Options {
     timings: Option<PathBuf>,
     check_protocol: bool,
     list: bool,
+    machines: Option<PathBuf>,
+    scenario: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -379,6 +397,8 @@ fn parse_args() -> Result<Options, String> {
         timings: None,
         check_protocol: false,
         list: false,
+        machines: None,
+        scenario: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -423,6 +443,14 @@ fn parse_args() -> Result<Options, String> {
                 opts.timings = Some(PathBuf::from(file));
             }
             "--check-protocol" => opts.check_protocol = true,
+            "--machines" => {
+                let dir = args.next().ok_or("--machines needs a scenario directory")?;
+                opts.machines = Some(PathBuf::from(dir));
+            }
+            "--scenario" => {
+                let file = args.next().ok_or("--scenario needs a scenario file")?;
+                opts.scenario = Some(PathBuf::from(file));
+            }
             "--list" => opts.list = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -438,7 +466,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!(
                 "usage: reproduce [--only <experiment>]... [--jobs <n>] [--out <dir>] \
                  [--baseline <dir>] [--tol <rel>] [--quick] [--timings <file>] \
-                 [--check-protocol] [--list]"
+                 [--machines <dir>] [--scenario <file>] [--check-protocol] [--list]"
             );
             std::process::exit(2);
         }
@@ -453,8 +481,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         runner::set_default_jobs(jobs);
     }
 
+    // Machine source: an explicit --machines directory must load; the
+    // shipped scenarios/ directory is used when present; otherwise the
+    // compiled-in constructors. The twins are bit-identical by test, so the
+    // choice never changes results — only who defines them.
+    let machines = match &opts.machines {
+        Some(dir) => Machines::from_dir(dir).map_err(|e| e.to_string())?,
+        None => Machines::load(std::path::Path::new("scenarios")).map_err(|e| e.to_string())?,
+    };
+
     let t0 = Instant::now();
     let ctx = Ctx {
+        machines,
         run: {
             let mut run = if opts.quick {
                 RunConfig::quick()
@@ -492,7 +530,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let mut results: Vec<(String, MetricsSink)> = Vec::new();
     let mut timings: Vec<Timing> = Vec::new();
+
+    // --scenario: one machine, every mix — replaces the experiment registry.
+    if let Some(path) = &opts.scenario {
+        let scenario = Scenario::from_path(path).map_err(|e| e.to_string())?;
+        let t = Instant::now();
+        let points: Vec<RunPoint> = ctx
+            .mixes
+            .iter()
+            .map(|&mix| (scenario.config.clone(), mix, ctx.run))
+            .collect();
+        let matrix = runner::run_matrix(&points)?;
+        let wall = t.elapsed();
+        let mut table = Table::new(vec!["mix".into(), "hmipc".into()]);
+        table.title(format!(
+            "Scenario {} ({} cores, hash {})",
+            scenario.name,
+            scenario.config.cores,
+            scenario.hash()
+        ));
+        table.numeric();
+        let mut sink = MetricsSink::new("scenario");
+        for (mix, r) in ctx.mixes.iter().zip(&matrix) {
+            table.row(vec![mix.name.into(), format!("{:.3}", r.hmipc)]);
+            sink.gauge(format!("{}.hmipc", mix.name), r.hmipc);
+        }
+        println!("{table}");
+        println!("[scenario {}: {wall:.1?}]\n", scenario.name);
+        results.push(("scenario".to_string(), sink));
+    }
+
     for (name, exp) in EXPERIMENTS {
+        if opts.scenario.is_some() {
+            break;
+        }
         if !opts.only.is_empty() && !opts.only.iter().any(|o| selects(o, name)) {
             continue;
         }

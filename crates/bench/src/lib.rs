@@ -16,7 +16,16 @@
 pub mod obs;
 
 use stacksim::runner::RunConfig;
+use stacksim::scenario::Machines;
 use stacksim_workload::Mix;
+
+/// The six named machines the experiment drivers take. Benches use the
+/// builtin constructors directly (no file IO inside an iterated bench);
+/// `tests/scenarios.rs` keeps these bit-identical to the shipped
+/// `scenarios/` files.
+pub fn bench_machines() -> Machines {
+    Machines::builtin()
+}
 
 /// The window used by Criterion benches: long enough to be past warmup
 /// transients, short enough for iterated measurement.

@@ -10,6 +10,49 @@ use stacksim_types::{
 };
 use stacksim_vm::TlbConfig;
 
+/// Core→MC interconnect latency model.
+///
+/// The paper's quad-core floorplan puts every L2 bank adjacent to its MC, so
+/// the baseline machines model no on-die distance. Larger scenario-described
+/// machines (8/16 cores, multiple stacks) can charge a simple per-hop cost:
+/// cores sit on a line at slots `0..cores`, MC `j` sits at slot
+/// `j·cores/mcs`, and a request from core `i` to MC `j` pays
+/// `hop_latency × |i − slot(j)|` extra cycles on the request path (demand
+/// and L1-prefetch misses, L1 writebacks). L2-originated traffic (L2
+/// prefetches, victim writebacks) is charged nothing — the L2 bank sits with
+/// its MC. The default of zero hops reproduces the paper's machines exactly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
+pub struct InterconnectConfig {
+    /// Extra one-way latency per hop of core→MC distance (zero = the
+    /// paper's adjacency assumption).
+    pub hop_latency: Cycles,
+}
+
+impl InterconnectConfig {
+    /// Cycles a request from `core` pays to reach memory controller `mc` on
+    /// a machine with `cores` cores and `mcs` controllers.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim::config::InterconnectConfig;
+    /// use stacksim_types::Cycles;
+    ///
+    /// let ic = InterconnectConfig { hop_latency: Cycles::new(2) };
+    /// // 8 cores, 2 MCs: MC1 sits at slot 4, so core 6 is 2 hops away.
+    /// assert_eq!(ic.cost(6, 1, 8, 2), Cycles::new(4));
+    /// assert_eq!(InterconnectConfig::default().cost(6, 1, 8, 2), Cycles::ZERO);
+    /// ```
+    pub fn cost(&self, core: usize, mc: u16, cores: usize, mcs: u16) -> Cycles {
+        if self.hop_latency == Cycles::ZERO {
+            return Cycles::ZERO;
+        }
+        let slot = (mc as usize * cores) / mcs as usize;
+        let hops = core.abs_diff(slot) as u64;
+        Cycles::new(self.hop_latency.raw() * hops)
+    }
+}
+
 /// Configuration of the main-memory system (DRAM + controllers + buses).
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct MemorySystemConfig {
@@ -23,6 +66,12 @@ pub struct MemorySystemConfig {
     pub banks_per_rank: u16,
     /// Number of memory controllers (1, 2 or 4).
     pub mcs: u16,
+    /// Number of physical DRAM stacks the controllers are grouped across
+    /// (1 in the paper). Controllers are split evenly: MC `j` belongs to
+    /// stack `j / (mcs/stacks)`, and ranks follow their controller. Purely
+    /// a topology grouping today — all stacks share one timing set — but it
+    /// is validated (`mcs % stacks == 0`) and part of the scenario hash.
+    pub stacks: u16,
     /// Row-buffer cache entries per bank (1 conventional, up to 4).
     pub row_buffer_entries: usize,
     /// DRAM array timing.
@@ -75,8 +124,14 @@ pub struct MshrSystemConfig {
 pub struct SystemConfig {
     /// Number of cores (4 in the paper).
     pub cores: usize,
-    /// Per-core microarchitecture.
+    /// Per-core microarchitecture shared by every core unless overridden
+    /// per core via [`per_core`](SystemConfig::per_core).
     pub core: CoreConfig,
+    /// Heterogeneous per-core overrides. Empty (the default and the paper's
+    /// machines) means every core uses [`core`](SystemConfig::core);
+    /// otherwise the vector must hold exactly [`cores`](SystemConfig::cores)
+    /// entries and core `i` is built from `per_core[i]`.
+    pub per_core: Vec<CoreConfig>,
     /// Core clock frequency, Hz (3.333 GHz).
     pub core_hz: f64,
     /// Shared L2 geometry (12 MB / 24-way).
@@ -95,6 +150,8 @@ pub struct SystemConfig {
     /// page allocator (paper §2.4). `None` disables translation — programs
     /// then emit physical addresses directly from disjoint regions.
     pub vm: Option<TlbConfig>,
+    /// Core→MC interconnect latency model (zero-hop by default).
+    pub interconnect: InterconnectConfig,
     /// Main-memory system.
     pub memory: MemorySystemConfig,
 }
@@ -110,6 +167,7 @@ impl std::hash::Hash for SystemConfig {
         let SystemConfig {
             cores,
             core,
+            per_core,
             core_hz,
             l2,
             l2_banks,
@@ -118,10 +176,12 @@ impl std::hash::Hash for SystemConfig {
             l2_prefetch,
             mshr,
             vm,
+            interconnect,
             memory,
         } = self;
         cores.hash(state);
         core.hash(state);
+        per_core.hash(state);
         core_hz.to_bits().hash(state);
         l2.hash(state);
         l2_banks.hash(state);
@@ -130,6 +190,7 @@ impl std::hash::Hash for SystemConfig {
         l2_prefetch.hash(state);
         mshr.hash(state);
         vm.hash(state);
+        interconnect.hash(state);
         memory.hash(state);
     }
 }
@@ -155,7 +216,9 @@ impl SystemConfig {
     ///
     /// # Errors
     ///
-    /// Returns [`ConfigError`] for: zero cores, a non-positive core clock,
+    /// Returns [`ConfigError`] for: zero cores, a per-core override list
+    /// whose length does not match the core count, a non-positive core
+    /// clock, zero stacks or MCs not divisible among stacks,
     /// L2 banks not divisible by the MC count (the streamlined floorplan
     /// needs the alignment), MSHR entries not divisible by the MC count, an
     /// MRQ smaller than the MC count, an invalid memory geometry, zero row
@@ -166,8 +229,32 @@ impl SystemConfig {
         if self.cores == 0 {
             return Err(ConfigError::new("need at least one core"));
         }
+        if !self.per_core.is_empty() && self.per_core.len() != self.cores {
+            return Err(ConfigError::new(format!(
+                "{} per-core configs for {} cores",
+                self.per_core.len(),
+                self.cores
+            )));
+        }
+        if let Err(msg) = self.core.check() {
+            return Err(ConfigError::new(format!("core model: {msg}")));
+        }
+        for (i, c) in self.per_core.iter().enumerate() {
+            if let Err(msg) = c.check() {
+                return Err(ConfigError::new(format!("core {i}: {msg}")));
+            }
+        }
         if self.core_hz.is_nan() || self.core_hz <= 0.0 {
             return Err(ConfigError::new("core clock must be positive"));
+        }
+        if self.memory.stacks == 0 {
+            return Err(ConfigError::new("need at least one stack"));
+        }
+        if !self.memory.mcs.is_multiple_of(self.memory.stacks) {
+            return Err(ConfigError::new(format!(
+                "{} MCs do not divide among {} stacks",
+                self.memory.mcs, self.memory.stacks
+            )));
         }
         let geometry = self.geometry()?;
         if self.memory.row_buffer_entries == 0 {
@@ -217,6 +304,16 @@ impl SystemConfig {
             }
         }
         Ok(())
+    }
+
+    /// The microarchitecture of core `i`: the per-core override when
+    /// heterogeneous, the shared [`core`](SystemConfig::core) otherwise.
+    pub fn core_for(&self, i: usize) -> &CoreConfig {
+        if self.per_core.is_empty() {
+            &self.core
+        } else {
+            &self.per_core[i]
+        }
     }
 
     /// MSHR entries per bank (banks align with MCs).

@@ -10,7 +10,7 @@ use stacksim_mshr::MshrKind;
 use stacksim_types::{Cycles, DramTiming, InterleaveGranularity, MemoryKind, RefreshConfig};
 use stacksim_vm::TlbConfig;
 
-use crate::config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
+use crate::config::{InterconnectConfig, MemorySystemConfig, MshrSystemConfig, SystemConfig};
 
 /// Core clock of the Table 1 machine, Hz.
 pub const CORE_HZ: f64 = 3.333e9;
@@ -27,6 +27,7 @@ fn baseline_memory() -> MemorySystemConfig {
         ranks: 8,
         banks_per_rank: 8,
         mcs: 1,
+        stacks: 1,
         row_buffer_entries: 1,
         timing: DramTiming::COMMODITY_2D,
         refresh: RefreshConfig::OFF_CHIP,
@@ -46,6 +47,7 @@ fn baseline_system(memory: MemorySystemConfig) -> SystemConfig {
     SystemConfig {
         cores: 4,
         core: CoreConfig::penryn(),
+        per_core: Vec::new(),
         core_hz: CORE_HZ,
         l2: CacheConfig::dl2_penryn(),
         l2_banks: 16,
@@ -58,6 +60,7 @@ fn baseline_system(memory: MemorySystemConfig) -> SystemConfig {
             dynamic: None,
         },
         vm: Some(TlbConfig::dtlb_penryn()),
+        interconnect: InterconnectConfig::default(),
         memory,
     }
 }
@@ -112,7 +115,24 @@ pub fn cfg_3d_fast() -> SystemConfig {
 /// Panics if the resulting configuration is inconsistent (e.g. `ranks` not
 /// divisible by `mcs`).
 pub fn cfg_aggressive(mcs: u16, ranks: u16, row_buffer_entries: usize) -> SystemConfig {
-    let mut cfg = cfg_3d_fast();
+    let cfg = aggressive_from(&cfg_3d_fast(), mcs, ranks, row_buffer_entries);
+    cfg.validate()
+        .expect("aggressive configuration must be consistent"); // simlint::allow(P002, reason = "builder-produced config; the MSHR rounding above preserves validity")
+    cfg
+}
+
+/// The same §4 reorganization applied to an arbitrary true-3D base machine
+/// — the scenario-file path: [`Machines`](crate::scenario::Machines)
+/// derives its MC/rank sweeps from the loaded `3d-fast` machine with this.
+/// Unlike [`cfg_aggressive`] the result is not eagerly validated; callers
+/// hand it to the runner, which validates before simulating.
+pub fn aggressive_from(
+    base: &SystemConfig,
+    mcs: u16,
+    ranks: u16,
+    row_buffer_entries: usize,
+) -> SystemConfig {
+    let mut cfg = base.clone();
     cfg.memory.mcs = mcs;
     cfg.memory.ranks = ranks;
     cfg.memory.row_buffer_entries = row_buffer_entries;
@@ -122,8 +142,6 @@ pub fn cfg_aggressive(mcs: u16, ranks: u16, row_buffer_entries: usize) -> System
     if !cfg.mshr.total_entries.is_multiple_of(mcs as usize) {
         cfg.mshr.total_entries = mcs as usize * cfg.mshr.total_entries.div_ceil(mcs as usize);
     }
-    cfg.validate()
-        .expect("aggressive configuration must be consistent"); // simlint::allow(P002, reason = "builder-produced config; the MSHR rounding above preserves validity")
     cfg
 }
 

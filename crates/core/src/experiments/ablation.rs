@@ -10,8 +10,8 @@ use stacksim_types::{ConfigError, InterleaveGranularity};
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
-use crate::configs;
 use crate::runner::{default_jobs, parallel_map, run_matrix, RunConfig, RunPoint};
+use crate::scenario::Machines;
 use crate::system::System;
 
 /// GM speedup of `cfg` over `base` across `mixes`, with both columns fanned
@@ -43,8 +43,12 @@ fn gm_speedup(
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn ablation_scheduler(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
-    let frfcfs = configs::cfg_quad_mc();
+pub fn ablation_scheduler(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<f64, ConfigError> {
+    let frfcfs = machines.quad_mc.clone();
     let mut fifo = frfcfs.clone();
     fifo.memory.policy = SchedulerPolicy::Fifo;
     gm_speedup(&frfcfs, &fifo, run, mixes)
@@ -59,8 +63,12 @@ pub fn ablation_scheduler(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn ablation_cwf(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
-    let cwf = configs::cfg_3d(); // 8-byte on-stack bus
+pub fn ablation_cwf(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<f64, ConfigError> {
+    let cwf = machines.m3d.clone(); // 8-byte on-stack bus
     let mut full_line = cwf.clone();
     full_line.memory.critical_word_first = false;
     gm_speedup(&cwf, &full_line, run, mixes)
@@ -74,8 +82,12 @@ pub fn ablation_cwf(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, Conf
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn ablation_interleave(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
-    let page = configs::cfg_quad_mc();
+pub fn ablation_interleave(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<f64, ConfigError> {
+    let page = machines.quad_mc.clone();
     let mut line = page.clone();
     line.l2_interleave = InterleaveGranularity::Line;
     gm_speedup(&page, &line, run, mixes)
@@ -101,10 +113,11 @@ pub struct ProbingRow {
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_probing(
+    machines: &Machines,
     run: &RunConfig,
     mixes: &[&'static Mix],
 ) -> Result<Vec<ProbingRow>, ConfigError> {
-    let base = configs::cfg_quad_mc().with_mshr_scale(8);
+    let base = machines.quad_mc.clone().with_mshr_scale(8);
     let linear = base.with_mshr_kind(MshrKind::DirectLinear);
     let kinds = [
         MshrKind::DirectLinear,
@@ -172,8 +185,12 @@ pub fn probing_table(rows: &[ProbingRow]) -> Table {
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn ablation_page_policy(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f64, ConfigError> {
-    let open = configs::cfg_quad_mc();
+pub fn ablation_page_policy(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<f64, ConfigError> {
+    let open = machines.quad_mc.clone();
     let mut closed = open.clone();
     closed.memory.page_policy = stacksim_dram::PagePolicy::Closed;
     gm_speedup(&open, &closed, run, mixes)
@@ -189,10 +206,11 @@ pub fn ablation_page_policy(run: &RunConfig, mixes: &[&'static Mix]) -> Result<f
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn ablation_smart_refresh(
+    machines: &Machines,
     run: &RunConfig,
     mix: &'static Mix,
 ) -> Result<(f64, f64, f64), ConfigError> {
-    let plain = configs::cfg_quad_mc();
+    let plain = machines.quad_mc.clone();
     let mut smart = plain.clone();
     smart.memory.smart_refresh = true;
     // Two independent full-length simulations — run them side by side.
@@ -239,7 +257,11 @@ pub struct EnergyRow {
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn ablation_energy(run: &RunConfig, mix: &'static Mix) -> Result<Vec<EnergyRow>, ConfigError> {
+pub fn ablation_energy(
+    machines: &Machines,
+    run: &RunConfig,
+    mix: &'static Mix,
+) -> Result<Vec<EnergyRow>, ConfigError> {
     let model = EnergyModel::DDR2;
     let sweep: Vec<usize> = (1..=4).collect();
     // The four sweep points are independent full-length simulations.
@@ -247,7 +269,7 @@ pub fn ablation_energy(run: &RunConfig, mix: &'static Mix) -> Result<Vec<EnergyR
         default_jobs(),
         &sweep,
         |&row_buffers| -> Result<EnergyRow, ConfigError> {
-            let cfg = configs::cfg_aggressive(4, 16, row_buffers);
+            let cfg = machines.aggressive(4, 16, row_buffers);
             let mut sys = System::for_mix(&cfg, mix, run.seed)?;
             sys.run_cycles(run.warmup_cycles + run.measure_cycles);
             let stats = sys.stats();
@@ -305,7 +327,7 @@ mod tests {
     #[test]
     fn frfcfs_beats_fifo_on_streams() {
         let mixes = [Mix::by_name("VH2").unwrap()];
-        let s = ablation_scheduler(&quick(), &mixes).unwrap();
+        let s = ablation_scheduler(&Machines::builtin(), &quick(), &mixes).unwrap();
         assert!(s > 0.95, "FR-FCFS {s:.3} should not lose badly to FIFO");
     }
 
@@ -315,14 +337,14 @@ mod tests {
         // gain at this short measurement window; the very-high mixes flip
         // sign run-to-run at 50k cycles.
         let mixes = [Mix::by_name("M1").unwrap()];
-        let s = ablation_cwf(&quick(), &mixes).unwrap();
+        let s = ablation_cwf(&Machines::builtin(), &quick(), &mixes).unwrap();
         assert!(s > 1.0, "CWF must help on an 8-byte bus: {s:.3}");
     }
 
     #[test]
     fn probing_schemes_ordered_by_probes() {
         let mixes = [Mix::by_name("VH1").unwrap()];
-        let rows = ablation_probing(&quick(), &mixes).unwrap();
+        let rows = ablation_probing(&Machines::builtin(), &quick(), &mixes).unwrap();
         let probe_of = |k: MshrKind| rows.iter().find(|r| r.kind == k).unwrap().probes_per_access;
         assert!(probe_of(MshrKind::Cam) <= probe_of(MshrKind::Vbf));
         assert!(probe_of(MshrKind::Vbf) < probe_of(MshrKind::DirectLinear));
@@ -333,7 +355,7 @@ mod tests {
     #[test]
     fn open_page_beats_closed_on_streams() {
         let mixes = [Mix::by_name("VH2").unwrap()];
-        let s = ablation_page_policy(&quick(), &mixes).unwrap();
+        let s = ablation_page_policy(&Machines::builtin(), &quick(), &mixes).unwrap();
         assert!(
             s > 1.0,
             "open-page must win on row-friendly streams: {s:.3}"
@@ -343,7 +365,8 @@ mod tests {
     #[test]
     fn smart_refresh_reduces_refresh_count_without_hurting() {
         let (speedup, plain, smart) =
-            ablation_smart_refresh(&quick(), Mix::by_name("VH1").unwrap()).unwrap();
+            ablation_smart_refresh(&Machines::builtin(), &quick(), Mix::by_name("VH1").unwrap())
+                .unwrap();
         assert!(
             smart < plain,
             "smart {smart} must refresh less than plain {plain}"
@@ -356,7 +379,8 @@ mod tests {
 
     #[test]
     fn bigger_row_buffer_cache_raises_hit_rate() {
-        let rows = ablation_energy(&quick(), Mix::by_name("H2").unwrap()).unwrap();
+        let rows =
+            ablation_energy(&Machines::builtin(), &quick(), Mix::by_name("H2").unwrap()).unwrap();
         assert_eq!(rows.len(), 4);
         assert!(
             rows[3].row_hit_rate >= rows[0].row_hit_rate,

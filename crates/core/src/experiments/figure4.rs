@@ -5,8 +5,8 @@ use stacksim_stats::Table;
 use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
-use crate::configs;
 use crate::runner::{run_matrix, RunConfig, RunPoint};
+use crate::scenario::Machines;
 
 use super::{gm_all, gm_memory_intensive};
 
@@ -78,18 +78,22 @@ impl Figure4Result {
 }
 
 /// Runs the Figure 4 experiment over `mixes` (pass [`Mix::all`] for the
-/// full figure).
+/// full figure) on the four progression machines of `machines`.
 ///
 /// # Errors
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn figure4(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure4Result, ConfigError> {
+pub fn figure4(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<Figure4Result, ConfigError> {
     let cfgs = [
-        configs::cfg_2d(),
-        configs::cfg_3d(),
-        configs::cfg_3d_wide(),
-        configs::cfg_3d_fast(),
+        machines.m2d.clone(),
+        machines.m3d.clone(),
+        machines.m3d_wide.clone(),
+        machines.m3d_fast.clone(),
     ];
     let points: Vec<RunPoint> = mixes
         .iter()
@@ -142,7 +146,7 @@ mod tests {
     #[test]
     fn stacking_progression_holds_on_stream_mix() {
         let mixes = [Mix::by_name("VH1").unwrap()];
-        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let r = figure4(&Machines::builtin(), &RunConfig::quick(), &mixes).unwrap();
         let row = &r.rows[0];
         // The paper's headline shape: each step helps, in order.
         assert!(row.speedup_3d > 1.05, "3D {:.3}", row.speedup_3d);
@@ -162,7 +166,7 @@ mod tests {
     #[test]
     fn moderate_mix_benefits_less() {
         let mixes = [Mix::by_name("VH1").unwrap(), Mix::by_name("M3").unwrap()];
-        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let r = figure4(&Machines::builtin(), &RunConfig::quick(), &mixes).unwrap();
         let vh = &r.rows[0];
         let m = &r.rows[1];
         assert!(
@@ -176,7 +180,7 @@ mod tests {
     #[test]
     fn table_renders_all_rows() {
         let mixes = [Mix::by_name("VH1").unwrap()];
-        let r = figure4(&RunConfig::quick(), &mixes).unwrap();
+        let r = figure4(&Machines::builtin(), &RunConfig::quick(), &mixes).unwrap();
         let t = r.table();
         let s = t.to_string();
         assert!(s.contains("VH1") && s.contains("GM(all)"));

@@ -9,8 +9,8 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
-use crate::configs;
 use crate::runner::{run_matrix, RunConfig, RunPoint, RunResult};
+use crate::scenario::Machines;
 
 use super::{gm_all, gm_memory_intensive};
 
@@ -122,10 +122,11 @@ impl Figure6bResult {
 
 /// Baseline runs of 3D-fast, one per mix, reused by every comparison.
 fn baselines(
+    machines: &Machines,
     run: &RunConfig,
     mixes: &[&'static Mix],
 ) -> Result<Vec<(&'static Mix, Arc<RunResult>)>, ConfigError> {
-    let cfg = configs::cfg_3d_fast();
+    let cfg = machines.m3d_fast.clone();
     let points: Vec<RunPoint> = mixes.iter().map(|&m| (cfg.clone(), m, *run)).collect();
     let results = run_matrix(&points)?;
     Ok(mixes.iter().copied().zip(results).collect())
@@ -180,8 +181,12 @@ fn gms_per_config(
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResult, ConfigError> {
-    let base = baselines(run, mixes)?;
+pub fn figure6a(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<Figure6aResult, ConfigError> {
+    let base = baselines(machines, run, mixes)?;
     let grid_shape: Vec<(u16, u16)> = [8u16, 16]
         .iter()
         .flat_map(|&ranks| [1u16, 2, 4].map(|mcs| (mcs, ranks)))
@@ -189,12 +194,12 @@ pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResul
     let l2_bytes = [512u64 << 10, 1 << 20];
     let mut cfgs: Vec<SystemConfig> = grid_shape
         .iter()
-        .map(|&(mcs, ranks)| configs::cfg_aggressive(mcs, ranks, 1))
+        .map(|&(mcs, ranks)| machines.aggressive(mcs, ranks, 1))
         .collect();
     cfgs.extend(
         l2_bytes
             .iter()
-            .map(|&b| configs::cfg_3d_fast().with_extra_l2(b)),
+            .map(|&b| machines.m3d_fast.clone().with_extra_l2(b)),
     );
     let gms = gms_per_config(&cfgs, &base, run)?;
     let grid = grid_shape
@@ -221,15 +226,19 @@ pub fn figure6a(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6aResul
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn figure6b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Figure6bResult, ConfigError> {
-    let base = baselines(run, mixes)?;
+pub fn figure6b(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<Figure6bResult, ConfigError> {
+    let base = baselines(machines, run, mixes)?;
     let shape: Vec<(u16, u16, usize)> = [(2u16, 8u16), (4, 16)]
         .iter()
         .flat_map(|&(mcs, ranks)| (1..=4usize).map(move |rb| (mcs, ranks, rb)))
         .collect();
     let cfgs: Vec<SystemConfig> = shape
         .iter()
-        .map(|&(mcs, ranks, rb)| configs::cfg_aggressive(mcs, ranks, rb))
+        .map(|&(mcs, ranks, rb)| machines.aggressive(mcs, ranks, rb))
         .collect();
     let gms = gms_per_config(&cfgs, &base, run)?;
     let cells = shape
@@ -256,7 +265,7 @@ mod tests {
 
     #[test]
     fn more_mcs_help_memory_bound_mixes() {
-        let r = figure6a(&RunConfig::quick(), &quick_mixes()).unwrap();
+        let r = figure6a(&Machines::builtin(), &RunConfig::quick(), &quick_mixes()).unwrap();
         let one = r.cell(1, 8).unwrap().speedup_hvh;
         let four = r.cell(4, 8).unwrap().speedup_hvh;
         assert!(
@@ -269,7 +278,7 @@ mod tests {
 
     #[test]
     fn row_buffers_help_and_saturate() {
-        let r = figure6b(&RunConfig::quick(), &quick_mixes()).unwrap();
+        let r = figure6b(&Machines::builtin(), &RunConfig::quick(), &quick_mixes()).unwrap();
         assert_eq!(r.cells.len(), 8);
         let rb1 = r.cell(4, 1).unwrap().speedup_hvh;
         let rb4 = r.cell(4, 4).unwrap().speedup_hvh;

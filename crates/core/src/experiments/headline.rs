@@ -8,8 +8,8 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
-use crate::configs;
 use crate::runner::{run_matrix, RunConfig, RunPoint};
+use crate::scenario::Machines;
 
 use super::gm_memory_intensive;
 
@@ -66,10 +66,14 @@ impl HeadlineResult {
 ///
 /// Returns [`ConfigError`] if a configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn headline(run: &RunConfig, mixes: &[&'static Mix]) -> Result<HeadlineResult, ConfigError> {
-    let cfg_2d = configs::cfg_2d();
-    let cfg_fast = configs::cfg_3d_fast();
-    let cfg_aggr = configs::cfg_quad_mc();
+pub fn headline(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<HeadlineResult, ConfigError> {
+    let cfg_2d = machines.m2d.clone();
+    let cfg_fast = machines.m3d_fast.clone();
+    let cfg_aggr = machines.quad_mc.clone();
     let cfg_mha: SystemConfig = cfg_aggr
         .with_mshr_scale(8)
         .with_mshr_kind(MshrKind::Vbf)
@@ -113,7 +117,7 @@ mod tests {
     #[test]
     fn cumulative_ordering_holds() {
         let mixes = [Mix::by_name("VH1").unwrap(), Mix::by_name("H1").unwrap()];
-        let r = headline(&RunConfig::quick(), &mixes).unwrap();
+        let r = headline(&Machines::builtin(), &RunConfig::quick(), &mixes).unwrap();
         assert!(r.fast_over_2d > 1.1, "3D-fast/2D {:.2}", r.fast_over_2d);
         assert!(
             r.aggressive_over_fast > 1.0,

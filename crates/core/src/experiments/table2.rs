@@ -6,8 +6,8 @@ use stacksim_stats::Table;
 use stacksim_types::ConfigError;
 use stacksim_workload::{Benchmark, Mix, SyntheticWorkload, TraceGenerator};
 
-use crate::configs;
 use crate::runner::{default_jobs, parallel_map, run_matrix, RunConfig, RunPoint};
+use crate::scenario::Machines;
 use crate::system::System;
 
 /// One benchmark's characterization row.
@@ -29,10 +29,11 @@ pub struct Table2aRow {
 /// validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
 pub fn table2a(
+    machines: &Machines,
     run: &RunConfig,
     benchmarks: &[&'static Benchmark],
 ) -> Result<Vec<Table2aRow>, ConfigError> {
-    let mut cfg = configs::cfg_2d();
+    let mut cfg = machines.m2d.clone();
     cfg.cores = 1;
     cfg.core = cfg.core.without_prefetchers();
     cfg.l2 = CacheConfig::dl2_6mb();
@@ -93,8 +94,12 @@ pub struct Table2bRow {
 ///
 /// Returns [`ConfigError`] if the baseline configuration fails validation.
 #[must_use = "holds the experiment's results or the reason it could not run"]
-pub fn table2b(run: &RunConfig, mixes: &[&'static Mix]) -> Result<Vec<Table2bRow>, ConfigError> {
-    let cfg = configs::cfg_2d();
+pub fn table2b(
+    machines: &Machines,
+    run: &RunConfig,
+    mixes: &[&'static Mix],
+) -> Result<Vec<Table2bRow>, ConfigError> {
+    let cfg = machines.m2d.clone();
     let points: Vec<RunPoint> = mixes.iter().map(|&mix| (cfg.clone(), mix, *run)).collect();
     let results = run_matrix(&points)?;
     Ok(mixes
@@ -142,7 +147,7 @@ mod tests {
             .iter()
             .map(|n| Benchmark::by_name(n).unwrap())
             .collect();
-        let rows = table2a(&RunConfig::quick(), &benchmarks).unwrap();
+        let rows = table2a(&Machines::builtin(), &RunConfig::quick(), &benchmarks).unwrap();
         assert!(rows[0].measured_mpki > rows[1].measured_mpki);
         assert!(rows[1].measured_mpki > rows[2].measured_mpki);
         assert!(rows[2].measured_mpki > rows[3].measured_mpki);
@@ -162,7 +167,7 @@ mod tests {
     #[test]
     fn hmipc_classes_are_ordered() {
         let mixes = [Mix::by_name("VH1").unwrap(), Mix::by_name("M3").unwrap()];
-        let rows = table2b(&RunConfig::quick(), &mixes).unwrap();
+        let rows = table2b(&Machines::builtin(), &RunConfig::quick(), &mixes).unwrap();
         assert!(
             rows[0].measured_hmipc < rows[1].measured_hmipc,
             "VH1 ({:.3}) must be slower than M3 ({:.3})",
@@ -176,7 +181,7 @@ mod tests {
     #[test]
     fn table2a_renders() {
         let benchmarks = [Benchmark::by_name("namd").unwrap()];
-        let rows = table2a(&RunConfig::quick(), &benchmarks).unwrap();
+        let rows = table2a(&Machines::builtin(), &RunConfig::quick(), &benchmarks).unwrap();
         let t = table2a_table(&rows).to_string();
         assert!(t.contains("namd") && t.contains("F'06"));
     }

@@ -42,8 +42,9 @@ pub mod configs;
 pub mod experiments;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 mod system;
 pub mod trace;
 
-pub use config::{MemorySystemConfig, MshrSystemConfig, SystemConfig};
+pub use config::{InterconnectConfig, MemorySystemConfig, MshrSystemConfig, SystemConfig};
 pub use system::System;

@@ -28,6 +28,7 @@ use stacksim_types::ConfigError;
 use stacksim_workload::Mix;
 
 use crate::config::SystemConfig;
+use crate::scenario::ScenarioHash;
 use crate::system::System;
 use crate::trace::{Trace, TraceConfig};
 
@@ -438,9 +439,39 @@ pub fn run_matrix(points: &[RunPoint]) -> Result<Vec<Arc<RunResult>>, ConfigErro
     ParallelRunner::new().run_matrix(points)
 }
 
-/// Memo cache key: full configuration identity, the (registry-unique) mix
-/// name, and the run window.
-type MemoKey = (SystemConfig, &'static str, RunConfig);
+/// Memo cache key: the machine's [`ScenarioHash`] leads, so a lookup
+/// hashes one precomputed u64 instead of re-walking the whole
+/// configuration; the full configuration stays in the key as the equality
+/// backstop, so two machines colliding on the 64-bit digest still memoize
+/// separately. This is the same digest `reproduce --scenario` prints,
+/// making "one hash = one simulated machine" the process-wide contract.
+#[derive(Clone, PartialEq, Eq)]
+struct MemoKey {
+    scenario: ScenarioHash,
+    cfg: SystemConfig,
+    mix: &'static str,
+    run: RunConfig,
+}
+
+impl MemoKey {
+    fn new(cfg: &SystemConfig, mix: &'static str, run: &RunConfig) -> MemoKey {
+        MemoKey {
+            scenario: ScenarioHash::of(cfg),
+            cfg: cfg.clone(),
+            mix,
+            run: *run,
+        }
+    }
+}
+
+impl std::hash::Hash for MemoKey {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // `cfg` is deliberately omitted: `scenario` already digests it.
+        self.scenario.hash(state);
+        self.mix.hash(state);
+        self.run.hash(state);
+    }
+}
 
 /// Per-key cell: concurrent callers of the same point block on one cell
 /// while the first caller simulates, instead of duplicating the run.
@@ -476,9 +507,9 @@ where
         map.iter().map(|(k, v)| (k.clone(), v.clone())).collect() // simlint::allow(D003, reason = "snapshot of the process-wide memo; the audit callback is per-run and order-independent")
     };
     // simlint::allow(D003, reason = "order documented as unspecified; each cached run is audited independently")
-    for ((cfg, mix, run), cell) in &cells {
+    for (key, cell) in &cells {
         if let Some(Ok(result)) = cell.get() {
-            f(cfg, mix, run, result);
+            f(&key.cfg, key.mix, &key.run, result);
         }
     }
 }
@@ -503,7 +534,7 @@ pub fn run_mix_cached(
 ) -> Result<Arc<RunResult>, ConfigError> {
     let cell = {
         let mut map = memo().lock().expect("memo poisoned"); // simlint::allow(P002, reason = "memo mutex poisoning means a worker already panicked; propagating is correct")
-        map.entry((cfg.clone(), mix.name, *run))
+        map.entry(MemoKey::new(cfg, mix.name, run))
             .or_default()
             .clone()
     };

@@ -283,6 +283,9 @@ pub struct System {
     // is immutable after construction).
     l2_latency: Cycles,
     path_latency: Cycles,
+    // Request-path interconnect cost per (core, MC), row-major; empty when
+    // the scenario models no hops (every shipped quad-core machine).
+    hop_cost: Vec<Cycles>,
     mc_clock_divisor: u64,
     // Quiescence fast-forward (on unless a run disables it for
     // verification): when a tick provably has nothing to do, `run_cycles`
@@ -315,11 +318,18 @@ impl System {
     /// Returns [`ConfigError`] if the configuration is inconsistent.
     #[must_use = "the built System or the reason the configuration is invalid"]
     pub fn for_mix(cfg: &SystemConfig, mix: &Mix, seed: u64) -> Result<System, ConfigError> {
-        let generators: Vec<Box<dyn TraceGenerator>> = mix
-            .benchmarks()
-            .iter()
-            .enumerate()
-            .map(|(i, spec)| {
+        if cfg.vm.is_none() && cfg.cores as u64 * PER_CORE_REGION > cfg.memory.total_bytes {
+            return Err(ConfigError::new(format!(
+                "{} cores without virtual memory need disjoint 2 GB regions beyond the {} B of physical memory",
+                cfg.cores, cfg.memory.total_bytes
+            )));
+        }
+        let benchmarks = mix.benchmarks();
+        let generators: Vec<Box<dyn TraceGenerator>> = (0..cfg.cores)
+            .map(|i| {
+                // A four-program mix populates more than four cores by
+                // cycling: core i runs program i mod 4 with its own seed.
+                let spec = benchmarks[i % benchmarks.len()];
                 // With virtual memory every program starts at virtual 0 and
                 // the FCFS allocator interleaves their physical placement;
                 // without it, disjoint physical regions stand in.
@@ -369,7 +379,7 @@ impl System {
             .into_iter()
             .enumerate()
             .map(|(i, g)| {
-                let mut core = Core::new(CoreId::new(i as u16), cfg.core.clone(), g);
+                let mut core = Core::new(CoreId::new(i as u16), cfg.core_for(i).clone(), g);
                 if let (Some(tlb), Some(alloc)) = (cfg.vm, &allocator) {
                     core.attach_vm(tlb, alloc.clone(), i as u16);
                 }
@@ -416,6 +426,18 @@ impl System {
             .clone()
             .map(|t| DynamicTuner::new(per_bank, t));
         let send_queues = (0..cfg.memory.mcs).map(|_| SendQueues::default()).collect();
+        // Per-(core, MC) request-path hop costs; empty (the common case)
+        // means the zero-hop adjacency model and costs nothing per request.
+        let hop_cost: Vec<Cycles> = if cfg.interconnect.hop_latency == Cycles::ZERO {
+            Vec::new()
+        } else {
+            (0..cfg.cores)
+                .flat_map(|c| {
+                    (0..cfg.memory.mcs)
+                        .map(move |m| cfg.interconnect.cost(c, m, cfg.cores, cfg.memory.mcs))
+                })
+                .collect()
+        };
         let pf_cap_per_mc = L2_PF_INFLIGHT_PER_MC;
         let pf_inflight = (0..cfg.memory.mcs)
             .map(|_| std::collections::HashSet::new())
@@ -439,6 +461,7 @@ impl System {
             core_list_pool: Vec::new(),
             l2_latency: cfg.l2_latency,
             path_latency: cfg.memory.path_latency,
+            hop_cost,
             mc_clock_divisor: cfg.memory.mc_clock_divisor,
             cfg: cfg.clone(),
             fast_forward: true,
@@ -883,6 +906,18 @@ impl System {
         }
     }
 
+    /// Interconnect cost for a request from `core` to MC `mc` (zero on the
+    /// shipped quad-core machines, which model core/MC adjacency).
+    #[inline]
+    fn hop_to(&self, core: CoreId, mc: usize) -> Cycles {
+        if self.hop_cost.is_empty() {
+            Cycles::ZERO
+        } else {
+            // simlint::allow(P004, reason = "row-major (core, mc) table sized cores*mcs at construction; both factors are in range by construction")
+            self.hop_cost[core.index() * self.mcs.len() + mc]
+        }
+    }
+
     /// Tries to record an L2 miss. Returns `false` if the bank was full and
     /// the miss was not recorded (prefetches are silently dropped by the
     /// caller).
@@ -905,9 +940,11 @@ impl System {
                         token: target.token,
                     };
                     // Charge the extra (beyond-mandatory) probe latency plus
-                    // the one-way wire path to memory.
-                    let delay =
-                        Cycles::new(outcome.probes().saturating_sub(1) as u64) + self.path_latency;
+                    // the one-way wire path to memory and any on-die
+                    // core→MC hops.
+                    let delay = Cycles::new(outcome.probes().saturating_sub(1) as u64)
+                        + self.path_latency
+                        + self.hop_to(target.core, bank);
                     self.schedule(self.now + delay, EventKind::McSend(req));
                 }
                 true
@@ -979,7 +1016,7 @@ impl System {
             arrival: self.now,
             token: 0,
         };
-        let at = self.now + self.path_latency;
+        let at = self.now + self.path_latency + self.hop_to(req.core, location.mc.index());
         self.schedule(at, EventKind::McSend(mem));
     }
 

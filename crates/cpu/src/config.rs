@@ -65,13 +65,42 @@ impl CoreConfig {
     /// Panics if any width or the window is zero, or the window is smaller
     /// than the issue width.
     pub fn validate(&self) {
-        assert!(self.issue_width > 0, "issue width must be non-zero");
-        assert!(self.commit_width > 0, "commit width must be non-zero");
-        assert!(
-            self.window >= self.issue_width,
-            "window smaller than issue width"
-        );
-        assert!(self.l1_mshrs > 0, "core needs at least one L1 MSHR");
+        if let Err(msg) = self.check() {
+            panic!("{msg}"); // simlint::allow(P003, reason = "documented panicking validator; `check` is the typed-error path")
+        }
+    }
+
+    /// Non-panicking counterpart of [`validate`](CoreConfig::validate), for
+    /// callers assembling configurations from untrusted data (the scenario
+    /// loader's heterogeneous `per_core` entries).
+    ///
+    /// # Errors
+    ///
+    /// Returns the first consistency problem as a message.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_cpu::CoreConfig;
+    ///
+    /// assert!(CoreConfig::penryn().check().is_ok());
+    /// let narrow = CoreConfig { window: 2, ..CoreConfig::penryn() };
+    /// assert!(narrow.check().is_err());
+    /// ```
+    pub fn check(&self) -> Result<(), String> {
+        if self.issue_width == 0 {
+            return Err("issue width must be non-zero".into());
+        }
+        if self.commit_width == 0 {
+            return Err("commit width must be non-zero".into());
+        }
+        if self.window < self.issue_width {
+            return Err("window smaller than issue width".into());
+        }
+        if self.l1_mshrs == 0 {
+            return Err("core needs at least one L1 MSHR".into());
+        }
+        Ok(())
     }
 }
 

@@ -18,6 +18,35 @@ pub enum PagePolicy {
     Closed,
 }
 
+impl PagePolicy {
+    /// The policy's canonical name (the scenario-file spelling).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            PagePolicy::Open => "open",
+            PagePolicy::Closed => "closed",
+        }
+    }
+
+    /// Parses a canonical name back into a policy. `None` for an unknown
+    /// name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_dram::PagePolicy;
+    ///
+    /// assert_eq!(PagePolicy::from_name("closed"), Some(PagePolicy::Closed));
+    /// assert_eq!(PagePolicy::from_name("auto-precharge"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<PagePolicy> {
+        match name {
+            "open" => Some(PagePolicy::Open),
+            "closed" => Some(PagePolicy::Closed),
+            _ => None,
+        }
+    }
+}
+
 use stacksim_types::DramTimingCycles;
 
 /// Static configuration of one bank.

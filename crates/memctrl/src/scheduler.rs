@@ -19,6 +19,27 @@ pub enum SchedulerPolicy {
     FrFcfs,
 }
 
+impl SchedulerPolicy {
+    /// Parses the [`Display`](fmt::Display) name back into a policy (the
+    /// scenario-file spelling). `None` for an unknown name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_memctrl::SchedulerPolicy;
+    ///
+    /// assert_eq!(SchedulerPolicy::from_name("fifo"), Some(SchedulerPolicy::Fifo));
+    /// assert_eq!(SchedulerPolicy::from_name("frfcfs"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<SchedulerPolicy> {
+        match name {
+            "fifo" => Some(SchedulerPolicy::Fifo),
+            "fr-fcfs" => Some(SchedulerPolicy::FrFcfs),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for SchedulerPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

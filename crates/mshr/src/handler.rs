@@ -20,6 +20,30 @@ pub enum MshrKind {
     Hierarchical,
 }
 
+impl MshrKind {
+    /// Parses the [`Display`](fmt::Display) name back into a kind (the
+    /// scenario-file spelling). `None` for an unknown name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_mshr::MshrKind;
+    ///
+    /// assert_eq!(MshrKind::from_name("vbf"), Some(MshrKind::Vbf));
+    /// assert_eq!(MshrKind::from_name("fully-assoc"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<MshrKind> {
+        match name {
+            "cam" => Some(MshrKind::Cam),
+            "direct-linear" => Some(MshrKind::DirectLinear),
+            "direct-quadratic" => Some(MshrKind::DirectQuadratic),
+            "vbf" => Some(MshrKind::Vbf),
+            "hierarchical" => Some(MshrKind::Hierarchical),
+            _ => None,
+        }
+    }
+}
+
 impl fmt::Display for MshrKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let s = match self {

@@ -24,11 +24,11 @@ use std::fmt;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use stacksim::config::SystemConfig;
-use stacksim::configs;
 use stacksim::runner::{run_mix, RunConfig, RunResult};
+use stacksim::scenario::Scenario;
 use stacksim::trace::TraceConfig;
 use stacksim_dram::PagePolicy;
-use stacksim_mshr::{MshrKind, TunerConfig};
+use stacksim_mshr::MshrKind;
 use stacksim_stats::Json;
 use stacksim_types::RefreshConfig;
 use stacksim_workload::Mix;
@@ -94,41 +94,119 @@ impl fmt::Display for FuzzFailure {
     }
 }
 
+/// The shipped scenario files the generator samples base machines from,
+/// embedded at compile time. Sampling through the scenario frontend (rather
+/// than the `configs` constructors) puts the render → parse → validate →
+/// build path itself under the fuzzer, and folds the beyond-quad-core
+/// topologies (multiple stacks, heterogeneous cores, interconnect hops)
+/// into the oracle/bit-identity/protocol sweep.
+const BASE_SCENARIOS: &[&str] = &[
+    include_str!("../../../scenarios/2d.json"),
+    include_str!("../../../scenarios/3d.json"),
+    include_str!("../../../scenarios/3d-wide.json"),
+    include_str!("../../../scenarios/3d-fast.json"),
+    include_str!("../../../scenarios/dual-mc.json"),
+    include_str!("../../../scenarios/quad-mc.json"),
+    include_str!("../../../scenarios/8core-dual-stack.json"),
+    include_str!("../../../scenarios/16core-dual-stack.json"),
+];
+
+/// Inserts or replaces the member at `path` inside nested JSON objects,
+/// creating intermediate objects as needed. Replacements keep the original
+/// member position so rendered documents stay stable.
+fn set_key(v: &mut Json, path: &[&str], value: Json) {
+    let Some((head, rest)) = path.split_first() else {
+        return;
+    };
+    let Json::Obj(members) = v else { return };
+    if rest.is_empty() {
+        match members.iter_mut().find(|(k, _)| k == head) {
+            Some(slot) => slot.1 = value,
+            None => members.push(((*head).to_string(), value)),
+        }
+        return;
+    }
+    if !members.iter().any(|(k, _)| k == head) {
+        members.push(((*head).to_string(), Json::Obj(Vec::new())));
+    }
+    if let Some(slot) = members.iter_mut().find(|(k, _)| k == head) {
+        set_key(&mut slot.1, rest, value);
+    }
+}
+
 /// Deterministically generates the case for `seed`.
+///
+/// # Panics
+///
+/// Panics if a shipped scenario file is broken or a mutation produces a
+/// document the scenario parser rejects — both are build bugs, not fuzz
+/// findings, and must fail loudly.
 pub fn generate(seed: u64) -> FuzzCase {
     let mut rng = SmallRng::seed_from_u64(seed);
-    let mut cfg = match rng.gen_range(0u32..6) {
-        0 => configs::cfg_2d(),
-        1 => configs::cfg_3d(),
-        2 => configs::cfg_3d_wide(),
-        3 => configs::cfg_3d_fast(),
-        4 => configs::cfg_dual_mc(),
-        _ => configs::cfg_quad_mc(),
-    };
-    cfg.mshr.kind = oracle::ALL_KINDS[rng.gen_range(0..oracle::ALL_KINDS.len())];
+    let text = BASE_SCENARIOS[rng.gen_range(0..BASE_SCENARIOS.len())];
+    let base = Scenario::from_str(text).expect("shipped scenario must load");
+    let mut doc = Json::parse(text).expect("shipped scenario is valid JSON");
+
+    let kind = oracle::ALL_KINDS[rng.gen_range(0..oracle::ALL_KINDS.len())];
+    set_key(
+        &mut doc,
+        &["machine", "mshr", "kind"],
+        Json::Str(kind.to_string()),
+    );
     // Keep per-bank entries a power of two for quadratic probing.
     let per_bank = [4usize, 8, 16, 32][rng.gen_range(0..4usize)];
-    cfg.mshr.total_entries = per_bank * cfg.memory.mcs as usize;
+    set_key(
+        &mut doc,
+        &["machine", "mshr", "total_entries"],
+        Json::Num((per_bank * base.config.memory.mcs as usize) as f64),
+    );
     if rng.gen_range(0u32..4) == 0 {
-        cfg.mshr.dynamic = Some(TunerConfig {
-            sample_cycles: 500,
-            apply_cycles: 4_000,
-            divisors: vec![1, 2, 4],
-        });
+        set_key(
+            &mut doc,
+            &["machine", "mshr", "dynamic"],
+            Json::Obj(vec![
+                ("sample_cycles".into(), Json::Num(500.0)),
+                ("apply_cycles".into(), Json::Num(4_000.0)),
+                (
+                    "divisors".into(),
+                    Json::Arr(vec![Json::Num(1.0), Json::Num(2.0), Json::Num(4.0)]),
+                ),
+            ]),
+        );
     }
-    cfg.memory.row_buffer_entries = rng.gen_range(1usize..5);
-    cfg.memory.page_policy = if rng.gen::<bool>() {
-        PagePolicy::Open
-    } else {
-        PagePolicy::Closed
-    };
-    cfg.memory.smart_refresh = rng.gen::<bool>();
-    cfg.memory.refresh = match rng.gen_range(0u32..3) {
-        0 => RefreshConfig::OFF_CHIP,
-        1 => RefreshConfig::ON_STACK,
-        _ => RefreshConfig::DISABLED,
-    };
-    cfg.l2_prefetch = rng.gen::<bool>();
+    set_key(
+        &mut doc,
+        &["machine", "memory", "row_buffer_entries"],
+        Json::Num(rng.gen_range(1u32..5) as f64),
+    );
+    set_key(
+        &mut doc,
+        &["machine", "memory", "page_policy"],
+        Json::Str(if rng.gen::<bool>() { "open" } else { "closed" }.into()),
+    );
+    set_key(
+        &mut doc,
+        &["machine", "memory", "smart_refresh"],
+        Json::Bool(rng.gen::<bool>()),
+    );
+    set_key(
+        &mut doc,
+        &["machine", "memory", "refresh_ms"],
+        match rng.gen_range(0u32..3) {
+            0 => Json::Num(64.0),
+            1 => Json::Num(32.0),
+            _ => Json::Null,
+        },
+    );
+    set_key(
+        &mut doc,
+        &["machine", "l2", "prefetch"],
+        Json::Bool(rng.gen::<bool>()),
+    );
+
+    let cfg = Scenario::from_str(&doc.pretty())
+        .expect("scenario mutated within schema bounds must reparse")
+        .config;
 
     let mixes = Mix::all();
     let mix = &mixes[rng.gen_range(0..mixes.len())];

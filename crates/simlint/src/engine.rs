@@ -7,6 +7,7 @@ use std::path::{Path, PathBuf};
 use crate::baseline::Baseline;
 use crate::docs::MetricDocs;
 use crate::rules::{self, Finding, Registration, KERNEL_CRATES};
+use crate::scenario_docs;
 use crate::source::SourceFile;
 
 /// Scanner options.
@@ -226,6 +227,10 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
         }
     }
 
+    // Rules S001/S002: the scenario-schema reference must match the
+    // parser's ACCEPTED_KEYS table in both directions.
+    check_scenario_docs(root, &mut findings);
+
     // Baseline suppression, then deterministic ordering.
     let mut suppressed_by_baseline = 0usize;
     findings.retain(|f| {
@@ -247,6 +252,54 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
         suppressed_by_pragma,
         suppressed_by_baseline,
     })
+}
+
+/// Rules S001/S002: cross-checks `docs/SCENARIOS.md` against the scenario
+/// parser's `ACCEPTED_KEYS`. Skipped silently when the workspace has no
+/// scenario parser (non-stacksim trees); a parser without the document is
+/// one S001 finding per accepted key.
+fn check_scenario_docs(root: &Path, findings: &mut Vec<Finding>) {
+    let parser_rel = "crates/core/src/scenario.rs";
+    let Ok(source) = fs::read_to_string(root.join(parser_rel)) else {
+        return;
+    };
+    let accepted = scenario_docs::parser_keys(&source);
+    if accepted.is_empty() {
+        return;
+    }
+    let doc_rel = "docs/SCENARIOS.md";
+    let documented = match fs::read_to_string(root.join(doc_rel)) {
+        Ok(text) => scenario_docs::documented_keys(&text),
+        Err(_) => Vec::new(),
+    };
+    for key in &accepted {
+        if !documented.iter().any(|d| d.key == key.key) {
+            findings.push(Finding {
+                file: parser_rel.to_string(),
+                line: key.line,
+                rule: "S001".to_string(),
+                message: format!(
+                    "scenario key `{}` is accepted by the parser but has no table row in {doc_rel}",
+                    key.key
+                ),
+                snippet: key.key.clone(),
+            });
+        }
+    }
+    for key in &documented {
+        if !accepted.iter().any(|a| a.key == key.key) {
+            findings.push(Finding {
+                file: doc_rel.to_string(),
+                line: key.line,
+                rule: "S002".to_string(),
+                message: format!(
+                    "scenario key `{}` is documented but not in the parser's ACCEPTED_KEYS",
+                    key.key
+                ),
+                snippet: key.key.clone(),
+            });
+        }
+    }
 }
 
 fn load_baseline(root: &Path, opts: &Options) -> Result<Baseline, String> {

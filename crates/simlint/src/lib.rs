@@ -35,6 +35,7 @@ pub mod docs;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
+pub mod scenario_docs;
 pub mod source;
 
 pub use engine::{find_workspace_root, scan, Options, Report};

@@ -9,9 +9,12 @@
 //! | **P** panic surface | `P001` `unwrap`, `P002` `expect`, `P003` explicit panic macros, `P004` unguarded computed slice index | kernel library code returns typed errors |
 //! | **N** narrowing | `N001` `as u32`/`as usize` on cycle/address-typed expressions | cycle counts and addresses stay 64-bit |
 //! | **M** metric drift | `M001` registered-but-undocumented, `M002` documented-but-unregistered | `docs/METRICS.md` matches the code |
+//! | **S** scenario-schema drift | `S001` accepted-but-undocumented, `S002` documented-but-unaccepted | `docs/SCENARIOS.md` matches the parser's `ACCEPTED_KEYS` |
 //!
 //! D, P and N apply to non-test library code of the simulation-kernel
-//! crates ([`KERNEL_CRATES`]); M applies to every workspace crate.
+//! crates ([`KERNEL_CRATES`]); M applies to every workspace crate; S
+//! compares `crates/core/src/scenario.rs` with `docs/SCENARIOS.md`
+//! (see [`crate::scenario_docs`]).
 
 use crate::lexer::{Tok, TokKind};
 use crate::source::SourceFile;
@@ -52,6 +55,14 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "M002",
         "metric documented in docs/METRICS.md but not registered anywhere in code",
+    ),
+    (
+        "S001",
+        "scenario key accepted by the parser but not documented in docs/SCENARIOS.md",
+    ),
+    (
+        "S002",
+        "scenario key documented in docs/SCENARIOS.md but not accepted by the parser",
     ),
     (
         "X001",

@@ -28,6 +28,34 @@ impl MemoryKind {
     pub const fn is_stacked(self) -> bool {
         matches!(self, MemoryKind::Stacked3D | MemoryKind::True3DSplit)
     }
+
+    /// The kind's canonical name (the scenario-file spelling).
+    pub const fn name(&self) -> &'static str {
+        match self {
+            MemoryKind::OffChip2D => "off-chip-2d",
+            MemoryKind::Stacked3D => "stacked-3d",
+            MemoryKind::True3DSplit => "true-3d-split",
+        }
+    }
+
+    /// Parses a canonical name back into a kind. `None` for an unknown name.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use stacksim_types::MemoryKind;
+    ///
+    /// assert_eq!(MemoryKind::from_name("stacked-3d"), Some(MemoryKind::Stacked3D));
+    /// assert_eq!(MemoryKind::from_name("2d"), None);
+    /// ```
+    pub fn from_name(name: &str) -> Option<MemoryKind> {
+        match name {
+            "off-chip-2d" => Some(MemoryKind::OffChip2D),
+            "stacked-3d" => Some(MemoryKind::Stacked3D),
+            "true-3d-split" => Some(MemoryKind::True3DSplit),
+            _ => None,
+        }
+    }
 }
 
 /// DRAM array timing parameters, in nanoseconds (Table 1 of the paper).

@@ -7,11 +7,12 @@
 
 use stacksim::experiments::headline;
 use stacksim::runner::RunConfig;
+use stacksim::scenario::Machines;
 use stacksim_workload::Mix;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mixes: Vec<&'static Mix> = Mix::all().iter().collect();
-    let result = headline(&RunConfig::default(), &mixes)?;
+    let result = headline(&Machines::builtin(), &RunConfig::default(), &mixes)?;
     println!("{}", result.table());
     Ok(())
 }

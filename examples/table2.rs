@@ -8,16 +8,18 @@
 
 use stacksim::experiments::{table2a, table2a_table, table2b, table2b_table};
 use stacksim::runner::RunConfig;
+use stacksim::scenario::Machines;
 use stacksim_workload::{Benchmark, Mix};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let run = RunConfig::default();
     let benchmarks: Vec<&'static Benchmark> = Benchmark::all().iter().collect();
-    let rows = table2a(&run, &benchmarks)?;
+    let machines = Machines::builtin();
+    let rows = table2a(&machines, &run, &benchmarks)?;
     println!("{}", table2a_table(&rows));
 
     let mixes: Vec<&'static Mix> = Mix::all().iter().collect();
-    let rows = table2b(&run, &mixes)?;
+    let rows = table2b(&machines, &run, &mixes)?;
     println!("{}", table2b_table(&rows));
     Ok(())
 }

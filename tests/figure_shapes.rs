@@ -5,6 +5,7 @@
 use stacksim::configs;
 use stacksim::experiments::{figure4, figure6a, figure6b, figure7, figure9, thermal_check};
 use stacksim::runner::RunConfig;
+use stacksim::scenario::Machines;
 use stacksim_workload::Mix;
 
 fn run() -> RunConfig {
@@ -22,7 +23,7 @@ fn hv_mixes() -> Vec<&'static Mix> {
 
 #[test]
 fn figure4_progression_is_monotone_on_gm() {
-    let r = figure4(&run(), &hv_mixes()).unwrap();
+    let r = figure4(&Machines::builtin(), &run(), &hv_mixes()).unwrap();
     let gm = r.gm_hvh.expect("H/VH mixes provided");
     assert!(gm[0] > 1.0, "3D must beat 2D: {:.3}", gm[0]);
     assert!(
@@ -44,7 +45,7 @@ fn figure4_progression_is_monotone_on_gm() {
 
 #[test]
 fn figure6a_parallel_resources_beat_extra_cache() {
-    let r = figure6a(&run(), &hv_mixes()).unwrap();
+    let r = figure6a(&Machines::builtin(), &run(), &hv_mixes()).unwrap();
     let best_grid = r
         .grid
         .iter()
@@ -73,7 +74,7 @@ fn figure6a_parallel_resources_beat_extra_cache() {
 
 #[test]
 fn figure6b_second_row_buffer_entry_gives_most_of_the_benefit() {
-    let r = figure6b(&run(), &hv_mixes()).unwrap();
+    let r = figure6b(&Machines::builtin(), &run(), &hv_mixes()).unwrap();
     for &mcs in &[2u16, 4] {
         let rb1 = r.cell(mcs, 1).unwrap().speedup_hvh;
         let rb2 = r.cell(mcs, 2).unwrap().speedup_hvh;

@@ -20,7 +20,7 @@ fn run() -> RunConfig {
 #[test]
 fn cumulative_speedup_chain_reproduces() {
     let mixes: Vec<&'static Mix> = Mix::memory_intensive().collect();
-    let h = headline(&run(), &mixes).unwrap();
+    let h = headline(&stacksim::scenario::Machines::builtin(), &run(), &mixes).unwrap();
 
     // Paper: 3D-fast is 2.17x over 2D. Accept a generous band — the
     // substrate is a different core model — but demand a clear win of

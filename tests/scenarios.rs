@@ -1,0 +1,114 @@
+//! The scenario frontend's shipping contract: every file under
+//! `scenarios/` must parse, validate and build; the six Table 1 twins must
+//! be *equal* to their `configs` constructors (so scenario-driven runs are
+//! bit-identical to the historical constructor-driven ones); and the
+//! beyond-quad-core machines must actually simulate.
+
+use std::path::{Path, PathBuf};
+
+use stacksim::configs;
+use stacksim::runner::{run_mix, RunConfig};
+use stacksim::scenario::{Machines, Scenario, ScenarioHash, MACHINE_FILES};
+use stacksim_workload::Mix;
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../scenarios")
+}
+
+#[test]
+fn every_shipped_scenario_parses_validates_and_builds() {
+    let mut seen = 0;
+    for entry in std::fs::read_dir(scenario_dir()).expect("scenarios/ must exist") {
+        let path = entry.expect("readable dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("json") {
+            continue;
+        }
+        seen += 1;
+        let scenario = Scenario::from_path(&path)
+            .unwrap_or_else(|e| panic!("{} must load: {e}", path.display()));
+        assert!(
+            !scenario.name.is_empty(),
+            "{} has an empty name",
+            path.display()
+        );
+        scenario
+            .config
+            .validate()
+            .unwrap_or_else(|e| panic!("{} is inconsistent: {e}", path.display()));
+    }
+    // The six Table 1 machines plus the two beyond-the-paper topologies.
+    assert!(seen >= 8, "only {seen} scenario files found");
+}
+
+#[test]
+fn shipped_twins_equal_the_builtin_constructors() {
+    let from_files = Machines::from_dir(&scenario_dir()).expect("shipped machine set must load");
+    let builtin = Machines::builtin();
+    assert_eq!(
+        from_files, builtin,
+        "scenario twins drifted from configs.rs"
+    );
+    // And therefore their memo keys agree too.
+    for (file, a, b) in [
+        ("2d.json", &from_files.m2d, &builtin.m2d),
+        ("quad-mc.json", &from_files.quad_mc, &builtin.quad_mc),
+    ] {
+        assert_eq!(
+            ScenarioHash::of(a),
+            ScenarioHash::of(b),
+            "{file}: hash mismatch"
+        );
+    }
+    assert_eq!(MACHINE_FILES.len(), 6);
+}
+
+/// A scenario-loaded machine and its constructor twin must produce the
+/// same `RunResult` bit for bit — committed counts, IPC and every metric.
+#[test]
+fn scenario_run_is_bit_identical_to_constructor_run() {
+    let scenario = Scenario::from_path(&scenario_dir().join("quad-mc.json")).expect("quad-mc");
+    let mix = Mix::by_name("VH2").expect("known mix");
+    let run = RunConfig {
+        warmup_cycles: 2_000,
+        measure_cycles: 12_000,
+        seed: 7,
+        ..RunConfig::default()
+    };
+    let a = run_mix(&scenario.config, mix, &run).expect("scenario run");
+    let b = run_mix(&configs::cfg_quad_mc(), mix, &run).expect("constructor run");
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.per_core_ipc, b.per_core_ipc);
+    assert_eq!(a.hmipc.to_bits(), b.hmipc.to_bits());
+    assert_eq!(a.stats.flatten(), b.stats.flatten());
+}
+
+#[test]
+fn beyond_quad_core_scenarios_run_end_to_end() {
+    for (file, cores) in [("8core-dual-stack.json", 8), ("16core-dual-stack.json", 16)] {
+        let scenario = Scenario::from_path(&scenario_dir().join(file)).expect(file);
+        assert_eq!(scenario.config.cores, cores, "{file}");
+        let mix = Mix::by_name("HM1").expect("known mix");
+        let result = run_mix(&scenario.config, mix, &RunConfig::quick())
+            .unwrap_or_else(|e| panic!("{file} must simulate: {e}"));
+        assert_eq!(result.per_core_ipc.len(), cores, "{file}");
+        let total: u64 = result.committed.iter().sum();
+        assert!(total > 100, "{file} stalled: {total} committed");
+        assert!(result.hmipc > 0.0, "{file}: hmipc {}", result.hmipc);
+    }
+}
+
+/// Determinism of the scenario path itself: loading the same file twice
+/// and running it twice must agree bit for bit (the memo-key contract).
+#[test]
+fn scenario_loading_and_running_are_deterministic() {
+    let dir = scenario_dir();
+    let a = Scenario::from_path(&dir.join("8core-dual-stack.json")).expect("load once");
+    let b = Scenario::from_path(&dir.join("8core-dual-stack.json")).expect("load twice");
+    assert_eq!(a.config, b.config);
+    assert_eq!(a.hash(), b.hash());
+    let mix = Mix::by_name("VH1").expect("known mix");
+    let r1 = run_mix(&a.config, mix, &RunConfig::quick()).expect("run once");
+    let r2 = run_mix(&b.config, mix, &RunConfig::quick()).expect("run twice");
+    assert_eq!(r1.committed, r2.committed);
+    assert_eq!(r1.stats.flatten(), r2.stats.flatten());
+}
