@@ -2,7 +2,7 @@
 """Soft wall-time regression gate for the reproduce-quick CI job.
 
 Compares a freshly measured `reproduce --timings` JSON against the
-committed reference (BENCH_6_quick.json). CI hardware varies run to run,
+committed reference (BENCH_8_quick.json). CI hardware varies run to run,
 so this is a *soft* gate: a >15 % total-wall regression emits a GitHub
 warning annotation (and per-experiment detail for the worst offenders)
 but never fails the job — the hard numbers ride in the uploaded artifact
@@ -12,6 +12,7 @@ Usage: wall_gate.py <reference.json> <measured.json> [threshold]
 """
 
 import json
+import os
 import sys
 
 
@@ -20,6 +21,13 @@ def main() -> int:
         print(f"usage: {sys.argv[0]} <reference.json> <measured.json> [threshold]")
         return 2
     threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.15
+    if not os.path.exists(sys.argv[1]):
+        print(
+            "::warning title=wall-time gate skipped::committed reference "
+            f"{sys.argv[1]} not found; regenerate it with `reproduce --quick "
+            "--timings` and commit it"
+        )
+        return 0
     with open(sys.argv[1]) as f:
         ref = json.load(f)
     with open(sys.argv[2]) as f:

@@ -1,0 +1,158 @@
+//! Microbench: the reorder-window representation behind the front-end fast
+//! path — a fixed-capacity power-of-two ring (mirroring `stacksim_cpu`'s
+//! private `SlotRing`, same operations and slot layout) vs the `VecDeque`
+//! it replaced. The workload is the window's real life: issue bursts
+//! (`push_back`), in-order commit drains (`front` + `pop_front`), and the
+//! fill wake-up walk over every occupied slot. Both structures compute
+//! identical results; the delta is wrap/capacity bookkeeping and dispatch.
+
+use std::collections::VecDeque;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Slot states, shaped like the core model's reorder-window entries.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Done,
+    Waiting(u64),
+    ReadyAt(u64),
+}
+
+struct SlotRing {
+    buf: Box<[Slot]>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl SlotRing {
+    fn with_capacity(capacity: usize) -> SlotRing {
+        let cap = capacity.next_power_of_two().max(1);
+        SlotRing {
+            buf: vec![Slot::Done; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&Slot> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    #[inline]
+    fn push_back(&mut self, slot: Slot) {
+        self.buf[(self.head + self.len) & self.mask] = slot;
+        self.len += 1;
+    }
+
+    fn for_each_mut(&mut self, mut f: impl FnMut(&mut Slot)) {
+        for i in 0..self.len {
+            f(&mut self.buf[(self.head + i) & self.mask]);
+        }
+    }
+}
+
+const WINDOW: usize = 96;
+const CYCLES: u64 = 50_000;
+const ISSUE_WIDTH: u64 = 4;
+
+/// Deterministic slot mix matching the simulated window's population:
+/// mostly `Done`, some line-waiting, some time-gated.
+fn slot_for(i: u64) -> Slot {
+    match i % 8 {
+        0 => Slot::Waiting(i << 6),
+        1 => Slot::ReadyAt(i + 40),
+        _ => Slot::Done,
+    }
+}
+
+/// One issue/commit/wake cycle mix over the ring.
+fn churn_ring() -> u64 {
+    let mut w = SlotRing::with_capacity(WINDOW);
+    let mut committed = 0u64;
+    for now in 0..CYCLES {
+        for _ in 0..ISSUE_WIDTH {
+            let ready = match w.front() {
+                Some(Slot::Done) => true,
+                Some(Slot::ReadyAt(t)) => *t <= now,
+                _ => false,
+            };
+            if !ready {
+                break;
+            }
+            w.pop_front();
+            committed += 1;
+        }
+        for i in 0..ISSUE_WIDTH {
+            if w.len < WINDOW {
+                w.push_back(slot_for(now * ISSUE_WIDTH + i));
+            }
+        }
+        if now % 64 == 0 {
+            let line = (now >> 1) << 6;
+            w.for_each_mut(|s| {
+                if *s == Slot::Waiting(line) {
+                    *s = Slot::Done;
+                }
+            });
+        }
+    }
+    committed
+}
+
+/// The identical cycle mix over a `VecDeque`.
+fn churn_deque() -> u64 {
+    let mut w: VecDeque<Slot> = VecDeque::with_capacity(WINDOW);
+    let mut committed = 0u64;
+    for now in 0..CYCLES {
+        for _ in 0..ISSUE_WIDTH {
+            let ready = match w.front() {
+                Some(Slot::Done) => true,
+                Some(Slot::ReadyAt(t)) => *t <= now,
+                _ => false,
+            };
+            if !ready {
+                break;
+            }
+            w.pop_front();
+            committed += 1;
+        }
+        for i in 0..ISSUE_WIDTH {
+            if w.len() < WINDOW {
+                w.push_back(slot_for(now * ISSUE_WIDTH + i));
+            }
+        }
+        if now % 64 == 0 {
+            let line = (now >> 1) << 6;
+            for s in w.iter_mut() {
+                if *s == Slot::Waiting(line) {
+                    *s = Slot::Done;
+                }
+            }
+        }
+    }
+    committed
+}
+
+fn bench_window(c: &mut Criterion) {
+    assert_eq!(
+        churn_ring(),
+        churn_deque(),
+        "ring and deque must commit identically"
+    );
+    let mut group = c.benchmark_group("window_ops");
+    group.bench_function("slot_ring/churn_50k", |b| b.iter(churn_ring));
+    group.bench_function("vec_deque/churn_50k", |b| b.iter(churn_deque));
+    group.finish();
+}
+
+criterion_group!(benches, bench_window);
+criterion_main!(benches);

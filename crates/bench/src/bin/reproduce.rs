@@ -341,13 +341,15 @@ struct Timing {
 /// Renders the `--timings` artifact: a self-describing JSON object with
 /// one entry per executed experiment. Simulations shared between
 /// experiments are memoized and only charged to the first runner, so an
-/// entry with no fresh cycles reports a `null` skip fraction.
+/// entry with no fresh cycles reports a `null` skip fraction. Wall times
+/// carry microsecond resolution so sub-10 ms experiments (e.g. a fully
+/// memoized `headline`) stay non-zero in the trajectory.
 fn timings_json(timings: &[Timing], total_wall: f64, quick: bool) -> String {
     let mut s = String::from("{\n");
     s.push_str("  \"schema\": \"stacksim-bench-timings/1\",\n");
     s.push_str(&format!("  \"quick\": {quick},\n"));
     s.push_str(&format!("  \"jobs\": {},\n", runner::default_jobs()));
-    s.push_str(&format!("  \"total_wall_seconds\": {total_wall:.3},\n"));
+    s.push_str(&format!("  \"total_wall_seconds\": {total_wall:.6},\n"));
     s.push_str("  \"experiments\": [\n");
     for (i, t) in timings.iter().enumerate() {
         let cycles = t.skipped_cycles + t.ticked_cycles;
@@ -357,7 +359,7 @@ fn timings_json(timings: &[Timing], total_wall: f64, quick: bool) -> String {
             format!("{:.4}", t.skipped_cycles as f64 / cycles as f64)
         };
         s.push_str(&format!(
-            "    {{\"name\": \"{}\", \"wall_seconds\": {:.3}, \"skipped_cycles\": {}, \
+            "    {{\"name\": \"{}\", \"wall_seconds\": {:.6}, \"skipped_cycles\": {}, \
              \"ticked_cycles\": {}, \"skipped_fraction\": {}}}{}\n",
             t.name,
             t.wall_seconds,

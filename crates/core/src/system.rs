@@ -298,6 +298,11 @@ pub struct System {
     pf_candidates: Vec<LineAddr>,
     // Statistics.
     probe_hist: Histogram,
+    /// Fills delivered to cores so far. The MC-only tick slice watches this
+    /// to detect the moment core state changed under it (a `CoreFill` event
+    /// or a retried access hitting a line another fill brought in) and hand
+    /// control back to the full loop.
+    fill_deliveries: u64,
     mshr_full_retries: u64,
     dropped_prefetches: u64,
     l2_prefetches_issued: u64,
@@ -469,6 +474,7 @@ impl System {
             ticked_cycles: 0,
             pf_candidates: Vec::new(),
             probe_hist: Histogram::new(256),
+            fill_deliveries: 0,
             mshr_full_retries: 0,
             dropped_prefetches: 0,
             l2_prefetches_issued: 0,
@@ -589,48 +595,111 @@ impl System {
 
     /// Advances the machine by `n` cycles.
     ///
-    /// Cycle-accurate in effect, activity-driven in cost: whenever the
-    /// machine is provably quiescent — every core blocked on memory, no
-    /// event due, no controller able to issue or complete, no tuner or
-    /// trace boundary pending — the loop computes the earliest cycle
-    /// anything *can* happen and jumps there in one step, bulk-replaying
-    /// the per-cycle statistics the skipped ticks would have recorded.
-    ///
+    /// Cycle-accurate in effect, activity-driven in cost. Whenever every
+    /// core is provably inert until a known cycle, the loop drops into an
+    /// MC-only slice that runs just the
+    /// memory side of the machine until a core can wake — and inside that
+    /// slice, whenever the memory side is *also* quiescent, it computes
+    /// the earliest cycle anything can happen and jumps there in one
+    /// step, bulk-replaying the per-cycle statistics the skipped ticks
+    /// would have recorded.
     pub fn run_cycles(&mut self, n: u64) {
         let end = self.now + Cycles::new(n);
         while self.now < end {
             if self.fast_forward {
-                if let Some(target) = self.skip_target(end) {
-                    self.fast_forward_to(target);
-                    if self.now >= end {
-                        break;
-                    }
+                if let Some(wake) = self.cores_inert_bound() {
+                    // No core can commit or issue before `wake`: run the
+                    // memory side alone until then (or until a fill
+                    // changes some core's prospects).
+                    let slice_end = wake.map_or(end, |w| w.min(end));
+                    self.mc_slice(slice_end);
+                    continue;
                 }
             }
             self.tick();
         }
     }
 
-    /// When the machine is provably quiescent at `self.now`, returns the
-    /// earliest future cycle (clamped to `end`) at which anything can
-    /// happen; `None` when some component is active this cycle. Every
-    /// bound mirrors one stage of [`tick`](System::tick): core
-    /// commit/issue, the event wheel, MC completions, MC issue at the
-    /// controller clock, send-queue drains, trace sampling, and dynamic
-    /// MSHR tuner boundaries.
-    fn skip_target(&self, end: Cycle) -> Option<Cycle> {
+    /// When every core is provably slice-compatible this cycle, returns
+    /// the earliest cycle at which any core needs the full loop again —
+    /// commit a due `ReadyAt` head, outlast a fetch stall — with inner
+    /// `None` meaning every core is blocked until a fill arrives. Returns
+    /// outer `None` when some core is active right now.
+    ///
+    /// Slice-compatible covers two cases: a core with no activity before
+    /// `wake`, and a core whose only possible activity is committing while
+    /// its front-end refills after a mispredict — commits are a pure
+    /// function of the core's own window, replayed bit-identically by
+    /// [`Core::note_skipped`], so such a core stays out of the loop until
+    /// its fetch stall expires.
+    fn cores_inert_bound(&self) -> Option<Option<Cycle>> {
+        let now = self.now;
+        let mut wake: Option<Cycle> = None;
+        let merge = |w: &mut Option<Cycle>, t: Cycle| {
+            *w = Some(w.map_or(t, |w: Cycle| w.min(t)));
+        };
+        for core in &self.cores {
+            match core.next_activity(now) {
+                Some(t) if t <= now => {
+                    let fetch_live_at = core.fetch_stall_until();
+                    if fetch_live_at > now {
+                        merge(&mut wake, fetch_live_at);
+                    } else {
+                        return None;
+                    }
+                }
+                Some(t) => merge(&mut wake, t),
+                None => {}
+            }
+        }
+        Some(wake)
+    }
+
+    /// Runs the memory side of the machine alone until `end`, a proven
+    /// bound on the earliest core wake-up. Each cycle either jumps (the
+    /// memory side is quiescent too — [`mc_skip_target`]) or runs an
+    /// MC-only tick: the full tick minus the core stage, whose effect on
+    /// slice-compatible cores is one stall-counter increment each plus, for
+    /// a fetch-stalled core, any commits its window allows — both replayed
+    /// by [`Core::note_skipped`]. Both forms count as *skipped* cycles —
+    /// the full per-cycle loop never ran. The slice ends early when a fill
+    /// reaches any core, since that can change the core-side proof.
+    ///
+    /// [`mc_skip_target`]: System::mc_skip_target
+    fn mc_slice(&mut self, end: Cycle) {
+        let fills = self.fill_deliveries;
+        while self.now < end && self.fill_deliveries == fills {
+            if let Some(target) = self.mc_skip_target(end) {
+                self.fast_forward_to(target);
+            } else {
+                let now = self.now;
+                self.skipped_cycles += 1;
+                for core in &mut self.cores {
+                    core.note_skipped(now, 1);
+                }
+                self.tick_memory(now);
+                self.now = now + Cycles::new(1);
+                self.events.advance();
+            }
+        }
+    }
+
+    /// When the *memory side* of the machine is provably quiescent at
+    /// `self.now`, returns the earliest future cycle (clamped to `end`) at
+    /// which it can do anything; `None` when some component is active this
+    /// cycle. Every bound mirrors one memory stage of
+    /// [`tick`](System::tick): the event wheel, MC completions, MC issue
+    /// at the controller clock, send-queue drains, trace sampling, and
+    /// dynamic MSHR tuner boundaries. The caller has already bounded
+    /// `end` by core activity, so a returned target skips whole-machine
+    /// dead time.
+    fn mc_skip_target(&self, end: Cycle) -> Option<Cycle> {
         let now = self.now;
         let mut target = end;
         // Checks are ordered cheapest-veto-first; since any veto returns
         // None before `fast_forward_to` runs, the order cannot change
         // what a skip does, only what a refused skip costs.
-        for core in &self.cores {
-            match core.next_activity(now) {
-                Some(t) if t <= now => return None,
-                Some(t) => target = target.min(t),
-                None => {}
-            }
-        }
+        //
         // Events due this very cycle veto the skip — unless every one of
         // them is an MSHR-full retry that would provably fail again, which
         // `fast_forward_to` parks and replays in bulk instead. Split in
@@ -739,7 +808,7 @@ impl System {
         let parked = self.events.take_due();
         for event in &parked {
             let EventKind::L2Access { req, .. } = event else {
-                unreachable!("skip_target only parks L2 retry events"); // simlint::allow(P003, reason = "skip_target parks only L2 retry events, so no other kind can be due here")
+                unreachable!("mc_skip_target only parks L2 retry events"); // simlint::allow(P003, reason = "mc_skip_target parks only L2 retry events, so no other kind can be due here")
             };
             let (miss_target, kind) = miss_params(req);
             let bank = self.mapper.decode(req.line.base()).mc.index();
@@ -771,6 +840,15 @@ impl System {
         let l2_arrival = now + self.l2_latency;
         let mut buf = std::mem::take(&mut self.req_buf);
         for i in 0..self.cores.len() {
+            // A core that provably cannot commit or issue this cycle
+            // charges its one stall counter directly (what the full
+            // commit/issue walk would do, bit-identically) instead of
+            // walking it. Gated on fast-forward so `tick_by_tick` runs
+            // remain the naive reference this shortcut is checked against.
+            if self.fast_forward && self.cores[i].next_activity(now).is_none_or(|t| t > now) {
+                self.cores[i].note_skipped(now, 1);
+                continue;
+            }
             buf.clear();
             self.cores[i].cycle(now, &mut buf);
             for req in buf.drain(..) {
@@ -785,6 +863,18 @@ impl System {
         }
         self.req_buf = buf;
 
+        self.tick_memory(now);
+
+        self.now = now + Cycles::new(1);
+        self.events.advance();
+    }
+
+    /// Stages 2–6 of [`tick`](System::tick): everything except the cores —
+    /// event drain, controller issue/completion, send-queue transfer,
+    /// trace sampling, MSHR tuning. Shared by the full tick and the
+    /// MC-only slice, which replays the core stage's stall counters
+    /// instead of running it.
+    fn tick_memory(&mut self, now: Cycle) {
         // 2. Handle everything due this cycle. Handlers may schedule more
         // same-cycle events (e.g. a zero-delay MC send), which land back in
         // the live slot — keep draining until it stays empty.
@@ -858,9 +948,6 @@ impl System {
                 }
             }
         }
-
-        self.now = now + Cycles::new(1);
-        self.events.advance();
     }
 
     fn handle_l2_access(&mut self, req: CoreRequest, retried: bool) {
@@ -1078,6 +1165,7 @@ impl System {
     }
 
     fn deliver_to_core(&mut self, core: CoreId, line: LineAddr) {
+        self.fill_deliveries += 1;
         if let Some(writeback) = self.cores[core.index()].fill(line) {
             let at = self.now + self.l2_latency;
             self.schedule(
@@ -1104,6 +1192,18 @@ impl System {
         total
     }
 
+    /// Machine-wide stall breakdown summed over cores: cycles lost to
+    /// `(full L1 MSHRs, full reorder window, branch refill)`.
+    fn stall_breakdown(&self) -> (u64, u64, u64) {
+        self.cores.iter().fold((0, 0, 0), |(m, w, b), core| {
+            (
+                m + core.mshr_stall_cycles(),
+                w + core.window_stall_cycles(),
+                b + core.branch_stall_cycles(),
+            )
+        })
+    }
+
     /// Exports the machine's statistics (cores, L2, MCs, MSHR behaviour).
     pub fn stats(&self) -> StatRecord {
         let mut r = StatRecord::new("system");
@@ -1112,6 +1212,10 @@ impl System {
         r.set("skipped_cycles", self.skipped_cycles as f64);
         r.set("committed", self.total_committed() as f64);
         r.set("mshr_full_retries", self.mshr_full_retries as f64);
+        let (mshr_s, window_s, branch_s) = self.stall_breakdown();
+        r.set("mshr_stall_cycles", mshr_s as f64);
+        r.set("window_stall_cycles", window_s as f64);
+        r.set("branch_stall_cycles", branch_s as f64);
         r.set("dropped_prefetches", self.dropped_prefetches as f64);
         r.set("l2_prefetches_issued", self.l2_prefetches_issued as f64);
         r.set("spurious_completions", self.spurious_completions as f64);
@@ -1142,6 +1246,10 @@ impl System {
         sink.counter("skipped_cycles", self.skipped_cycles);
         sink.counter("committed", self.total_committed());
         sink.counter("mshr_full_retries", self.mshr_full_retries);
+        let (mshr_s, window_s, branch_s) = self.stall_breakdown();
+        sink.counter("mshr_stall_cycles", mshr_s);
+        sink.counter("window_stall_cycles", window_s);
+        sink.counter("branch_stall_cycles", branch_s);
         sink.counter("dropped_prefetches", self.dropped_prefetches);
         sink.counter("l2_prefetches_issued", self.l2_prefetches_issued);
         sink.counter("spurious_completions", self.spurious_completions);
@@ -1422,73 +1530,48 @@ mod debug_tests {
     #[test]
     #[ignore = "diagnostic"]
     fn skip_veto_probe() {
-        let cfg = configs::cfg_2d();
-        let mix = Mix::by_name("VH1").unwrap();
-        let mut sys = System::for_mix(&cfg, mix, 0xC0FFEE).unwrap();
-        let end = Cycle::new(70_000);
-        let mut vetoes: std::collections::BTreeMap<&'static str, u64> = Default::default();
-        let mut skippable = 0u64;
-        while sys.now < end {
-            let now = sys.now;
-            if sys.skip_target(end).is_some() {
-                skippable += 1;
-            } else {
-                let mut reason = "unknown";
-                if sys
-                    .cores
-                    .iter()
-                    .any(|c| c.next_activity(now).is_some_and(|t| t <= now))
-                {
-                    reason = "core-active";
-                } else if !sys.events.due_now().is_empty() {
-                    reason = if sys
-                        .events
-                        .due_now()
-                        .iter()
-                        .any(|e| sys.is_parkable_retry(e))
-                    {
-                        "event-due-mixed"
-                    } else {
-                        "event-due"
-                    };
-                } else if sys
-                    .mcs
-                    .iter()
-                    .any(|m| m.next_completion_at().is_some_and(|t| t <= now))
-                {
-                    reason = "mc-completion";
-                } else if sys
-                    .mcs
-                    .iter()
-                    .enumerate()
-                    .any(|(i, m)| !sys.send_queues[i].is_empty() && m.can_accept())
-                {
-                    reason = "send-queue";
-                } else {
-                    let d = sys.mc_clock_divisor;
-                    if sys.mcs.iter().any(|m| {
-                        m.next_issue_ready()
-                            .is_some_and(|r| r.max(now).raw().div_ceil(d) * d <= now.raw())
-                    }) {
-                        reason = "mc-issue";
+        let probes: Vec<(&str, SystemConfig, &str)> = vec![
+            ("2d/VH1", configs::cfg_2d(), "VH1"),
+            ("3dfast/VH1", configs::cfg_3d_fast(), "VH1"),
+            ("quad/VH1", configs::cfg_quad_mc(), "VH1"),
+            ("quad/H2", configs::cfg_quad_mc(), "H2"),
+            ("dual/HM1", configs::cfg_dual_mc(), "HM1"),
+        ];
+        for (label, cfg, mix_name) in probes {
+            let mix = Mix::by_name(mix_name).unwrap();
+            let mut sys = System::for_mix(&cfg, mix, 0xC0FFEE).unwrap();
+            let end = Cycle::new(70_000);
+            let mut jumpable = 0u64;
+            let mut mc_only = 0u64;
+            let mut active_hist = [0u64; 5];
+            while sys.now < end {
+                let now = sys.now;
+                match sys.cores_inert_bound() {
+                    Some(wake) => {
+                        let slice_end = wake.map_or(end, |w| w.min(end));
+                        if sys.mc_skip_target(slice_end).is_some() {
+                            jumpable += 1;
+                        } else {
+                            mc_only += 1;
+                        }
+                    }
+                    None => {
+                        let active = sys
+                            .cores
+                            .iter()
+                            .filter(|c| c.next_activity(now).is_some_and(|t| t <= now))
+                            .count();
+                        active_hist[active.min(4)] += 1;
                     }
                 }
-                *vetoes.entry(reason).or_default() += 1;
+                sys.set_fast_forward(false);
+                sys.tick();
+                sys.set_fast_forward(true);
             }
-            sys.tick();
-        }
-        println!("skippable-this-cycle: {skippable}");
-        println!("vetoes: {vetoes:#?}");
-        let s = sys.stats();
-        for k in [
-            "mshr_full_retries",
-            "mshr_occupancy",
-            "committed",
-            "l2.misses",
-            "l2_prefetches_issued",
-            "mc0.issued",
-        ] {
-            println!("{k} = {:?}", s.get(k));
+            println!("=== {label} ===");
+            println!("jumpable-this-cycle: {jumpable}");
+            println!("mc-slice-this-cycle: {mc_only}");
+            println!("vetoed-by-active-core-count [1..=4 of 5 bins]: {active_hist:?}");
         }
     }
 

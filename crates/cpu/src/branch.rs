@@ -67,12 +67,46 @@ impl Default for TageConfig {
     }
 }
 
-#[derive(Clone, Copy, Debug, Default)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 struct TaggedEntry {
     tag: u16,
     /// 3-bit signed counter, taken when >= 0 is encoded as value >= 4.
     counter: u8,
     useful: u8,
+}
+
+/// An incrementally maintained XOR-fold of the global history: the value
+/// equals folding the low `hist_bits` bits of the history register down to
+/// `out_bits` by XOR, but each history shift updates it in O(1) (a rotate,
+/// the incoming bit, and the outgoing bit re-injected at `hist_bits %
+/// out_bits`) instead of re-walking the whole register. This is the
+/// classic TAGE circular-shift-register construction; equivalence with the
+/// direct fold is asserted by `incremental_fold_matches_direct`.
+#[derive(Clone, Copy, Debug)]
+struct FoldedHistory {
+    value: u64,
+    out_bits: u32,
+    hist_bits: u32,
+}
+
+impl FoldedHistory {
+    fn new(hist_bits: u32, out_bits: u32) -> FoldedHistory {
+        FoldedHistory {
+            value: 0,
+            out_bits,
+            hist_bits,
+        }
+    }
+
+    /// Advances the fold for a history shift that inserts `inbit` at bit 0
+    /// and drops `outbit` (bit `hist_bits - 1` of the pre-shift history).
+    #[inline]
+    fn push(&mut self, inbit: bool, outbit: bool) {
+        let b = self.out_bits;
+        let mask = (1u64 << b) - 1;
+        let rotated = ((self.value << 1) | (self.value >> (b - 1))) & mask;
+        self.value = rotated ^ u64::from(inbit) ^ (u64::from(outbit) << (self.hist_bits % b));
+    }
 }
 
 /// The predictor state.
@@ -82,6 +116,10 @@ pub struct Tage {
     base: Vec<u8>,
     tables: Vec<Vec<TaggedEntry>>,
     history: u128,
+    /// Per tagged table: the folded history feeding its index hash.
+    folded_index: Vec<FoldedHistory>,
+    /// Per tagged table: the folded history feeding its tag hash.
+    folded_tag: Vec<FoldedHistory>,
     // Statistics.
     predictions: u64,
     mispredictions: u64,
@@ -104,6 +142,21 @@ impl Tage {
     /// Panics if the configuration is invalid (see [`TageConfig::validate`]).
     pub fn new(config: TageConfig) -> Self {
         config.validate();
+        // The direct fold masks history to at most 127 bits (the register
+        // is a u128 shifted once per branch), so the incremental registers
+        // use the same effective length.
+        let folded_index = config
+            .tagged
+            .iter()
+            .map(|&(hist, entries, _)| {
+                FoldedHistory::new(hist.min(127), (entries.trailing_zeros()).max(1))
+            })
+            .collect();
+        let folded_tag = config
+            .tagged
+            .iter()
+            .map(|&(hist, _, tag_bits)| FoldedHistory::new(hist.min(127), tag_bits.max(1)))
+            .collect();
         Tage {
             base: vec![1; config.base_entries], // weakly not-taken
             tables: config
@@ -113,13 +166,19 @@ impl Tage {
                 .collect(),
             config,
             history: 0,
+            folded_index,
+            folded_tag,
             predictions: 0,
             mispredictions: 0,
         }
     }
 
+    /// Folds `bits` of global history down to `out_bits` by XOR, walking
+    /// the whole register. The hot path reads the incrementally maintained
+    /// [`FoldedHistory`] registers instead; this direct version remains as
+    /// the equivalence oracle for them.
+    #[cfg(test)]
     fn fold_history(&self, bits: u32, out_bits: u32) -> u64 {
-        // Fold `bits` of global history down to `out_bits` by XOR.
         let mut h = self.history & ((1u128 << bits.min(127)) - 1);
         let mut folded: u64 = 0;
         while h != 0 {
@@ -129,12 +188,12 @@ impl Tage {
         folded
     }
 
+    #[inline]
     fn tagged_index(&self, table: usize, pc: u64) -> (usize, u16) {
-        let (hist, entries, tag_bits) = self.config.tagged[table];
-        let bits = entries.trailing_zeros();
-        let folded = self.fold_history(hist, bits.max(1));
+        let (_, entries, tag_bits) = self.config.tagged[table];
+        let folded = self.folded_index[table].value;
         let index = ((pc >> 2) ^ (pc >> 7) ^ folded) as usize & (entries - 1);
-        let tag_fold = self.fold_history(hist, tag_bits.max(1));
+        let tag_fold = self.folded_tag[table].value;
         let tag = (((pc >> 2) ^ (pc >> 11) ^ (tag_fold << 1)) & ((1 << tag_bits) - 1)) as u16;
         (index, tag)
     }
@@ -143,10 +202,21 @@ impl Tage {
         ((pc >> 2) as usize) & (self.config.base_entries - 1)
     }
 
-    /// Predicts the direction of the branch at `pc`.
-    pub fn predict(&mut self, pc: u64) -> Prediction {
-        self.predictions += 1;
-        // Longest matching tagged table wins.
+    /// Shifts the resolved outcome into the global history, advancing every
+    /// folded register in lockstep.
+    fn push_history(&mut self, taken: bool) {
+        for table in 0..self.folded_index.len() {
+            let h_eff = self.folded_index[table].hist_bits;
+            let outbit = (self.history >> (h_eff - 1)) & 1 == 1;
+            self.folded_index[table].push(taken, outbit);
+            self.folded_tag[table].push(taken, outbit);
+        }
+        self.history = (self.history << 1) | u128::from(taken);
+    }
+
+    /// The prediction walk without statistics: longest matching tagged
+    /// table wins, the bimodal base backs everything.
+    fn predict_quiet(&self, pc: u64) -> Prediction {
         for table in (0..self.tables.len()).rev() {
             let (index, tag) = self.tagged_index(table, pc);
             let e = &self.tables[table][index];
@@ -163,13 +233,11 @@ impl Tage {
         }
     }
 
-    /// Updates the predictor with the resolved outcome. Returns whether the
-    /// earlier prediction was wrong.
-    pub fn update(&mut self, pc: u64, prediction: Prediction, taken: bool) -> bool {
+    /// The update walk without statistics: trains the provider, allocates
+    /// on a misprediction, shifts the history. Returns whether the
+    /// prediction was wrong.
+    fn update_quiet(&mut self, pc: u64, prediction: Prediction, taken: bool) -> bool {
         let mispredicted = prediction.taken != taken;
-        if mispredicted {
-            self.mispredictions += 1;
-        }
         match prediction.provider {
             Some(table) => {
                 let (index, tag) = self.tagged_index(table, pc);
@@ -207,8 +275,44 @@ impl Tage {
                 e.useful -= 1;
             }
         }
-        self.history = (self.history << 1) | u128::from(taken);
+        self.push_history(taken);
         mispredicted
+    }
+
+    /// Predicts the direction of the branch at `pc`.
+    pub fn predict(&mut self, pc: u64) -> Prediction {
+        self.predictions += 1;
+        self.predict_quiet(pc)
+    }
+
+    /// Updates the predictor with the resolved outcome. Returns whether the
+    /// earlier prediction was wrong.
+    pub fn update(&mut self, pc: u64, prediction: Prediction, taken: bool) -> bool {
+        let mispredicted = prediction.taken != taken;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
+        self.update_quiet(pc, prediction, taken)
+    }
+
+    /// Runs one branch through the predictor — predict, train, history
+    /// shift — without touching the prediction counters. The batched front
+    /// end resolves whole blocks of branches ahead of issue with this, then
+    /// charges statistics per *issued* branch via
+    /// [`note_outcome`](Tage::note_outcome), so counts stay identical to
+    /// the per-µop path no matter how far the block cursor has run ahead.
+    pub fn process(&mut self, pc: u64, taken: bool) -> bool {
+        let prediction = self.predict_quiet(pc);
+        self.update_quiet(pc, prediction, taken)
+    }
+
+    /// Charges the statistics for one consumed branch outcome previously
+    /// computed by [`process`](Tage::process).
+    pub fn note_outcome(&mut self, mispredicted: bool) {
+        self.predictions += 1;
+        if mispredicted {
+            self.mispredictions += 1;
+        }
     }
 
     /// Refill penalty charged per misprediction.
@@ -349,5 +453,59 @@ mod tests {
         let mut cfg = TageConfig::penryn_4kb();
         cfg.tagged[1].0 = 2;
         let _ = Tage::new(cfg);
+    }
+
+    #[test]
+    fn incremental_fold_matches_direct() {
+        // The O(1) circular-shift registers must track the direct
+        // XOR-fold of the history at every step of a long, irregular
+        // branch sequence — including after the history saturates its
+        // 127-bit window.
+        let mut tage = Tage::new(TageConfig::penryn_4kb());
+        for i in 0u64..600 {
+            let mut x = i;
+            x ^= x >> 33;
+            x = x.wrapping_mul(0xff51_afd7_ed55_8ccd);
+            x ^= x >> 33;
+            let p = tage.predict(0x900 + (x % 7) * 4);
+            tage.update(0x900 + (x % 7) * 4, p, x & 2 == 2);
+            for (t, &(hist, entries, tag_bits)) in tage.config.tagged.iter().enumerate() {
+                let index_bits = entries.trailing_zeros().max(1);
+                assert_eq!(
+                    tage.folded_index[t].value,
+                    tage.fold_history(hist, index_bits),
+                    "index fold diverged at step {i}, table {t}"
+                );
+                assert_eq!(
+                    tage.folded_tag[t].value,
+                    tage.fold_history(hist, tag_bits.max(1)),
+                    "tag fold diverged at step {i}, table {t}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn process_matches_predict_update_bit_identically() {
+        // The quiet batched path must leave the predictor in exactly the
+        // state the counted path would, and report the same outcomes.
+        let mut counted = Tage::new(TageConfig::penryn_4kb());
+        let mut quiet = Tage::new(TageConfig::penryn_4kb());
+        for i in 0u64..500 {
+            let pc = 0xa00 + (i % 5) * 4;
+            let taken = (i * 7) % 3 != 0;
+            let p = counted.predict(pc);
+            let wrong_counted = counted.update(pc, p, taken);
+            let wrong_quiet = quiet.process(pc, taken);
+            quiet.note_outcome(wrong_quiet);
+            assert_eq!(wrong_counted, wrong_quiet, "outcome diverged at step {i}");
+        }
+        assert_eq!(counted.history, quiet.history);
+        assert_eq!(counted.base, quiet.base);
+        assert_eq!(counted.predictions, quiet.predictions);
+        assert_eq!(counted.mispredictions, quiet.mispredictions);
+        for t in 0..counted.tables.len() {
+            assert_eq!(counted.tables[t], quiet.tables[t], "table {t} diverged");
+        }
     }
 }

@@ -1,7 +1,6 @@
 //! The core: issue, reorder window, DL1, L1 MSHRs, prefetchers, commit.
 
-use std::cell::RefCell;
-use std::collections::VecDeque;
+use std::cell::{Cell, RefCell};
 use std::rc::Rc;
 
 use stacksim_cache::{
@@ -26,6 +25,68 @@ enum Slot {
     Waiting(LineAddr),
     /// The µop completes at a known future cycle (TLB page walk).
     ReadyAt(Cycle),
+}
+
+/// The reorder window: a fixed-capacity power-of-two ring of [`Slot`]s.
+///
+/// The window only ever commits from the head and appends at the tail, so
+/// a masked-index ring replaces the previous `VecDeque` — same observable
+/// behavior, but the slot a µop lands in is one store with no
+/// capacity/wrap bookkeeping on the hot path. Capacity is rounded up to a
+/// power of two; the *logical* window limit stays wherever the owner
+/// enforces it (the `config.window` check in `issue`).
+#[derive(Debug)]
+struct SlotRing {
+    buf: Box<[Slot]>,
+    head: usize,
+    len: usize,
+    mask: usize,
+}
+
+impl SlotRing {
+    fn with_capacity(capacity: usize) -> SlotRing {
+        let cap = capacity.next_power_of_two().max(1);
+        SlotRing {
+            buf: vec![Slot::Done; cap].into_boxed_slice(),
+            head: 0,
+            len: 0,
+            mask: cap - 1,
+        }
+    }
+
+    const fn len(&self) -> usize {
+        self.len
+    }
+
+    const fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    #[inline]
+    fn front(&self) -> Option<&Slot> {
+        (self.len > 0).then(|| &self.buf[self.head])
+    }
+
+    #[inline]
+    fn pop_front(&mut self) {
+        debug_assert!(self.len > 0, "pop from an empty window");
+        self.head = (self.head + 1) & self.mask;
+        self.len -= 1;
+    }
+
+    #[inline]
+    fn push_back(&mut self, slot: Slot) {
+        debug_assert!(self.len <= self.mask, "window ring overfilled");
+        self.buf[(self.head + self.len) & self.mask] = slot;
+        self.len += 1;
+    }
+
+    /// Visits every occupied slot head-to-tail (the fill wake-up walk).
+    fn for_each_mut(&mut self, mut f: impl FnMut(&mut Slot)) {
+        for i in 0..self.len {
+            f(&mut self.buf[(self.head + i) & self.mask]);
+        }
+    }
 }
 
 /// Per-core virtual-memory state: the DTLB plus a handle on the machine's
@@ -54,6 +115,12 @@ pub struct Core {
     /// (generators run ahead, but they are pure sources — no simulation
     /// state feeds back into them).
     block: InstrBlock,
+    /// Misprediction verdicts for the branches of the current block, in
+    /// block order, resolved in one TAGE pass at refill time (the block is
+    /// a pure source, so predictor state is a function of the branch
+    /// sequence alone). `branch_cursor` tracks consumption at issue.
+    branch_flags: Vec<bool>,
+    branch_cursor: usize,
     dl1: SetAssocCache,
     mshr: CamMshr,
     nextline: Option<NextLinePrefetcher>,
@@ -61,11 +128,16 @@ pub struct Core {
     /// Scratch buffer for prefetch candidates, reused across accesses so
     /// the per-demand-access training loop never allocates.
     pf_buf: Vec<LineAddr>,
-    window: VecDeque<Slot>,
+    window: SlotRing,
     stalled_instr: Option<(Instr, LineAddr)>,
     vm: Option<CoreVm>,
     tage: Option<Tage>,
     fetch_stall_until: Cycle,
+    /// Memoized [`next_activity`](Core::next_activity) bound (absolute,
+    /// un-clamped). `None` = stale; recomputed lazily and invalidated by
+    /// the only two mutation paths, [`cycle`](Core::cycle) and
+    /// [`fill`](Core::fill).
+    activity_bound: Cell<Option<Option<Cycle>>>,
     token: u64,
     committed: u64,
     instr_limit: Option<u64>,
@@ -93,6 +165,8 @@ impl Core {
             id,
             generator,
             block: InstrBlock::default(),
+            branch_flags: Vec::new(),
+            branch_cursor: 0,
             dl1: SetAssocCache::new(config.dl1),
             mshr: CamMshr::new(config.l1_mshrs),
             nextline: (config.nextline_degree > 0)
@@ -100,12 +174,13 @@ impl Core {
             stride: (config.stride_entries > 0)
                 .then(|| StridePrefetcher::new(config.stride_entries, 1)),
             pf_buf: Vec::new(),
-            window: VecDeque::with_capacity(config.window),
+            window: SlotRing::with_capacity(config.window),
             config,
             stalled_instr: None,
             vm: None,
             tage,
             fetch_stall_until: Cycle::ZERO,
+            activity_bound: Cell::new(None),
             token: 0,
             committed: 0,
             instr_limit: None,
@@ -175,6 +250,7 @@ impl Core {
     /// µops. Demand misses and prefetches are appended to `requests` for
     /// the owner to route to the L2.
     pub fn cycle(&mut self, now: Cycle, requests: &mut Vec<CoreRequest>) {
+        self.activity_bound.set(None);
         self.commit(now);
         self.issue(now, requests);
     }
@@ -198,6 +274,34 @@ impl Core {
         }
     }
 
+    /// Replays the commits the per-cycle loop would have performed over the
+    /// `n` fetch-stalled cycles starting at `from`. With issue silenced the
+    /// window evolves only through [`commit`](Core::commit), a pure function
+    /// of the window itself, so walking the poppable cycles reproduces the
+    /// committed count and `finish_cycle` bit-identically. Cycles whose head
+    /// is not yet ready are stepped over in one bound.
+    fn replay_commits(&mut self, from: Cycle, n: u64) {
+        let mut c = 0;
+        let mut popped = false;
+        while c < n {
+            match self.window.front() {
+                Some(Slot::Done) => {}
+                Some(Slot::ReadyAt(t)) if t.raw() <= from.raw() + c => {}
+                Some(Slot::ReadyAt(t)) if t.raw() < from.raw() + n => {
+                    c = t.raw() - from.raw();
+                    continue;
+                }
+                _ => break,
+            }
+            self.commit(Cycle::new(from.raw() + c));
+            popped = true;
+            c += 1;
+        }
+        if popped {
+            self.activity_bound.set(None);
+        }
+    }
+
     fn issue(&mut self, now: Cycle, requests: &mut Vec<CoreRequest>) {
         if now < self.fetch_stall_until {
             // The front-end is refilling after a branch misprediction.
@@ -216,7 +320,7 @@ impl Core {
                     let instr = match self.block.take() {
                         Some(i) => i,
                         None => {
-                            self.generator.refill(&mut self.block);
+                            self.refill_block();
                             // simlint::allow(P002, reason = "refill fills the block to its capacity, which is validated non-zero at construction")
                             self.block.take().expect("a refilled block is non-empty")
                         }
@@ -226,13 +330,18 @@ impl Core {
             };
             match instr {
                 Instr::Compute => self.window.push_back(Slot::Done),
-                Instr::Branch { pc, taken } => {
+                Instr::Branch { .. } => {
                     let Some(tage) = &mut self.tage else {
                         self.window.push_back(Slot::Done);
                         continue;
                     };
-                    let prediction = tage.predict(pc);
-                    if tage.update(pc, prediction, taken) {
+                    // The verdict was resolved in block order at refill
+                    // time; consume it and charge the statistics now, at
+                    // the cycle the per-µop walk would have.
+                    let mispredicted = self.branch_flags[self.branch_cursor];
+                    self.branch_cursor += 1;
+                    tage.note_outcome(mispredicted);
+                    if mispredicted {
                         // Mispredicted: the branch resolves after the
                         // pipeline refill, and fetch stalls until then.
                         let resolve = now + Cycles::new(tage.penalty());
@@ -280,6 +389,28 @@ impl Core {
                     }
                     self.train_prefetchers(pc, line, requests);
                 }
+            }
+        }
+    }
+
+    /// Refills the fetch block and resolves its branches through TAGE in
+    /// one pass. Branches are consumed strictly in block order (a branch
+    /// never parks in `stalled_instr`), and the predictor's tables are a
+    /// pure function of the branch sequence, so resolving a whole block
+    /// ahead of issue yields bit-identical verdicts while paying the
+    /// table-walk cost once per block instead of once per µop. Statistics
+    /// are charged per *issued* branch in `issue`, keeping counts exact
+    /// even when a run ends mid-block.
+    fn refill_block(&mut self) {
+        self.generator.refill(&mut self.block);
+        let Some(tage) = &mut self.tage else {
+            return;
+        };
+        self.branch_flags.clear();
+        self.branch_cursor = 0;
+        for instr in self.block.pending() {
+            if let Instr::Branch { pc, taken } = *instr {
+                self.branch_flags.push(tage.process(pc, taken));
             }
         }
     }
@@ -371,15 +502,16 @@ impl Core {
     /// was evicted — returns the writeback request the owner must route to
     /// the L2.
     pub fn fill(&mut self, line: LineAddr) -> Option<CoreRequest> {
+        self.activity_bound.set(None);
         let Some((entry, _)) = self.mshr.deallocate(line) else {
             self.spurious_fills += 1;
             return None;
         };
-        for slot in &mut self.window {
+        self.window.for_each_mut(|slot| {
             if *slot == Slot::Waiting(line) {
                 *slot = Slot::Done;
             }
-        }
+        });
         let dirty = entry.targets().iter().any(|t| t.token & 1 == 1);
         let victim = self.dl1.fill(line, dirty)?;
         victim
@@ -398,25 +530,43 @@ impl Core {
     /// stalled on a full L1 MSHR resumes only when its line arrived, its
     /// line gained an entry, or an entry freed up — all of which happen in
     /// `fill`, so a blocked verdict stays valid until then.
+    ///
+    /// The answer is memoized as an absolute (un-clamped) bound: every
+    /// input is mutated only by [`cycle`](Core::cycle) and
+    /// [`fill`](Core::fill), which invalidate it, so the owner's per-cycle
+    /// probes between those events cost one cached read. Clamping commutes
+    /// with the merge (`max(min(a, b), now) == min(max(a, now),
+    /// max(b, now))`), so the clamped-per-source original and this
+    /// clamp-once form agree everywhere.
     pub fn next_activity(&self, now: Cycle) -> Option<Cycle> {
+        let bound = match self.activity_bound.get() {
+            Some(b) => b,
+            None => {
+                let b = self.activity_bound_uncached();
+                self.activity_bound.set(Some(b));
+                b
+            }
+        };
+        bound.map(|t| t.max(now))
+    }
+
+    /// The earliest cycle at which anything can happen, un-clamped (a
+    /// bound in the past means "active whenever asked").
+    fn activity_bound_uncached(&self) -> Option<Cycle> {
         let commit_at = match self.window.front() {
-            Some(Slot::Done) => Some(now),
-            Some(Slot::ReadyAt(t)) => Some((*t).max(now)),
+            Some(Slot::Done) => Some(Cycle::ZERO),
+            Some(Slot::ReadyAt(t)) => Some(*t),
             Some(Slot::Waiting(_)) | None => None,
         };
-        if commit_at == Some(now) {
-            return Some(now);
-        }
-        let fetch_ready = self.fetch_stall_until.max(now);
         let issue_at = if self.window.len() >= self.config.window {
             None // issue is gated on commit draining the window
         } else if let Some((_, line)) = &self.stalled_instr {
             let unblocked = self.dl1.contains(*line)
                 || self.mshr.entry(*line).is_some()
                 || !self.mshr.is_full();
-            unblocked.then_some(fetch_ready)
+            unblocked.then_some(self.fetch_stall_until)
         } else {
-            Some(fetch_ready) // the generator always has another µop
+            Some(self.fetch_stall_until) // the generator always has another µop
         };
         match (commit_at, issue_at) {
             (Some(a), Some(b)) => Some(a.min(b)),
@@ -425,16 +575,30 @@ impl Core {
         }
     }
 
+    /// The cycle until which fetch stalls refilling after a mispredict
+    /// (`<= now` means fetch is live). While this lies in the future the
+    /// core cannot issue, so its only possible activity is committing —
+    /// a pure function of its own window that
+    /// [`note_skipped`](Core::note_skipped) replays exactly.
+    pub const fn fetch_stall_until(&self) -> Cycle {
+        self.fetch_stall_until
+    }
+
     /// Accounts for `n` skipped cycles starting at `from`, during which the
     /// owner proved (via [`next_activity`](Core::next_activity)) that this
-    /// core could do nothing. Replays exactly the stall counters the
-    /// per-cycle loop would have incremented: `issue` charges a branch
-    /// stall while the front-end refills, otherwise a window stall when the
-    /// window is full, otherwise an MSHR stall on the held µop.
+    /// core could not issue — though it may still commit while
+    /// fetch-stalled, which is replayed here cycle-exactly. Replays the
+    /// stall counters the per-cycle loop would have incremented: `issue`
+    /// charges a branch stall while the front-end refills, otherwise a
+    /// window stall when the window is full, otherwise an MSHR stall on
+    /// the held µop.
     pub fn note_skipped(&mut self, from: Cycle, n: u64) {
         let from_raw = from.raw();
         let branch = self.fetch_stall_until.raw().clamp(from_raw, from_raw + n) - from_raw;
         self.branch_stall_cycles += branch;
+        if branch > 0 {
+            self.replay_commits(from, branch);
+        }
         let rest = n - branch;
         if rest == 0 {
             return;
@@ -448,6 +612,21 @@ impl Core {
             );
             self.mshr_stall_cycles += rest;
         }
+    }
+
+    /// Cycles issue stalled on a full L1 MSHR file.
+    pub const fn mshr_stall_cycles(&self) -> u64 {
+        self.mshr_stall_cycles
+    }
+
+    /// Cycles issue stalled on a full reorder window.
+    pub const fn window_stall_cycles(&self) -> u64 {
+        self.window_stall_cycles
+    }
+
+    /// Cycles fetch stalled refilling after a branch misprediction.
+    pub const fn branch_stall_cycles(&self) -> u64 {
+        self.branch_stall_cycles
     }
 
     /// Outstanding L1 misses.
@@ -677,6 +856,7 @@ mod tests {
     impl Core {
         /// Test helper: force-fill a line as if a prefetch returned.
         fn fill_for_test(&mut self, line: LineAddr) -> Option<CoreRequest> {
+            self.activity_bound.set(None);
             let victim = self.dl1.fill(line, false)?;
             victim
                 .dirty

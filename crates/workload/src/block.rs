@@ -123,6 +123,15 @@ impl InstrBlock {
         self.pos += 1;
         Some(instr)
     }
+
+    /// The µops still buffered, in the order [`take`](InstrBlock::take)
+    /// will hand them out. Consumers that can prove a computation depends
+    /// only on the upcoming µop sequence (e.g. branch-predictor outcomes)
+    /// may precompute it over this slice once per refill instead of once
+    /// per µop.
+    pub fn pending(&self) -> &[Instr] {
+        &self.instrs[self.pos..]
+    }
 }
 
 #[cfg(test)]

@@ -98,6 +98,79 @@ fn fast_forward_matches_tick_by_tick_while_tracing() {
 }
 
 #[test]
+fn partial_quiescence_matches_tick_by_tick_with_mcs_draining() {
+    // The partial-quiescence slice: every core parked on fills while one
+    // or more MCs still drain their queues. Multi-MC aggressive configs
+    // exercise the MC-only tick path (cores replayed via note_skipped,
+    // memory stages run for real) far more than whole-machine jumps.
+    assert_bit_identical(
+        "partial/quad-mc/VH1",
+        &configs::cfg_quad_mc(),
+        "VH1",
+        RunConfig::quick(),
+    );
+    assert_bit_identical(
+        "partial/dual-mc/HM1",
+        &configs::cfg_dual_mc(),
+        "HM1",
+        RunConfig::quick(),
+    );
+}
+
+#[test]
+fn partial_quiescence_matches_tick_by_tick_on_branch_refill_heavy_mix() {
+    // Compute/branch-bound cores spend their idle time fetch-stalled after
+    // mispredicts, often with commits still draining from the window —
+    // the commit-replay case of the slice proof. Fast 3D memory keeps the
+    // fills short so branch stalls dominate the inert windows.
+    assert_bit_identical(
+        "partial/3d-fast/M1",
+        &configs::cfg_3d_fast(),
+        "M1",
+        RunConfig::quick(),
+    );
+    assert_bit_identical(
+        "partial/quad-mc/M2",
+        &configs::cfg_quad_mc(),
+        "M2",
+        RunConfig::quick(),
+    );
+}
+
+#[test]
+fn partial_quiescence_skips_cycles_on_figure6_shaped_configs() {
+    // The figure 6/7 sweeps run aggressive multi-MC machines where
+    // whole-machine quiescence is rare; the MC-only slice is what makes
+    // their skip fraction material. Floors are set conservatively below
+    // measured quick-profile fractions so legitimate model changes don't
+    // trip them, while a partial-quiescence regression (fraction collapses
+    // toward the pre-slice level) still does.
+    for (label, cfg, mix_name, floor) in [
+        (
+            "figure6-shaped/quad-mc/VH1",
+            configs::cfg_quad_mc(),
+            "VH1",
+            0.10,
+        ),
+        (
+            "figure6-shaped/dual-mc/HM1",
+            configs::cfg_dual_mc(),
+            "HM1",
+            0.08,
+        ),
+    ] {
+        let mix = Mix::by_name(mix_name).expect("known mix");
+        let result = run_mix(&cfg, mix, &RunConfig::quick()).expect("run");
+        let skipped = result.stats.get("skipped_cycles").expect("skip counter");
+        let cycles = result.stats.get("cycles").expect("cycles");
+        assert!(
+            skipped > floor * cycles,
+            "{label}: expected skip fraction above {floor}, got {skipped} of {cycles}"
+        );
+    }
+}
+
+#[test]
 fn memory_bound_mixes_skip_most_cycles() {
     // The point of the whole exercise: on a memory-bound mix the machine
     // is quiescent more often than not.
