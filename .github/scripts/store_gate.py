@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Soft cold-vs-warm gate for the result-store CI job.
+
+A warm `reproduce --quick --store` run answers every experiment from the
+durable store, so its wall time should be a small fraction of the cold
+run that populated the store. CI hardware varies run to run, so — like
+wall_gate.py — this is a *soft* gate: a warm run slower than the
+threshold fraction of cold emits a GitHub warning annotation but never
+fails the job. Correctness (the warm run serving bit-identical metrics)
+is gated hard by the `--baseline --tol 0` step, not here.
+
+Usage: store_gate.py <cold-timings.json> <warm-timings.json> [max_fraction]
+"""
+
+import json
+import sys
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(f"usage: {sys.argv[0]} <cold-timings.json> <warm-timings.json> [max_fraction]")
+        return 2
+    max_fraction = float(sys.argv[3]) if len(sys.argv) > 3 else 0.25
+    with open(sys.argv[1]) as f:
+        cold = json.load(f)
+    with open(sys.argv[2]) as f:
+        warm = json.load(f)
+
+    cold_total = cold["total_wall_seconds"]
+    warm_total = warm["total_wall_seconds"]
+    if cold_total <= 0:
+        print(
+            "::warning title=store gate skipped::cold run reported "
+            f"{cold_total}s total wall time; not comparable"
+        )
+        return 0
+    fraction = warm_total / cold_total
+    print(
+        f"store gate: warm {warm_total:.2f}s vs cold {cold_total:.2f}s "
+        f"({fraction * 100:.1f}% of cold, threshold {max_fraction * 100:.0f}%)"
+    )
+    if fraction <= max_fraction:
+        return 0
+
+    print(
+        "::warning title=warm store run slower than expected::warm "
+        f"{warm_total:.2f}s is {fraction * 100:.0f}% of the cold run's "
+        f"{cold_total:.2f}s (threshold {max_fraction * 100:.0f}%) — the "
+        "store may not be serving hits. Timings are in the "
+        "store-cold-warm-timings artifact."
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -30,6 +30,12 @@
 //!   in `<dir>` instead of the built-in constructors (the shipped
 //!   `scenarios/` directory is picked up automatically when present; see
 //!   `docs/SCENARIOS.md`).
+//! * `--store <dir>` — durable result store (created if absent): every
+//!   untraced simulation point is first looked up in `<dir>` and, on a
+//!   miss, persisted after simulating, so a second run — even from a
+//!   fresh process — serves its points from disk instead of
+//!   re-simulating (`docs/STORE.md`). The same directory can back a
+//!   `stacksim-serve` daemon.
 //! * `--scenario <file>` — instead of the experiment registry, run every
 //!   mix on the one machine described by the scenario file and report
 //!   per-mix HMIPC (works with `--out`/`--baseline`/`--quick`).
@@ -386,6 +392,7 @@ struct Options {
     list: bool,
     machines: Option<PathBuf>,
     scenario: Option<PathBuf>,
+    store: Option<PathBuf>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -401,6 +408,7 @@ fn parse_args() -> Result<Options, String> {
         list: false,
         machines: None,
         scenario: None,
+        store: None,
     };
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -453,6 +461,10 @@ fn parse_args() -> Result<Options, String> {
                 let file = args.next().ok_or("--scenario needs a scenario file")?;
                 opts.scenario = Some(PathBuf::from(file));
             }
+            "--store" => {
+                let dir = args.next().ok_or("--store needs a directory")?;
+                opts.store = Some(PathBuf::from(dir));
+            }
             "--list" => opts.list = true,
             other => return Err(format!("unknown option '{other}'")),
         }
@@ -468,7 +480,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!(
                 "usage: reproduce [--only <experiment>]... [--jobs <n>] [--out <dir>] \
                  [--baseline <dir>] [--tol <rel>] [--quick] [--timings <file>] \
-                 [--machines <dir>] [--scenario <file>] [--check-protocol] [--list]"
+                 [--machines <dir>] [--scenario <file>] [--store <dir>] \
+                 [--check-protocol] [--list]"
             );
             std::process::exit(2);
         }
@@ -481,6 +494,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(jobs) = opts.jobs {
         runner::set_default_jobs(jobs);
+    }
+
+    // Durable result store: installed process-wide so every simulation
+    // point first consults `<dir>` and writes through on a miss. Traced
+    // runs (--check-protocol) bypass it — event streams are not persisted.
+    if let Some(dir) = &opts.store {
+        let store = stacksim_store::Store::open(dir).map_err(|e| e.to_string())?;
+        runner::set_result_store(Some(std::sync::Arc::new(store)));
     }
 
     // Machine source: an explicit --machines directory must load; the
@@ -649,6 +670,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         t0.elapsed(),
         runner::memo_len()
     );
+    if opts.store.is_some() {
+        let (hits, misses, simulated) = runner::tier_stats();
+        println!("store: {hits} hit(s), {misses} miss(es), {simulated} simulated");
+    }
     if regression || protocol_violations > 0 {
         std::process::exit(1);
     }

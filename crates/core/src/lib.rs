@@ -48,3 +48,15 @@ pub mod trace;
 
 pub use config::{InterconnectConfig, MemorySystemConfig, MshrSystemConfig, SystemConfig};
 pub use system::System;
+
+/// Version stamp of the simulation code, mixed into every durable result
+/// store key (see `docs/STORE.md`).
+///
+/// The stamp is the crate version plus a simulation revision counter.
+/// **Bump the revision whenever a change alters any simulated number** —
+/// new timing model, different statistics, a changed default — so entries
+/// persisted by older builds miss instead of serving stale metrics.
+/// Pure-speed changes that are gated on bit-identity (the fast-forward
+/// and data-layout work) do not need a bump: their results are
+/// indistinguishable by construction.
+pub const CODE_VERSION: &str = concat!("stacksim/", env!("CARGO_PKG_VERSION"), "+sim1");

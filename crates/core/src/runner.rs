@@ -473,6 +473,94 @@ impl std::hash::Hash for MemoKey {
     }
 }
 
+/// A durable second-tier result cache consulted by [`run_mix_cached`]
+/// after the in-process memo misses and before simulating.
+///
+/// The canonical implementation is `stacksim-store`'s on-disk
+/// content-addressed store (see `docs/STORE.md`); the trait lives here so
+/// the kernel crate depends only on the *shape* of a durable cache, never
+/// on filesystem code. Implementations must be infallible from the
+/// runner's point of view: a corrupt or unreadable entry is a `None`
+/// (recompute), never a panic, and a failed persist must not fail the run.
+pub trait ResultStore: Send + Sync {
+    /// Returns the stored result for this exact `(cfg, mix, run)` point,
+    /// or `None` to make the runner simulate it.
+    fn load(&self, cfg: &SystemConfig, mix: &'static str, run: &RunConfig) -> Option<RunResult>;
+
+    /// Persists a freshly simulated result for later processes.
+    fn store(&self, cfg: &SystemConfig, mix: &'static str, run: &RunConfig, result: &RunResult);
+}
+
+/// The process-wide durable store, if one was installed (tier 2 of the
+/// lookup; tier 1 is the in-process memo).
+static RESULT_STORE: OnceLock<Mutex<Option<Arc<dyn ResultStore>>>> = OnceLock::new();
+
+fn result_store_slot() -> &'static Mutex<Option<Arc<dyn ResultStore>>> {
+    RESULT_STORE.get_or_init(|| Mutex::new(None))
+}
+
+/// Installs (or, with `None`, removes) the process-wide durable result
+/// store. Once installed, every [`run_mix_cached`] miss of the in-process
+/// memo consults the store before simulating, and every fresh simulation
+/// is written through to it.
+///
+/// Traced runs ([`TraceConfig::any`]) bypass the store entirely: event
+/// streams are not persisted, so serving a stored result for a traced
+/// request would silently drop its streams.
+pub fn set_result_store(store: Option<Arc<dyn ResultStore>>) {
+    *result_store_slot().lock().expect("store slot poisoned") = store; // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
+}
+
+fn result_store() -> Option<Arc<dyn ResultStore>> {
+    result_store_slot()
+        .lock()
+        .expect("store slot poisoned") // simlint::allow(P002, reason = "slot mutex poisoning means a worker already panicked; propagating is correct")
+        .clone()
+}
+
+/// Process-wide tier accounting for [`run_mix_cached`] (see
+/// [`tier_stats`]).
+static STORE_HITS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static STORE_MISSES: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+static SIMULATED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// `(store_hits, store_misses, simulated)` totals across every
+/// [`run_mix_cached`] call in this process: points served from the durable
+/// store, points the store was asked for but did not have, and points that
+/// ran the simulator. In-process memo hits touch none of the three. With
+/// no store installed, `store_hits`/`store_misses` stay zero and
+/// `simulated` still counts fresh runs.
+pub fn tier_stats() -> (u64, u64, u64) {
+    (
+        STORE_HITS.load(Ordering::Relaxed),
+        STORE_MISSES.load(Ordering::Relaxed),
+        SIMULATED.load(Ordering::Relaxed),
+    )
+}
+
+/// Where [`run_mix_cached_with_source`] found a result.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RunSource {
+    /// Served by the in-process memo (including waiting on another thread
+    /// that was already computing the same point).
+    Memo,
+    /// Loaded from the installed durable [`ResultStore`].
+    Store,
+    /// Freshly simulated by this call.
+    Simulated,
+}
+
+impl RunSource {
+    /// Lower-case label used in logs and the `stacksim-serve` event stream.
+    pub const fn label(self) -> &'static str {
+        match self {
+            RunSource::Memo => "memo",
+            RunSource::Store => "store",
+            RunSource::Simulated => "computed",
+        }
+    }
+}
+
 /// Per-key cell: concurrent callers of the same point block on one cell
 /// while the first caller simulates, instead of duplicating the run.
 type MemoCell = Arc<OnceLock<Result<Arc<RunResult>, ConfigError>>>;
@@ -532,14 +620,63 @@ pub fn run_mix_cached(
     mix: &'static Mix,
     run: &RunConfig,
 ) -> Result<Arc<RunResult>, ConfigError> {
+    run_mix_cached_with_source(cfg, mix, run).map(|(result, _)| result)
+}
+
+/// [`run_mix_cached`] plus the provenance of the returned result: memo
+/// hit, durable-store hit, or fresh simulation. The `stacksim-serve`
+/// daemon streams this per point; plain callers use [`run_mix_cached`].
+///
+/// # Errors
+///
+/// Returns [`ConfigError`] if the configuration is inconsistent (also
+/// memoized: a bad point is validated once).
+#[must_use = "the run's results or the reason the configuration is invalid"]
+pub fn run_mix_cached_with_source(
+    cfg: &SystemConfig,
+    mix: &'static Mix,
+    run: &RunConfig,
+) -> Result<(Arc<RunResult>, RunSource), ConfigError> {
     let cell = {
         let mut map = memo().lock().expect("memo poisoned"); // simlint::allow(P002, reason = "memo mutex poisoning means a worker already panicked; propagating is correct")
         map.entry(MemoKey::new(cfg, mix.name, run))
             .or_default()
             .clone()
     };
-    cell.get_or_init(|| run_mix(cfg, mix, run).map(Arc::new))
-        .clone()
+    // If the closure runs, this cell is ours to fill: tier 2 (durable
+    // store), then the simulator. Otherwise the point was already memoized
+    // (or another thread is computing it and get_or_init waits) — a memo
+    // hit either way.
+    let source = std::cell::Cell::new(RunSource::Memo);
+    let result = cell
+        .get_or_init(|| {
+            // Traced runs bypass the store: event streams are not
+            // persisted, so a stored result could not honor the request.
+            let store = if run.trace.any() {
+                None
+            } else {
+                result_store()
+            };
+            if let Some(store) = &store {
+                if let Some(stored) = store.load(cfg, mix.name, run) {
+                    STORE_HITS.fetch_add(1, Ordering::Relaxed);
+                    source.set(RunSource::Store);
+                    return Ok(Arc::new(stored));
+                }
+                STORE_MISSES.fetch_add(1, Ordering::Relaxed);
+            }
+            let result = run_mix(cfg, mix, run).map(Arc::new);
+            if let Ok(result) = &result {
+                SIMULATED.fetch_add(1, Ordering::Relaxed);
+                source.set(RunSource::Simulated);
+                if let Some(store) = &store {
+                    store.store(cfg, mix.name, run, result);
+                }
+            }
+            result
+        })
+        .clone()?;
+    Ok((result, source.get()))
 }
 
 #[cfg(test)]

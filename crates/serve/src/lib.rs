@@ -1,0 +1,648 @@
+//! The `stacksim-serve` daemon: scenario-space queries over HTTP/1.1,
+//! answered from the two-tier result cache.
+//!
+//! The daemon wraps the existing parallel runner and the durable
+//! [`stacksim_store::Store`] behind a small, hand-rolled HTTP/1.1 server
+//! (`std::net::TcpListener`, zero external dependencies — the same
+//! no-parser-deps style as the repo's JSON module). A query names a
+//! machine (inline scenario document, preloaded scenario name, or
+//! scenario hash), a batch of mixes and a run window; the daemon
+//! schedules only the cache-missing points across the
+//! [`ParallelRunner`](stacksim::runner::ParallelRunner) workers, streams
+//! one progress event per point as it completes (chunked transfer
+//! encoding), and finishes with the full metric trees. Results computed
+//! for one client are served to every later one — and, through the
+//! store, to every later *process* — as a lookup.
+//!
+//! Endpoints, the query schema and a worked `curl` example are
+//! documented in `docs/STORE.md`; `tests/serve.rs` drives a live daemon
+//! end to end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+
+use stacksim::runner::{self, parallel_map, RunConfig, RunPoint, RunResult, RunSource};
+use stacksim::scenario::{Machines, Scenario, ScenarioHash, MACHINE_FILES};
+use stacksim::SystemConfig;
+use stacksim_stats::Json;
+use stacksim_store::Store;
+use stacksim_workload::Mix;
+
+/// Schema marker of the final `result` event of a `/query` response.
+pub const RESULT_SCHEMA: &str = "stacksim-serve-result/1";
+
+/// Schema marker of the `/stats` document.
+pub const STATS_SCHEMA: &str = "stacksim-serve-stats/1";
+
+/// Everything the connection threads share: the machine registry, the
+/// optional durable store handle (for `/stats`; the runner holds its own
+/// reference), the worker count, and request accounting.
+pub struct ServerState {
+    machines: Vec<(String, SystemConfig)>,
+    store: Option<Arc<Store>>,
+    jobs: usize,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    points: AtomicU64,
+}
+
+impl ServerState {
+    /// Builds the state: the six built-in machines under their canonical
+    /// names, plus every scenario file of `extra_dir` (if given) under
+    /// its scenario name.
+    ///
+    /// # Errors
+    ///
+    /// Returns the scenario error message if `extra_dir` is given but a
+    /// file in it fails to parse.
+    pub fn new(
+        extra_dir: Option<&std::path::Path>,
+        store: Option<Arc<Store>>,
+        jobs: usize,
+    ) -> Result<ServerState, String> {
+        let builtin = Machines::builtin();
+        let mut machines: Vec<(String, SystemConfig)> = MACHINE_FILES
+            .iter()
+            .zip([
+                &builtin.m2d,
+                &builtin.m3d,
+                &builtin.m3d_wide,
+                &builtin.m3d_fast,
+                &builtin.dual_mc,
+                &builtin.quad_mc,
+            ])
+            .map(|(file, cfg)| {
+                let name = file.trim_end_matches(".json").to_string();
+                (name, cfg.clone())
+            })
+            .collect();
+        if let Some(dir) = extra_dir {
+            let entries = std::fs::read_dir(dir)
+                .map_err(|e| format!("machines directory {}: {e}", dir.display()))?;
+            let mut files: Vec<std::path::PathBuf> = entries
+                .flatten()
+                .map(|e| e.path())
+                .filter(|p| p.extension().is_some_and(|e| e == "json"))
+                .collect();
+            files.sort();
+            for path in files {
+                let scenario = Scenario::from_path(&path).map_err(|e| e.to_string())?;
+                machines.retain(|(name, _)| *name != scenario.name);
+                machines.push((scenario.name, scenario.config));
+            }
+        }
+        Ok(ServerState {
+            machines,
+            store,
+            jobs,
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            points: AtomicU64::new(0),
+        })
+    }
+
+    /// The preloaded machine names, for error messages and `/stats`.
+    pub fn machine_names(&self) -> Vec<&str> {
+        self.machines.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    fn machine_by_name(&self, name: &str) -> Option<&SystemConfig> {
+        self.machines
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, cfg)| cfg)
+    }
+
+    fn machine_by_hash(&self, hash: &str) -> Option<&SystemConfig> {
+        self.machines
+            .iter()
+            .find(|(_, cfg)| ScenarioHash::of(cfg).to_string() == hash)
+            .map(|(_, cfg)| cfg)
+    }
+}
+
+/// A parsed HTTP/1.1 request: the request line plus a `Content-Length`
+/// body (the only body framing the daemon accepts).
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request target path, query string included.
+    pub path: String,
+    /// Body bytes (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+/// Reads one request off a buffered stream.
+///
+/// # Errors
+///
+/// Returns a message describing the framing problem (malformed request
+/// line, unreadable headers, short body).
+pub fn read_request(reader: &mut BufReader<TcpStream>) -> Result<Request, String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let (Some(method), Some(path)) = (parts.next(), parts.next()) else {
+        return Err(format!("malformed request line {line:?}"));
+    };
+    let (method, path) = (method.to_string(), path.to_string());
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        reader
+            .read_line(&mut header)
+            .map_err(|e| format!("header line: {e}"))?;
+        let header = header.trim_end();
+        if header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {value:?}"))?;
+            }
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .map_err(|e| format!("body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+fn write_plain_response(
+    stream: &mut TcpStream,
+    status: &str,
+    content_type: &str,
+    body: &str,
+) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 {status}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )?;
+    stream.flush()
+}
+
+/// Writes one chunk of a chunked-transfer response.
+fn write_chunk(stream: &mut TcpStream, data: &str) -> std::io::Result<()> {
+    write!(stream, "{:x}\r\n{data}\r\n", data.len())?;
+    stream.flush()
+}
+
+/// A validated `/query`: the machine, the mixes to run on it, and the
+/// window.
+#[derive(Debug)]
+pub struct Query {
+    /// The machine to simulate.
+    pub config: SystemConfig,
+    /// Human-facing machine label echoed in the result event.
+    pub machine_label: String,
+    /// The batch of mixes.
+    pub mixes: Vec<&'static Mix>,
+    /// The run window (tracing always off; the store cannot serve traced
+    /// runs).
+    pub run: RunConfig,
+}
+
+impl Query {
+    /// Parses and validates a `/query` body against the machine registry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a client-facing message for malformed JSON, an unknown
+    /// machine or mix, or a bad window.
+    pub fn parse(state: &ServerState, body: &[u8]) -> Result<Query, String> {
+        let text = std::str::from_utf8(body).map_err(|_| "query body is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("query body: {e}"))?;
+
+        let (config, machine_label) =
+            match (doc.get("scenario"), doc.get("machine"), doc.get("hash")) {
+                (Some(inline), None, None) => {
+                    // Re-serialize the inline subdocument and run it through
+                    // the ordinary scenario front end: same schema checks,
+                    // same error texts.
+                    let scenario =
+                        Scenario::from_str(&inline.to_string()).map_err(|e| e.to_string())?;
+                    (scenario.config, scenario.name)
+                }
+                (None, Some(name), None) => {
+                    let name = name
+                        .as_str()
+                        .ok_or("query 'machine' must be a string".to_string())?;
+                    let cfg = state.machine_by_name(name).ok_or_else(|| {
+                        format!(
+                            "unknown machine '{name}' (known: {})",
+                            state.machine_names().join(", ")
+                        )
+                    })?;
+                    (cfg.clone(), name.to_string())
+                }
+                (None, None, Some(hash)) => {
+                    let hash = hash
+                        .as_str()
+                        .ok_or("query 'hash' must be a string".to_string())?;
+                    let cfg = state
+                        .machine_by_hash(hash)
+                        .ok_or_else(|| format!("no preloaded machine has scenario hash {hash}"))?;
+                    (cfg.clone(), hash.to_string())
+                }
+                _ => {
+                    return Err(
+                        "query must name its machine with exactly one of 'scenario' (inline \
+                     document), 'machine' (preloaded name) or 'hash' (scenario hash)"
+                            .to_string(),
+                    )
+                }
+            };
+
+        let mixes = doc
+            .get("mixes")
+            .and_then(Json::as_arr)
+            .ok_or("query 'mixes' missing or not an array")?;
+        if mixes.is_empty() {
+            return Err("query 'mixes' is empty".to_string());
+        }
+        let mixes = mixes
+            .iter()
+            .map(|m| {
+                let name = m.as_str().ok_or("query 'mixes' entry is not a string")?;
+                Mix::by_name(name).ok_or_else(|| format!("unknown mix '{name}'"))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+
+        let mut run = RunConfig::quick();
+        if let Some(window) = doc.get("window") {
+            let field = |key: &str, default: u64| -> Result<u64, String> {
+                match window.get(key) {
+                    None => Ok(default),
+                    Some(v) => parse_u64(v).ok_or_else(|| {
+                        format!("window '{key}' must be a non-negative integer or hex string")
+                    }),
+                }
+            };
+            run.warmup_cycles = field("warmup_cycles", run.warmup_cycles)?;
+            run.measure_cycles = field("measure_cycles", run.measure_cycles)?;
+            run.seed = field("seed", run.seed)?;
+            if run.measure_cycles == 0 {
+                return Err("window 'measure_cycles' must be positive".to_string());
+            }
+        }
+        Ok(Query {
+            config,
+            machine_label,
+            mixes,
+            run,
+        })
+    }
+}
+
+/// Accepts a JSON number or a `0x`-prefixed hex string (64-bit seeds do
+/// not survive the JSON number grammar losslessly).
+fn parse_u64(v: &Json) -> Option<u64> {
+    if let Some(n) = v.as_f64() {
+        return (n >= 0.0 && n.fract() == 0.0 && n < 9.0e15).then_some(n as u64);
+    }
+    let s = v.as_str()?;
+    if let Some(hex) = s.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+/// One `/query` point's result serialized for the final `result` event.
+fn point_json(mix: &str, result: &RunResult) -> Json {
+    Json::Obj(vec![
+        ("mix".into(), Json::Str(mix.to_string())),
+        ("hmipc".into(), Json::Num(result.hmipc)),
+        (
+            "per_core_ipc".into(),
+            Json::Arr(result.per_core_ipc.iter().map(|&v| Json::Num(v)).collect()),
+        ),
+        (
+            "committed".into(),
+            Json::Arr(
+                result
+                    .committed
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+        ("metrics".into(), result.stats.to_json()),
+    ])
+}
+
+/// Handles one connection: parse, route, respond, close.
+pub fn handle_connection(stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(std::time::Duration::from_secs(30)));
+    let mut reader = BufReader::new(match stream.try_clone() {
+        Ok(s) => s,
+        Err(_) => return,
+    });
+    let mut stream = stream;
+    let request = match read_request(&mut reader) {
+        Ok(r) => r,
+        Err(e) => {
+            let _ = write_plain_response(
+                &mut stream,
+                "400 Bad Request",
+                "text/plain",
+                &format!("{e}\n"),
+            );
+            return;
+        }
+    };
+    state.requests.fetch_add(1, Ordering::Relaxed);
+    match (request.method.as_str(), request.path.as_str()) {
+        ("GET", "/healthz") => {
+            let _ = write_plain_response(&mut stream, "200 OK", "text/plain", "ok\n");
+        }
+        ("GET", "/stats") => {
+            let _ = write_plain_response(
+                &mut stream,
+                "200 OK",
+                "application/json",
+                &(stats_json(state).pretty()),
+            );
+        }
+        ("POST", "/query") => match Query::parse(state, &request.body) {
+            Ok(query) => {
+                state.queries.fetch_add(1, Ordering::Relaxed);
+                state
+                    .points
+                    .fetch_add(query.mixes.len() as u64, Ordering::Relaxed);
+                let _ = stream_query(&mut stream, state, &query);
+            }
+            Err(e) => {
+                let _ = write_plain_response(
+                    &mut stream,
+                    "400 Bad Request",
+                    "text/plain",
+                    &format!("{e}\n"),
+                );
+            }
+        },
+        _ => {
+            let _ = write_plain_response(
+                &mut stream,
+                "404 Not Found",
+                "text/plain",
+                "known endpoints: GET /healthz, GET /stats, POST /query\n",
+            );
+        }
+    }
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// The `/stats` document: runner tier counters, memo size, request
+/// accounting, and (when a store is attached) the store's own counters.
+fn stats_json(state: &ServerState) -> Json {
+    let (store_hits, store_misses, simulated) = runner::tier_stats();
+    let mut members = vec![
+        ("schema".into(), Json::Str(STATS_SCHEMA.into())),
+        (
+            "requests".into(),
+            Json::Num(state.requests.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "queries".into(),
+            Json::Num(state.queries.load(Ordering::Relaxed) as f64),
+        ),
+        (
+            "points".into(),
+            Json::Num(state.points.load(Ordering::Relaxed) as f64),
+        ),
+        ("store_hits".into(), Json::Num(store_hits as f64)),
+        ("store_misses".into(), Json::Num(store_misses as f64)),
+        ("simulated".into(), Json::Num(simulated as f64)),
+        ("memo_len".into(), Json::Num(runner::memo_len() as f64)),
+        (
+            "machines".into(),
+            Json::Arr(
+                state
+                    .machines
+                    .iter()
+                    .map(|(n, _)| Json::Str(n.clone()))
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(store) = &state.store {
+        let s = store.stats();
+        members.push((
+            "store".into(),
+            Json::Obj(vec![
+                (
+                    "entries".into(),
+                    Json::Num(store.len().map_or(-1.0, |n| n as f64)),
+                ),
+                ("load_hits".into(), Json::Num(s.load_hits as f64)),
+                ("load_misses".into(), Json::Num(s.load_misses as f64)),
+                ("writes".into(), Json::Num(s.writes as f64)),
+                ("quarantined".into(), Json::Num(s.quarantined as f64)),
+                ("evicted".into(), Json::Num(s.evicted as f64)),
+            ]),
+        ));
+    }
+    Json::Obj(members)
+}
+
+/// Streams a query's answer: HTTP headers, then one chunked ndjson
+/// `point` event per completed point (in completion order), then the
+/// final `result` event with every metric tree (in request order), then
+/// the terminating chunk.
+fn stream_query(stream: &mut TcpStream, state: &ServerState, query: &Query) -> std::io::Result<()> {
+    write!(
+        stream,
+        "HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nTransfer-Encoding: chunked\r\nConnection: close\r\n\r\n"
+    )?;
+    stream.flush()?;
+
+    let points: Vec<RunPoint> = query
+        .mixes
+        .iter()
+        .map(|&mix| (query.config.clone(), mix, query.run))
+        .collect();
+    let total = points.len();
+
+    // Workers drain the batch through the memoizing runner (cache-missing
+    // points simulate, everything else is a lookup) and report each
+    // completed point through the channel; this thread streams events in
+    // completion order while the batch is still running.
+    let (tx, rx) = mpsc::channel();
+    let jobs = state.jobs;
+    let mut io_error: Option<std::io::Error> = None;
+    let results = std::thread::scope(|scope| {
+        let handle = scope.spawn(|| {
+            parallel_map(jobs, &points, |(cfg, mix, run)| {
+                let outcome = runner::run_mix_cached_with_source(cfg, mix, run);
+                let event = match &outcome {
+                    Ok((result, source)) => (mix.name, source.label(), Ok(result.hmipc)),
+                    Err(e) => (mix.name, "error", Err(e.to_string())),
+                };
+                let _ = tx.send(event);
+                outcome
+            })
+        });
+        let mut done = 0usize;
+        // The sender lives in the worker closure; every completed point
+        // yields exactly one event, so read exactly `total`. A client
+        // that hung up stops the event stream but not the batch — the
+        // computed results still land in the memo and the store.
+        while done < total {
+            let Ok((mix, source, outcome)) = rx.recv() else {
+                break;
+            };
+            done += 1;
+            if io_error.is_some() {
+                continue;
+            }
+            let mut members = vec![
+                ("event".into(), Json::Str("point".into())),
+                ("mix".into(), Json::Str(mix.into())),
+                ("source".into(), Json::Str(source.into())),
+                ("done".into(), Json::Num(done as f64)),
+                ("total".into(), Json::Num(total as f64)),
+            ];
+            match outcome {
+                Ok(hmipc) => members.push(("hmipc".into(), Json::Num(hmipc))),
+                Err(e) => members.push(("error".into(), Json::Str(e))),
+            }
+            let line = format!("{}\n", Json::Obj(members));
+            if let Err(e) = write_chunk(stream, &line) {
+                io_error = Some(e);
+            }
+        }
+        handle.join().unwrap_or_default()
+    });
+    if let Some(e) = io_error {
+        return Err(e);
+    }
+
+    let mut point_results = Vec::with_capacity(total);
+    let mut errors = Vec::new();
+    for (mix, outcome) in query.mixes.iter().zip(results) {
+        match outcome {
+            Ok((result, _)) => point_results.push(point_json(mix.name, &result)),
+            Err(e) => errors.push(Json::Obj(vec![
+                ("mix".into(), Json::Str(mix.name.into())),
+                ("error".into(), Json::Str(e.to_string())),
+            ])),
+        }
+    }
+    let mut members = vec![
+        ("event".into(), Json::Str("result".into())),
+        ("schema".into(), Json::Str(RESULT_SCHEMA.into())),
+        ("machine".into(), Json::Str(query.machine_label.clone())),
+        (
+            "scenario_hash".into(),
+            Json::Str(ScenarioHash::of(&query.config).to_string()),
+        ),
+        (
+            "window".into(),
+            Json::Obj(vec![
+                (
+                    "warmup_cycles".into(),
+                    Json::Num(query.run.warmup_cycles as f64),
+                ),
+                (
+                    "measure_cycles".into(),
+                    Json::Num(query.run.measure_cycles as f64),
+                ),
+                ("seed".into(), Json::Str(format!("{:#x}", query.run.seed))),
+            ]),
+        ),
+        ("results".into(), Json::Arr(point_results)),
+    ];
+    if !errors.is_empty() {
+        members.push(("errors".into(), Json::Arr(errors)));
+    }
+    let line = format!("{}\n", Json::Obj(members));
+    write_chunk(stream, &line)?;
+    // Terminating chunk.
+    write!(stream, "0\r\n\r\n")?;
+    stream.flush()
+}
+
+/// Keeps `RunSource` referenced from the library surface (the daemon's
+/// event labels are its `label()` strings).
+pub fn source_labels() -> [&'static str; 3] {
+    [
+        RunSource::Memo.label(),
+        RunSource::Store.label(),
+        RunSource::Simulated.label(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn state() -> ServerState {
+        ServerState::new(None, None, 1).unwrap()
+    }
+
+    #[test]
+    fn query_parses_machine_name_and_window() {
+        let body = br#"{"machine": "2d", "mixes": ["M1", "VH1"],
+                        "window": {"warmup_cycles": 1000, "measure_cycles": 5000, "seed": "0xBEEF"}}"#;
+        let q = Query::parse(&state(), body).unwrap();
+        assert_eq!(q.machine_label, "2d");
+        assert_eq!(q.mixes.len(), 2);
+        assert_eq!(q.run.warmup_cycles, 1000);
+        assert_eq!(q.run.measure_cycles, 5000);
+        assert_eq!(q.run.seed, 0xBEEF);
+        assert!(!q.run.trace.any());
+    }
+
+    #[test]
+    fn query_rejects_unknown_names_and_shapes() {
+        let s = state();
+        for (body, needle) in [
+            (&br#"{"mixes": ["M1"]}"#[..], "exactly one of"),
+            (&br#"{"machine": "2d"}"#[..], "mixes"),
+            (&br#"{"machine": "2d", "mixes": []}"#[..], "empty"),
+            (
+                &br#"{"machine": "nope", "mixes": ["M1"]}"#[..],
+                "unknown machine",
+            ),
+            (
+                &br#"{"machine": "2d", "mixes": ["nope"]}"#[..],
+                "unknown mix",
+            ),
+            (b"not json", "query body"),
+        ] {
+            let err = Query::parse(&s, body).unwrap_err();
+            assert!(err.contains(needle), "{err:?} should contain {needle:?}");
+        }
+    }
+
+    #[test]
+    fn query_accepts_scenario_hash_of_preloaded_machine() {
+        let s = state();
+        let hash = ScenarioHash::of(&stacksim::configs::cfg_3d()).to_string();
+        let body = format!(r#"{{"hash": "{hash}", "mixes": ["M1"]}}"#);
+        let q = Query::parse(&s, body.as_bytes()).unwrap();
+        assert_eq!(q.machine_label, hash);
+        assert_eq!(q.config, stacksim::configs::cfg_3d());
+    }
+
+    #[test]
+    fn stats_document_is_well_formed() {
+        let doc = stats_json(&state());
+        assert_eq!(doc.get("schema").and_then(Json::as_str), Some(STATS_SCHEMA));
+        assert!(doc.get("simulated").and_then(Json::as_f64).is_some());
+        assert_eq!(source_labels(), ["memo", "store", "computed"]);
+    }
+}

@@ -1,0 +1,158 @@
+//! `stacksim-serve` — the simulation-as-a-service daemon.
+//!
+//! ```sh
+//! cargo run -p stacksim-serve --release --bin stacksim-serve -- [OPTIONS]
+//! ```
+//!
+//! Options:
+//!
+//! * `--addr <ip:port>` — bind address (default `127.0.0.1:7878`; port
+//!   `0` picks an ephemeral port). The actual bound address is printed
+//!   on stdout as `stacksim-serve listening on <addr>`.
+//! * `--store <dir>` — durable result store directory (created if
+//!   absent). Without it the daemon still memoizes in-process, but
+//!   results die with it.
+//! * `--store-max-entries <n>` — bound the store to `n` envelopes,
+//!   evicting oldest-first.
+//! * `--machines <dir>` — preload every scenario file in `<dir>` so
+//!   queries can name machines (`"machine": "16core-dual-stack"`) or
+//!   address them by scenario hash; the shipped `scenarios/` directory
+//!   is picked up automatically when present. The six built-in machines
+//!   are always available.
+//! * `--jobs <n>` — worker threads per query batch (default: all cores).
+//!
+//! Endpoints (`docs/STORE.md` has the full schema and a `curl` example):
+//! `POST /query`, `GET /stats`, `GET /healthz`.
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stacksim::runner;
+use stacksim_serve::{handle_connection, ServerState};
+use stacksim_store::Store;
+
+struct Options {
+    addr: String,
+    store: Option<PathBuf>,
+    store_max_entries: Option<usize>,
+    machines: Option<PathBuf>,
+    jobs: usize,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut opts = Options {
+        addr: "127.0.0.1:7878".to_string(),
+        store: None,
+        store_max_entries: None,
+        machines: None,
+        jobs: runner::default_jobs(),
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => opts.addr = args.next().ok_or("--addr needs an ip:port")?,
+            "--store" => {
+                opts.store = Some(PathBuf::from(
+                    args.next().ok_or("--store needs a directory")?,
+                ));
+            }
+            "--store-max-entries" => {
+                let n = args.next().ok_or("--store-max-entries needs a count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--store-max-entries: '{n}' is not a number"))?;
+                opts.store_max_entries = Some(n);
+            }
+            "--machines" => {
+                opts.machines = Some(PathBuf::from(
+                    args.next().ok_or("--machines needs a scenario directory")?,
+                ));
+            }
+            "--jobs" => {
+                let n = args.next().ok_or("--jobs needs a thread count")?;
+                let n: usize = n
+                    .parse()
+                    .map_err(|_| format!("--jobs: '{n}' is not a number"))?;
+                if n == 0 {
+                    return Err("--jobs must be positive".to_string());
+                }
+                opts.jobs = n;
+            }
+            other => return Err(format!("unknown option '{other}'")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("stacksim-serve: {e}");
+            eprintln!(
+                "usage: stacksim-serve [--addr <ip:port>] [--store <dir>] \
+                 [--store-max-entries <n>] [--machines <dir>] [--jobs <n>]"
+            );
+            std::process::exit(2);
+        }
+    };
+
+    let store = match &opts.store {
+        Some(dir) => match Store::open(dir) {
+            Ok(store) => Some(Arc::new(store.with_max_entries(opts.store_max_entries))),
+            Err(e) => {
+                eprintln!("stacksim-serve: {e}");
+                std::process::exit(1);
+            }
+        },
+        None => None,
+    };
+    if let Some(store) = &store {
+        runner::set_result_store(Some(store.clone()));
+    }
+
+    // Machine registry: explicit --machines, else the shipped scenarios/
+    // directory when present (same auto-detection as `reproduce`).
+    let machines_dir = opts.machines.clone().or_else(|| {
+        let shipped = PathBuf::from("scenarios");
+        shipped.is_dir().then_some(shipped)
+    });
+    let state = match ServerState::new(machines_dir.as_deref(), store, opts.jobs) {
+        Ok(state) => Arc::new(state),
+        Err(e) => {
+            eprintln!("stacksim-serve: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let listener = match TcpListener::bind(&opts.addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("stacksim-serve: bind {}: {e}", opts.addr);
+            std::process::exit(1);
+        }
+    };
+    match listener.local_addr() {
+        Ok(addr) => println!("stacksim-serve listening on {addr}"),
+        Err(_) => println!("stacksim-serve listening on {}", opts.addr),
+    }
+    eprintln!(
+        "machines: {} | store: {} | jobs: {}",
+        state.machine_names().join(", "),
+        opts.store
+            .as_deref()
+            .map_or("(none)".to_string(), |d| d.display().to_string()),
+        opts.jobs
+    );
+
+    for stream in listener.incoming() {
+        match stream {
+            Ok(stream) => {
+                let state = state.clone();
+                std::thread::spawn(move || handle_connection(stream, &state));
+            }
+            Err(e) => eprintln!("stacksim-serve: accept: {e}"),
+        }
+    }
+}

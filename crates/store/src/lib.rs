@@ -1,0 +1,648 @@
+//! The durable, content-addressed result store behind the runner's
+//! two-tier lookup.
+//!
+//! A [`Store`] is a directory of self-describing JSON envelopes
+//! (`stacksim-store/1`), one per simulated `(machine, mix, window)`
+//! point, keyed by an FNV-1a/64 content hash of the machine's
+//! [`ScenarioHash`], the mix name, the run window and a code-version
+//! stamp ([`stacksim::CODE_VERSION`]). Installed into the runner with
+//! [`stacksim::runner::set_result_store`], it turns every re-run of an
+//! already-simulated point — in *any* later process — into a file read.
+//!
+//! The trust story is layered:
+//!
+//! * **Atomic writes** — an envelope is written to a temp file and
+//!   `rename`d into place, so readers never observe a torn entry.
+//! * **Per-entry checksums** — the payload carries an FNV-1a/64 checksum;
+//!   any entry that fails to parse, fails its checksum, or carries a
+//!   stale schema or mismatched identity is **quarantined** (moved to
+//!   `quarantine/`) and reported as a miss, never served.
+//! * **Code-version keys** — results from a build whose simulated
+//!   numbers differ simply miss, because the stamp is part of the key.
+//!
+//! `docs/STORE.md` documents the envelope schema, the key derivation and
+//! the quarantine contract; `tests/store.rs` and `tests/store_fault.rs`
+//! enforce them.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use std::sync::Arc;
+//! use stacksim::runner::{self, run_mix_cached, RunConfig};
+//! use stacksim_store::Store;
+//! use stacksim_workload::Mix;
+//!
+//! let store = Arc::new(Store::open("results-store").unwrap());
+//! runner::set_result_store(Some(store));
+//! // First process: simulates and persists. Every later process: file read.
+//! let r = run_mix_cached(
+//!     &stacksim::configs::cfg_2d(),
+//!     Mix::by_name("VH1").unwrap(),
+//!     &RunConfig::quick(),
+//! )
+//! .unwrap();
+//! println!("VH1 HMIPC {:.3}", r.hmipc);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use core::fmt;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use stacksim::runner::{ResultStore, RunConfig, RunResult};
+use stacksim::scenario::ScenarioHash;
+use stacksim::SystemConfig;
+use stacksim_stats::{Json, MetricsSink};
+
+/// Schema marker written into (and required of) every envelope. Entries
+/// carrying any other marker — including earlier majors like
+/// `stacksim-store/0` — are quarantined on load.
+pub const ENVELOPE_SCHEMA: &str = "stacksim-store/1";
+
+/// The content-addressed key of one stored result: FNV-1a/64 over the
+/// scenario hash, the mix name, the run window (warmup, measure, seed,
+/// fast-forward flag) and the code-version stamp. The key doubles as the
+/// entry's file name (`entries/<016x>.json`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct StoreKey(u64);
+
+impl StoreKey {
+    /// Derives the key for one `(machine, mix, window)` point under the
+    /// given code-version stamp.
+    ///
+    /// The digest is FNV-1a/64 over a canonical `|`-separated string of
+    /// the identity fields (documented in `docs/STORE.md`), so the key is
+    /// stable across processes, platforms and std-hasher changes.
+    pub fn derive(cfg: &SystemConfig, mix: &str, run: &RunConfig, code_version: &str) -> StoreKey {
+        let identity = format!(
+            "{}|{}|{}|{}|{:#x}|{}|{}",
+            ScenarioHash::of(cfg),
+            mix,
+            run.warmup_cycles,
+            run.measure_cycles,
+            run.seed,
+            run.fast_forward,
+            code_version,
+        );
+        StoreKey(fnv1a_64(identity.as_bytes()))
+    }
+
+    /// The raw 64-bit digest.
+    pub const fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for StoreKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+/// FNV-1a/64 over a byte string — the same construction `ScenarioHash`
+/// uses, reimplemented here over raw bytes for key and checksum digests.
+fn fnv1a_64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// A filesystem failure while opening or writing the store. Read-side
+/// corruption is *not* an error — corrupt entries are quarantined and
+/// reported as misses.
+#[derive(Debug)]
+pub struct StoreError {
+    /// The path involved.
+    pub path: PathBuf,
+    /// The underlying I/O failure.
+    pub source: io::Error,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "store: {}: {}", self.path.display(), self.source)
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Why an entry was quarantined (also the tag in the quarantined file's
+/// name: `quarantine/<key>.<reason>.json`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum QuarantineReason {
+    /// The file was not valid JSON (torn write, truncation, garbage).
+    Unparseable,
+    /// The schema marker was missing or not [`ENVELOPE_SCHEMA`].
+    Schema,
+    /// The payload checksum did not match the stored checksum.
+    Checksum,
+    /// The envelope's identity (key or mix) did not match the request —
+    /// a hash collision or a hand-moved file.
+    Identity,
+    /// The checksummed payload did not decode into a result (shape drift).
+    Payload,
+}
+
+impl QuarantineReason {
+    /// Short slug used in quarantined file names.
+    pub const fn slug(self) -> &'static str {
+        match self {
+            QuarantineReason::Unparseable => "unparseable",
+            QuarantineReason::Schema => "schema",
+            QuarantineReason::Checksum => "checksum",
+            QuarantineReason::Identity => "identity",
+            QuarantineReason::Payload => "payload",
+        }
+    }
+}
+
+/// Cumulative counters of one [`Store`] handle (process-local; the
+/// on-disk entry count is [`Store::len`]).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StoreStats {
+    /// Loads that found and served a valid entry.
+    pub load_hits: u64,
+    /// Loads that found nothing (including entries quarantined on read).
+    pub load_misses: u64,
+    /// Envelopes written.
+    pub writes: u64,
+    /// Entries quarantined after failing validation.
+    pub quarantined: u64,
+    /// Entries evicted to respect the capacity bound.
+    pub evicted: u64,
+}
+
+/// A durable on-disk result store: `entries/` holds the live envelopes,
+/// `quarantine/` the entries that failed validation, `tmp/` the staging
+/// files of in-flight atomic writes.
+///
+/// All methods take `&self`; a `Store` wrapped in an `Arc` is safe to
+/// share across the runner's worker threads and the serve daemon's
+/// connection threads.
+pub struct Store {
+    root: PathBuf,
+    code_version: String,
+    max_entries: Option<usize>,
+    next_seq: AtomicU64,
+    load_hits: AtomicU64,
+    load_misses: AtomicU64,
+    writes: AtomicU64,
+    quarantined: AtomicU64,
+    evicted: AtomicU64,
+}
+
+impl Store {
+    /// Opens (creating if absent) a store rooted at `root`, stamped with
+    /// the running build's [`stacksim::CODE_VERSION`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the directory layout cannot be created
+    /// or listed.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Store, StoreError> {
+        let root = root.into();
+        for sub in ["entries", "quarantine", "tmp"] {
+            let dir = root.join(sub);
+            fs::create_dir_all(&dir).map_err(|e| StoreError {
+                path: dir.clone(),
+                source: e,
+            })?;
+        }
+        let store = Store {
+            root,
+            code_version: stacksim::CODE_VERSION.to_string(),
+            max_entries: None,
+            next_seq: AtomicU64::new(1),
+            load_hits: AtomicU64::new(0),
+            load_misses: AtomicU64::new(0),
+            writes: AtomicU64::new(0),
+            quarantined: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+        };
+        let max_seq = store
+            .list_entries()?
+            .into_iter()
+            .map(|(seq, _)| seq)
+            .max()
+            .unwrap_or(0);
+        store.next_seq.store(max_seq + 1, Ordering::Relaxed);
+        Ok(store)
+    }
+
+    /// This store keyed under a different code-version stamp. Results
+    /// saved under one stamp miss under any other — the sensitivity the
+    /// key tests pin down, and the mechanism that retires entries from
+    /// builds whose simulated numbers changed.
+    pub fn with_code_version(mut self, code_version: impl Into<String>) -> Store {
+        self.code_version = code_version.into();
+        self
+    }
+
+    /// This store bounded to at most `max_entries` live envelopes. Each
+    /// save past the bound evicts the oldest entries (lowest write
+    /// sequence) first. `None` (the default) means unbounded.
+    pub fn with_max_entries(mut self, max_entries: Option<usize>) -> Store {
+        self.max_entries = max_entries;
+        self
+    }
+
+    /// The store's root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The code-version stamp keys are derived under.
+    pub fn code_version(&self) -> &str {
+        &self.code_version
+    }
+
+    /// The key this store derives for a `(machine, mix, window)` point.
+    pub fn key_for(&self, cfg: &SystemConfig, mix: &str, run: &RunConfig) -> StoreKey {
+        StoreKey::derive(cfg, mix, run, &self.code_version)
+    }
+
+    /// Absolute path of the (live) envelope for `key`, whether or not it
+    /// exists yet. Exposed for the fault-injection tests and for tooling;
+    /// ordinary callers go through [`Store::load_result`] /
+    /// [`Store::save_result`].
+    pub fn entry_path(&self, key: StoreKey) -> PathBuf {
+        self.root.join("entries").join(format!("{key}.json"))
+    }
+
+    /// The quarantine directory.
+    pub fn quarantine_dir(&self) -> PathBuf {
+        self.root.join("quarantine")
+    }
+
+    /// Number of live envelopes on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the entries directory cannot be listed.
+    pub fn len(&self) -> Result<usize, StoreError> {
+        Ok(self.list_entries()?.len())
+    }
+
+    /// Whether the store holds no live envelopes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the entries directory cannot be listed.
+    pub fn is_empty(&self) -> Result<bool, StoreError> {
+        Ok(self.len()? == 0)
+    }
+
+    /// Number of quarantined envelopes on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the quarantine directory cannot be listed.
+    pub fn quarantined_len(&self) -> Result<usize, StoreError> {
+        let dir = self.quarantine_dir();
+        let mut n = 0;
+        let iter = fs::read_dir(&dir).map_err(|e| StoreError {
+            path: dir.clone(),
+            source: e,
+        })?;
+        for entry in iter.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "json") {
+                n += 1;
+            }
+        }
+        Ok(n)
+    }
+
+    /// This handle's cumulative counters.
+    pub fn stats(&self) -> StoreStats {
+        StoreStats {
+            load_hits: self.load_hits.load(Ordering::Relaxed),
+            load_misses: self.load_misses.load(Ordering::Relaxed),
+            writes: self.writes.load(Ordering::Relaxed),
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Loads the stored result for this point, validating the envelope
+    /// end to end. Any validation failure quarantines the entry and
+    /// returns `None` — corrupt metrics are never served, and the caller
+    /// recomputes.
+    pub fn load_result(
+        &self,
+        cfg: &SystemConfig,
+        mix: &'static str,
+        run: &RunConfig,
+    ) -> Option<RunResult> {
+        let key = self.key_for(cfg, mix, run);
+        let result = self.load_validated(key, mix);
+        if result.is_some() {
+            self.load_hits.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.load_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        result
+    }
+
+    fn load_validated(&self, key: StoreKey, mix: &'static str) -> Option<RunResult> {
+        let path = self.entry_path(key);
+        let text = match fs::read_to_string(&path) {
+            Ok(text) => text,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return None,
+            // Unreadable but present (permissions, I/O error): leave it
+            // for an operator, report a miss.
+            Err(_) => return None,
+        };
+        let envelope = match Json::parse(&text) {
+            Ok(v) => v,
+            Err(_) => {
+                self.quarantine(key, QuarantineReason::Unparseable);
+                return None;
+            }
+        };
+        if envelope.get("schema").and_then(Json::as_str) != Some(ENVELOPE_SCHEMA) {
+            self.quarantine(key, QuarantineReason::Schema);
+            return None;
+        }
+        let (Some(payload), Some(checksum)) = (
+            envelope.get("payload"),
+            envelope.get("checksum").and_then(Json::as_str),
+        ) else {
+            self.quarantine(key, QuarantineReason::Schema);
+            return None;
+        };
+        if format!("{:016x}", fnv1a_64(payload.to_string().as_bytes())) != checksum {
+            self.quarantine(key, QuarantineReason::Checksum);
+            return None;
+        }
+        // Identity backstop: the envelope must be the entry this key and
+        // mix asked for (a collision or a hand-moved file otherwise).
+        let claimed_key = envelope.get("key").and_then(Json::as_str);
+        let payload_mix = payload.get("mix").and_then(Json::as_str);
+        if claimed_key != Some(key.to_string().as_str()) || payload_mix != Some(mix) {
+            self.quarantine(key, QuarantineReason::Identity);
+            return None;
+        }
+        match decode_payload(payload, mix) {
+            Ok(result) => Some(result),
+            Err(_) => {
+                self.quarantine(key, QuarantineReason::Payload);
+                None
+            }
+        }
+    }
+
+    /// Persists a result: envelope serialized with its checksum, written
+    /// to a staging file and atomically renamed into `entries/`, then the
+    /// capacity bound (if any) enforced oldest-first.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StoreError`] if the envelope cannot be written. Eviction
+    /// failures are swallowed (the store is over budget, not wrong).
+    pub fn save_result(
+        &self,
+        cfg: &SystemConfig,
+        mix: &str,
+        run: &RunConfig,
+        result: &RunResult,
+    ) -> Result<StoreKey, StoreError> {
+        let key = self.key_for(cfg, mix, run);
+        let sequence = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        let payload = encode_payload(result);
+        let checksum = format!("{:016x}", fnv1a_64(payload.to_string().as_bytes()));
+        let envelope = Json::Obj(vec![
+            ("schema".into(), Json::Str(ENVELOPE_SCHEMA.into())),
+            ("key".into(), Json::Str(key.to_string())),
+            (
+                "scenario_hash".into(),
+                Json::Str(ScenarioHash::of(cfg).to_string()),
+            ),
+            ("mix".into(), Json::Str(mix.to_string())),
+            (
+                "run".into(),
+                Json::Obj(vec![
+                    ("warmup_cycles".into(), Json::Num(run.warmup_cycles as f64)),
+                    (
+                        "measure_cycles".into(),
+                        Json::Num(run.measure_cycles as f64),
+                    ),
+                    ("seed".into(), Json::Str(format!("{:#x}", run.seed))),
+                    ("fast_forward".into(), Json::Bool(run.fast_forward)),
+                ]),
+            ),
+            ("code_version".into(), Json::Str(self.code_version.clone())),
+            ("sequence".into(), Json::Num(sequence as f64)),
+            ("checksum".into(), Json::Str(checksum)),
+            ("payload".into(), payload),
+        ]);
+        // Atomic publish: stage under tmp/, rename into entries/. A crash
+        // between the two leaves a stale staging file and no entry; a
+        // crash mid-write never produces a half-visible envelope.
+        let staging =
+            self.root
+                .join("tmp")
+                .join(format!("{key}.{}.{}.tmp", std::process::id(), sequence));
+        fs::write(&staging, envelope.pretty()).map_err(|e| StoreError {
+            path: staging.clone(),
+            source: e,
+        })?;
+        let path = self.entry_path(key);
+        fs::rename(&staging, &path).map_err(|e| StoreError {
+            path: path.clone(),
+            source: e,
+        })?;
+        self.writes.fetch_add(1, Ordering::Relaxed);
+        self.enforce_capacity();
+        Ok(key)
+    }
+
+    /// Moves the entry for `key` into `quarantine/<key>.<reason>.json`.
+    fn quarantine(&self, key: StoreKey, reason: QuarantineReason) {
+        let from = self.entry_path(key);
+        let to = self
+            .quarantine_dir()
+            .join(format!("{key}.{}.json", reason.slug()));
+        let moved = fs::rename(&from, &to).or_else(|_| fs::remove_file(&from));
+        if moved.is_ok() {
+            self.quarantined.fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "warning: store: quarantined entry {key} ({}); will recompute",
+                reason.slug()
+            );
+        }
+    }
+
+    /// Live entries as `(sequence, path)` pairs. Entries whose sequence
+    /// cannot be read sort first (sequence 0), so they are also the first
+    /// evicted.
+    fn list_entries(&self) -> Result<Vec<(u64, PathBuf)>, StoreError> {
+        let dir = self.root.join("entries");
+        let iter = fs::read_dir(&dir).map_err(|e| StoreError {
+            path: dir.clone(),
+            source: e,
+        })?;
+        let mut entries = Vec::new();
+        for entry in iter.flatten() {
+            let path = entry.path();
+            if path.extension().is_none_or(|e| e != "json") {
+                continue;
+            }
+            let seq = fs::read_to_string(&path)
+                .ok()
+                .and_then(|text| Json::parse(&text).ok())
+                .and_then(|v| v.get("sequence").and_then(Json::as_f64))
+                .map_or(0, |n| n as u64);
+            entries.push((seq, path));
+        }
+        entries.sort();
+        Ok(entries)
+    }
+
+    /// Deletes oldest-first until the live entry count fits the bound.
+    fn enforce_capacity(&self) {
+        let Some(max) = self.max_entries else { return };
+        let Ok(entries) = self.list_entries() else {
+            return;
+        };
+        if entries.len() <= max {
+            return;
+        }
+        let excess = entries.len() - max;
+        for (_, path) in entries.into_iter().take(excess) {
+            if fs::remove_file(&path).is_ok() {
+                self.evicted.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl fmt::Debug for Store {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Store")
+            .field("root", &self.root)
+            .field("code_version", &self.code_version)
+            .field("max_entries", &self.max_entries)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The runner-facing adapter: loads quarantine-and-miss on corruption,
+/// saves warn on stderr instead of failing the run — a broken disk slows
+/// the process down, it never makes it wrong.
+impl ResultStore for Store {
+    fn load(&self, cfg: &SystemConfig, mix: &'static str, run: &RunConfig) -> Option<RunResult> {
+        self.load_result(cfg, mix, run)
+    }
+
+    fn store(&self, cfg: &SystemConfig, mix: &'static str, run: &RunConfig, result: &RunResult) {
+        if let Err(e) = self.save_result(cfg, mix, run, result) {
+            eprintln!("warning: store: persist failed ({e}); result kept in-process only");
+        }
+    }
+}
+
+/// Serializes the persisted subset of a [`RunResult`] (everything except
+/// the trace, which the store never holds).
+fn encode_payload(result: &RunResult) -> Json {
+    let nums = |values: &[f64]| Json::Arr(values.iter().map(|&v| Json::Num(v)).collect());
+    Json::Obj(vec![
+        ("mix".into(), Json::Str(result.mix.to_string())),
+        ("hmipc".into(), Json::Num(result.hmipc)),
+        ("per_core_ipc".into(), nums(&result.per_core_ipc)),
+        (
+            "committed".into(),
+            Json::Arr(
+                result
+                    .committed
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+        (
+            "zero_commit_cores".into(),
+            Json::Arr(
+                result
+                    .zero_commit_cores
+                    .iter()
+                    .map(|&c| Json::Num(c as f64))
+                    .collect(),
+            ),
+        ),
+        ("stats".into(), result.stats.to_json()),
+    ])
+}
+
+/// Rebuilds a [`RunResult`] from a checksummed payload. `mix` is the
+/// registry name the caller asked for (already verified to match the
+/// payload's own `mix` field).
+fn decode_payload(payload: &Json, mix: &'static str) -> Result<RunResult, String> {
+    let f64s = |key: &str| -> Result<Vec<f64>, String> {
+        payload
+            .get(key)
+            .and_then(Json::as_arr)
+            .ok_or_else(|| format!("payload '{key}' missing or not an array"))?
+            .iter()
+            .map(|v| {
+                v.as_f64()
+                    .ok_or_else(|| format!("payload '{key}' holds a non-number"))
+            })
+            .collect()
+    };
+    let hmipc = payload
+        .get("hmipc")
+        .and_then(Json::as_f64)
+        .ok_or("payload 'hmipc' missing or not a number")?;
+    let stats = MetricsSink::from_json(payload.get("stats").ok_or("payload 'stats' missing")?)?;
+    Ok(RunResult {
+        mix,
+        per_core_ipc: f64s("per_core_ipc")?,
+        hmipc,
+        committed: f64s("committed")?.into_iter().map(|v| v as u64).collect(),
+        zero_commit_cores: f64s("zero_commit_cores")?
+            .into_iter()
+            .map(|v| v as usize)
+            .collect(),
+        stats,
+        trace: None,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keys_are_stable_and_sensitive() {
+        let cfg = stacksim::configs::cfg_2d();
+        let run = RunConfig::quick();
+        let a = StoreKey::derive(&cfg, "VH1", &run, "v1");
+        assert_eq!(a, StoreKey::derive(&cfg, "VH1", &run, "v1"));
+        assert_ne!(a, StoreKey::derive(&cfg, "VH2", &run, "v1"));
+        assert_ne!(a, StoreKey::derive(&cfg, "VH1", &run, "v2"));
+        assert_ne!(
+            a,
+            StoreKey::derive(&stacksim::configs::cfg_3d(), "VH1", &run, "v1")
+        );
+        assert_eq!(format!("{a}").len(), 16);
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a/64 test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
+    }
+}

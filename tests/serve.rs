@@ -1,0 +1,318 @@
+//! End-to-end tests of the `stacksim-serve` daemon: a real process on an
+//! ephemeral port, driven over real sockets. Covers the warm-restart
+//! contract (a second daemon on the same store serves every point from
+//! disk, byte-identically) and the concurrency contract (two clients
+//! racing the same missing point compute it exactly once).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::process::{Child, Command, Stdio};
+
+use stacksim_stats::Json;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-serve-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A live daemon on an ephemeral port, killed on drop.
+struct Daemon {
+    child: Child,
+    addr: String,
+}
+
+impl Daemon {
+    /// Spawns `stacksim-serve --addr 127.0.0.1:0 --store <dir>` and reads
+    /// the bound address off its stdout banner.
+    fn spawn(store: &PathBuf) -> Daemon {
+        let mut child = Command::new(env!("CARGO_BIN_EXE_stacksim-serve"))
+            .args(["--addr", "127.0.0.1:0", "--jobs", "2", "--store"])
+            .arg(store)
+            .stdout(Stdio::piped())
+            .stderr(Stdio::null())
+            .spawn()
+            .expect("daemon binary spawns");
+        let stdout = child.stdout.take().expect("stdout is piped");
+        let mut banner = String::new();
+        BufReader::new(stdout)
+            .read_line(&mut banner)
+            .expect("daemon prints its banner");
+        let addr = banner
+            .trim()
+            .strip_prefix("stacksim-serve listening on ")
+            .unwrap_or_else(|| panic!("unexpected banner {banner:?}"))
+            .to_string();
+        Daemon { child, addr }
+    }
+}
+
+impl Drop for Daemon {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+    }
+}
+
+struct Response {
+    status: String,
+    headers: String,
+    body: String,
+}
+
+/// A minimal HTTP/1.1 client: one request, read to EOF (the daemon
+/// closes after each response), de-chunk if the response was chunked.
+fn http(addr: &str, method: &str, path: &str, body: &str) -> Response {
+    let mut stream = TcpStream::connect(addr).expect("daemon accepts connections");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap();
+    stream.flush().unwrap();
+    let mut raw = String::new();
+    stream.read_to_string(&mut raw).expect("response is UTF-8");
+    let (head, payload) = raw
+        .split_once("\r\n\r\n")
+        .unwrap_or_else(|| panic!("no header/body split in {raw:?}"));
+    let status = head.lines().next().unwrap_or_default().to_string();
+    let chunked = head.lines().any(|l| {
+        l.to_ascii_lowercase()
+            .contains("transfer-encoding: chunked")
+    });
+    let body = if chunked {
+        dechunk(payload)
+    } else {
+        payload.to_string()
+    };
+    Response {
+        status,
+        headers: head.to_string(),
+        body,
+    }
+}
+
+/// Decodes a chunked-transfer body: `<hex-size>\r\n<data>\r\n`* `0\r\n\r\n`.
+fn dechunk(mut payload: &str) -> String {
+    let mut out = String::new();
+    loop {
+        let (size_line, rest) = payload
+            .split_once("\r\n")
+            .unwrap_or_else(|| panic!("missing chunk size in {payload:?}"));
+        let size = usize::from_str_radix(size_line.trim(), 16)
+            .unwrap_or_else(|_| panic!("bad chunk size {size_line:?}"));
+        if size == 0 {
+            return out;
+        }
+        out.push_str(&rest[..size]);
+        payload = rest[size..].strip_prefix("\r\n").expect("chunk trailer");
+    }
+}
+
+/// A query batch over the built-in 2D machine with a window small enough
+/// to keep the suite fast and distinct per test (so one test's points
+/// never pre-warm another's store).
+fn query_body(mixes: &str, measure: u64) -> String {
+    format!(
+        r#"{{"machine": "2d", "mixes": [{mixes}], "window": {{"warmup_cycles": 2000, "measure_cycles": {measure}}}}}"#
+    )
+}
+
+/// The ndjson event lines of a `/query` body, parsed.
+fn events(body: &str) -> Vec<Json> {
+    body.lines()
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad event line {l:?}: {e}")))
+        .collect()
+}
+
+/// The `source` labels of the `point` events, and the single final
+/// `result` line verbatim.
+fn split_events(body: &str) -> (Vec<String>, String) {
+    let mut sources = Vec::new();
+    let mut result_line = None;
+    for line in body.lines() {
+        let doc = Json::parse(line).expect("event line parses");
+        match doc.get("event").and_then(Json::as_str) {
+            Some("point") => sources.push(
+                doc.get("source")
+                    .and_then(Json::as_str)
+                    .expect("point event has a source")
+                    .to_string(),
+            ),
+            Some("result") => result_line = Some(line.to_string()),
+            other => panic!("unexpected event {other:?} in {line:?}"),
+        }
+    }
+    (
+        sources,
+        result_line.expect("query response ends with a result event"),
+    )
+}
+
+fn stat(doc: &Json, key: &str) -> f64 {
+    doc.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("/stats missing '{key}'"))
+}
+
+#[test]
+fn healthz_and_stats_answer() {
+    let store = scratch("health");
+    let daemon = Daemon::spawn(&store);
+    let health = http(&daemon.addr, "GET", "/healthz", "");
+    assert_eq!(health.status, "HTTP/1.1 200 OK");
+    assert_eq!(health.body, "ok\n");
+
+    let stats = http(&daemon.addr, "GET", "/stats", "");
+    assert_eq!(stats.status, "HTTP/1.1 200 OK");
+    let doc = Json::parse(&stats.body).expect("/stats is JSON");
+    assert_eq!(
+        doc.get("schema").and_then(Json::as_str),
+        Some("stacksim-serve-stats/1")
+    );
+    assert_eq!(stat(&doc, "simulated"), 0.0);
+    assert!(
+        doc.get("store").is_some(),
+        "store stats present when --store is given"
+    );
+
+    let missing = http(&daemon.addr, "GET", "/nope", "");
+    assert_eq!(missing.status, "HTTP/1.1 404 Not Found");
+    let bad = http(&daemon.addr, "POST", "/query", "{\"mixes\": [\"M1\"]}");
+    assert_eq!(bad.status, "HTTP/1.1 400 Bad Request");
+}
+
+#[test]
+fn warm_restart_serves_from_store_byte_identically() {
+    let store = scratch("warm-restart");
+    let mixes = r#""M1", "VH1""#;
+
+    // Cold daemon: both points simulate, land in the store.
+    let (cold_sources, cold_result) = {
+        let daemon = Daemon::spawn(&store);
+        let response = http(&daemon.addr, "POST", "/query", &query_body(mixes, 8000));
+        assert_eq!(response.status, "HTTP/1.1 200 OK");
+        assert!(
+            response
+                .headers
+                .to_ascii_lowercase()
+                .contains("transfer-encoding: chunked"),
+            "query responses stream chunked"
+        );
+        let (sources, result) = split_events(&response.body);
+
+        // Same daemon again: the in-process memo answers.
+        let again = http(&daemon.addr, "POST", "/query", &query_body(mixes, 8000));
+        let (memo_sources, memo_result) = split_events(&again.body);
+        assert!(memo_sources.iter().all(|s| s == "memo"), "{memo_sources:?}");
+        assert_eq!(memo_result, result, "memo hit must be byte-identical");
+
+        let stats = Json::parse(&http(&daemon.addr, "GET", "/stats", "").body).unwrap();
+        assert_eq!(stat(&stats, "simulated"), 2.0);
+        assert_eq!(stat(&stats, "store_hits"), 0.0);
+        let store_doc = stats.get("store").expect("store stats");
+        assert_eq!(stat(store_doc, "writes"), 2.0);
+        assert_eq!(stat(store_doc, "entries"), 2.0);
+        (sources, result)
+    };
+    assert!(
+        cold_sources.iter().all(|s| s == "computed"),
+        "{cold_sources:?}"
+    );
+
+    // Fresh process on the same store: every point is a disk hit, and
+    // the final result event is the same bytes.
+    let daemon = Daemon::spawn(&store);
+    let response = http(&daemon.addr, "POST", "/query", &query_body(mixes, 8000));
+    let (warm_sources, warm_result) = split_events(&response.body);
+    assert!(
+        warm_sources.iter().all(|s| s == "store"),
+        "{warm_sources:?}"
+    );
+    assert_eq!(
+        warm_result, cold_result,
+        "store-served results must be byte-identical to computed ones"
+    );
+
+    let stats = Json::parse(&http(&daemon.addr, "GET", "/stats", "").body).unwrap();
+    assert_eq!(
+        stat(&stats, "simulated"),
+        0.0,
+        "warm daemon must not simulate"
+    );
+    assert_eq!(stat(&stats, "store_hits"), 2.0);
+    let store_doc = stats.get("store").expect("store stats");
+    assert_eq!(stat(store_doc, "load_hits"), 2.0);
+    assert_eq!(stat(store_doc, "writes"), 0.0);
+}
+
+#[test]
+fn racing_clients_compute_a_missing_point_exactly_once() {
+    let store = scratch("race");
+    let daemon = Daemon::spawn(&store);
+    // A window no other test uses, so the point cannot pre-exist.
+    let body = query_body(r#""VH2""#, 9000);
+
+    let (a, b) = std::thread::scope(|scope| {
+        let ta = scope.spawn(|| http(&daemon.addr, "POST", "/query", &body));
+        let tb = scope.spawn(|| http(&daemon.addr, "POST", "/query", &body));
+        (ta.join().unwrap(), tb.join().unwrap())
+    });
+    assert_eq!(a.status, "HTTP/1.1 200 OK");
+    assert_eq!(b.status, "HTTP/1.1 200 OK");
+    let (_, result_a) = split_events(&a.body);
+    let (_, result_b) = split_events(&b.body);
+    assert_eq!(
+        result_a, result_b,
+        "racing clients must agree byte-for-byte"
+    );
+
+    let stats = Json::parse(&http(&daemon.addr, "GET", "/stats", "").body).unwrap();
+    assert_eq!(
+        stat(&stats, "simulated"),
+        1.0,
+        "the memo must dedup the racing clients down to one simulation"
+    );
+    assert_eq!(stat(&stats, "points"), 2.0);
+    let store_doc = stats.get("store").expect("store stats");
+    assert_eq!(stat(store_doc, "writes"), 1.0, "exactly one store write");
+}
+
+#[test]
+fn inline_scenarios_and_event_bookkeeping_work() {
+    let store = scratch("inline");
+    let daemon = Daemon::spawn(&store);
+    // An inline scenario document (the declarative front end), smallest
+    // legal machine shape: reuse the shipped 2d.json.
+    let scenario = include_str!(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../scenarios/2d.json"
+    ));
+    let body = format!(
+        r#"{{"scenario": {scenario}, "mixes": ["M1"], "window": {{"warmup_cycles": 2000, "measure_cycles": 7000}}}}"#
+    );
+    let response = http(&daemon.addr, "POST", "/query", &body);
+    assert_eq!(response.status, "HTTP/1.1 200 OK");
+    let lines = events(&response.body);
+    assert_eq!(lines.len(), 2, "one point event + one result event");
+    let point = &lines[0];
+    assert_eq!(point.get("done").and_then(Json::as_f64), Some(1.0));
+    assert_eq!(point.get("total").and_then(Json::as_f64), Some(1.0));
+    assert!(point.get("hmipc").and_then(Json::as_f64).is_some());
+    let result = &lines[1];
+    assert_eq!(
+        result.get("schema").and_then(Json::as_str),
+        Some("stacksim-serve-result/1")
+    );
+    let results = result
+        .get("results")
+        .and_then(Json::as_arr)
+        .expect("results array");
+    assert_eq!(results.len(), 1);
+    assert!(
+        results[0].get("metrics").is_some(),
+        "full metric tree is served"
+    );
+}

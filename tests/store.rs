@@ -1,0 +1,214 @@
+//! Durable result store: round-trip bit-identity, key sensitivity and
+//! eviction order (`docs/STORE.md` states the contracts; `store_fault.rs`
+//! covers the corruption paths).
+
+use std::path::PathBuf;
+use std::sync::Arc;
+
+use stacksim::configs::{cfg_2d, cfg_3d};
+use stacksim::runner::{self, RunConfig, RunResult, RunSource};
+use stacksim_store::{Store, StoreKey};
+use stacksim_workload::Mix;
+
+/// A fresh scratch directory for one test, cleaned of any previous run's
+/// leftovers. Unique per (process, test) so the suite can run in parallel.
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("stacksim-store-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn mix(name: &str) -> &'static Mix {
+    Mix::by_name(name).expect("registry mix")
+}
+
+/// Every persisted field must survive the JSON round trip bit-for-bit —
+/// the store serves *the* result, not an approximation of it.
+fn assert_bit_identical(a: &RunResult, b: &RunResult) {
+    assert_eq!(a.mix, b.mix);
+    assert_eq!(a.hmipc.to_bits(), b.hmipc.to_bits(), "hmipc drifted");
+    assert_eq!(a.per_core_ipc.len(), b.per_core_ipc.len());
+    for (i, (x, y)) in a.per_core_ipc.iter().zip(&b.per_core_ipc).enumerate() {
+        assert_eq!(x.to_bits(), y.to_bits(), "per_core_ipc[{i}] drifted");
+    }
+    assert_eq!(a.committed, b.committed);
+    assert_eq!(a.zero_commit_cores, b.zero_commit_cores);
+    let (fa, fb) = (a.stats.flatten(), b.stats.flatten());
+    assert_eq!(fa.len(), fb.len(), "metric tree shape drifted");
+    for ((na, va), (nb, vb)) in fa.iter().zip(&fb) {
+        assert_eq!(na, nb, "metric name order drifted");
+        assert_eq!(va.to_bits(), vb.to_bits(), "metric '{na}' drifted");
+    }
+}
+
+#[test]
+fn miss_run_persist_then_cold_process_hit_is_bit_identical() {
+    let dir = scratch("roundtrip");
+    let cfg = cfg_2d();
+    let run = RunConfig::quick();
+    let m = mix("VH1");
+
+    let store = Store::open(&dir).unwrap();
+    assert!(
+        store.load_result(&cfg, m.name, &run).is_none(),
+        "cold store must miss"
+    );
+    let simulated = runner::run_mix(&cfg, m, &run).unwrap();
+    store.save_result(&cfg, m.name, &run, &simulated).unwrap();
+    assert_eq!(store.len().unwrap(), 1);
+    let stats = store.stats();
+    assert_eq!((stats.load_misses, stats.writes), (1, 1));
+
+    // A second handle on the same directory stands in for a cold process:
+    // no shared state beyond the files.
+    let cold = Store::open(&dir).unwrap();
+    let loaded = cold
+        .load_result(&cfg, m.name, &run)
+        .expect("persisted entry must hit");
+    assert_bit_identical(&simulated, &loaded);
+    assert!(loaded.trace.is_none(), "the store never holds traces");
+    assert_eq!(cold.stats().load_hits, 1);
+}
+
+#[test]
+fn key_is_sensitive_to_every_identity_field() {
+    let cfg = cfg_2d();
+    let run = RunConfig::quick();
+    let base = StoreKey::derive(&cfg, "VH1", &run, "v1");
+
+    // Scenario change.
+    assert_ne!(base, StoreKey::derive(&cfg_3d(), "VH1", &run, "v1"));
+    // Mix change.
+    assert_ne!(base, StoreKey::derive(&cfg, "H1", &run, "v1"));
+    // Window changes: warmup, measure, seed, fast-forward.
+    let mut r = run;
+    r.warmup_cycles += 1;
+    assert_ne!(base, StoreKey::derive(&cfg, "VH1", &r, "v1"));
+    let mut r = run;
+    r.measure_cycles += 1;
+    assert_ne!(base, StoreKey::derive(&cfg, "VH1", &r, "v1"));
+    let mut r = run;
+    r.seed ^= 1;
+    assert_ne!(base, StoreKey::derive(&cfg, "VH1", &r, "v1"));
+    let r = run.tick_by_tick();
+    assert_ne!(base, StoreKey::derive(&cfg, "VH1", &r, "v1"));
+    // Code-version change.
+    assert_ne!(base, StoreKey::derive(&cfg, "VH1", &run, "v2"));
+    // And the reference point is reproducible.
+    assert_eq!(base, StoreKey::derive(&cfg, "VH1", &run, "v1"));
+}
+
+#[test]
+fn code_version_change_forces_a_miss_on_the_same_files() {
+    let dir = scratch("code-version");
+    let cfg = cfg_2d();
+    let run = RunConfig::quick();
+    let m = mix("H1");
+
+    let store = Store::open(&dir).unwrap().with_code_version("build-a");
+    let result = runner::run_mix(&cfg, m, &run).unwrap();
+    store.save_result(&cfg, m.name, &run, &result).unwrap();
+    assert!(store.load_result(&cfg, m.name, &run).is_some());
+
+    // Same directory, different code stamp: the entry is still on disk
+    // but unreachable — stale-build numbers are never served.
+    let newer = Store::open(&dir).unwrap().with_code_version("build-b");
+    assert!(newer.load_result(&cfg, m.name, &run).is_none());
+    assert_eq!(newer.len().unwrap(), 1, "miss must not destroy the entry");
+    assert_eq!(
+        newer.quarantined_len().unwrap(),
+        0,
+        "a version miss is not corruption"
+    );
+}
+
+#[test]
+fn eviction_removes_oldest_entries_first() {
+    let dir = scratch("eviction");
+    let cfg = cfg_2d();
+    let run = RunConfig::quick();
+    let store = Store::open(&dir).unwrap().with_max_entries(Some(2));
+
+    // Reuse one simulated result under three different mix keys — the
+    // store keys off identity, not payload content.
+    let first = mix("H1");
+    let result = runner::run_mix(&cfg, first, &run).unwrap();
+    let keys: Vec<StoreKey> = ["H1", "H2", "H3"]
+        .iter()
+        .map(|name| store.save_result(&cfg, name, &run, &result).unwrap())
+        .collect();
+
+    assert_eq!(store.len().unwrap(), 2, "capacity bound not enforced");
+    assert!(
+        !store.entry_path(keys[0]).exists(),
+        "oldest entry must be evicted first"
+    );
+    assert!(store.entry_path(keys[1]).exists());
+    assert!(store.entry_path(keys[2]).exists());
+    assert_eq!(store.stats().evicted, 1);
+
+    // One more save evicts the next-oldest.
+    store.save_result(&cfg, "VH2", &run, &result).unwrap();
+    assert!(!store.entry_path(keys[1]).exists());
+    assert_eq!(store.stats().evicted, 2);
+}
+
+#[test]
+fn sequence_numbers_survive_reopen_so_eviction_order_does_too() {
+    let dir = scratch("reopen-seq");
+    let cfg = cfg_2d();
+    let run = RunConfig::quick();
+    let m = mix("H2");
+    let result = runner::run_mix(&cfg, m, &run).unwrap();
+
+    let store = Store::open(&dir).unwrap();
+    let old_key = store.save_result(&cfg, "H2", &run, &result).unwrap();
+
+    // A later process appends with higher sequence numbers, so under a
+    // bound the *older* process's entry is the one to go.
+    let reopened = Store::open(&dir).unwrap().with_max_entries(Some(1));
+    let new_key = reopened.save_result(&cfg, "VH3", &run, &result).unwrap();
+    assert!(!reopened.entry_path(old_key).exists());
+    assert!(reopened.entry_path(new_key).exists());
+}
+
+/// The two-tier lookup seen from the runner: memo miss + store hit serves
+/// the persisted result without simulating, and a second call is a memo
+/// hit. This is the only test that installs a process-global store, and
+/// it uses a window no other test uses so the shared memo cannot collide.
+#[test]
+fn runner_serves_store_hits_without_simulating() {
+    let dir = scratch("runner-tiers");
+    let cfg = cfg_2d();
+    let mut run = RunConfig::quick();
+    run.measure_cycles += 4096; // unique window: never memoized by other tests
+    let m = mix("VH2");
+
+    // Populate the store out-of-band, as an earlier process would have.
+    let seed_store = Store::open(&dir).unwrap();
+    let simulated = runner::run_mix(&cfg, m, &run).unwrap();
+    seed_store
+        .save_result(&cfg, m.name, &run, &simulated)
+        .unwrap();
+
+    let store = Arc::new(Store::open(&dir).unwrap());
+    runner::set_result_store(Some(store.clone()));
+    let (hits_before, _, sim_before) = runner::tier_stats();
+
+    let (first, source) = runner::run_mix_cached_with_source(&cfg, m, &run).unwrap();
+    assert_eq!(
+        source,
+        RunSource::Store,
+        "memo miss + store hit must serve from the store"
+    );
+    assert_bit_identical(&simulated, &first);
+
+    let (second, source) = runner::run_mix_cached_with_source(&cfg, m, &run).unwrap();
+    assert_eq!(source, RunSource::Memo, "second lookup is a memo hit");
+    assert!(Arc::ptr_eq(&first, &second));
+
+    let (hits_after, _, sim_after) = runner::tier_stats();
+    assert_eq!(hits_after - hits_before, 1);
+    assert_eq!(sim_after - sim_before, 0, "a store hit must not simulate");
+    runner::set_result_store(None);
+}
