@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Schema gate for the simlint CI job's JSON report.
+
+The uploaded simlint-report.json is a consumable interface: downstream
+tooling keys off the `stacksim-simlint/2` schema and its `graph`
+section. A report with the wrong schema fails the job hard — silently
+uploading a different shape would break consumers without a signal. A
+missing or unparseable report warns and skips instead (an older binary
+that predates `--format json`, or a scan that died before printing),
+mirroring wall_gate.py: the lint step itself already gates findings.
+
+Usage: simlint_gate.py <report.json> [expected-schema]
+"""
+
+import json
+import os
+import sys
+
+EXPECTED = "stacksim-simlint/2"
+
+
+def main() -> int:
+    if len(sys.argv) < 2:
+        print(f"usage: {sys.argv[0]} <report.json> [expected-schema]")
+        return 2
+    expected = sys.argv[2] if len(sys.argv) > 2 else EXPECTED
+    path = sys.argv[1]
+    if not os.path.exists(path) or os.path.getsize(path) == 0:
+        print(
+            "::warning title=simlint schema gate skipped::no JSON report at "
+            f"{path}; the simlint binary likely predates --format json"
+        )
+        return 0
+    try:
+        with open(path) as f:
+            report = json.load(f)
+    except json.JSONDecodeError as e:
+        print(
+            "::warning title=simlint schema gate skipped::report is not "
+            f"valid JSON ({e}); the simlint binary likely predates the "
+            "current report format"
+        )
+        return 0
+
+    schema = report.get("schema")
+    if schema != expected:
+        print(
+            f"::error title=simlint report schema mismatch::expected "
+            f"{expected!r}, got {schema!r}. Bump the gate and every "
+            "consumer together with the schema."
+        )
+        return 1
+
+    graph = report.get("graph")
+    if not isinstance(graph, dict) or graph.get("nodes", 0) <= 0:
+        print(
+            "::error title=simlint graph section missing::schema "
+            f"{expected} requires a populated graph object; got {graph!r}"
+        )
+        return 1
+
+    print(
+        f"simlint schema gate: {schema}, {report.get('files_scanned')} files, "
+        f"graph {graph['nodes']} nodes / {graph.get('edges')} edges, "
+        f"{len(report.get('findings', []))} finding(s)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -246,6 +246,7 @@ impl EventWheel {
             new_n *= 2;
         }
         let old_mask = old_n - 1;
+        // simlint::allow(H001, reason = "amortized ring doubling: runs O(log max-delay) times per simulation, never in steady state")
         let mut new_slots: Vec<Vec<EventKind>> = (0..new_n).map(|_| Vec::new()).collect();
         for i in 0..old_n {
             let offset = (i + old_n - self.cursor) & old_mask;
@@ -1130,8 +1131,11 @@ impl System {
         self.probe_hist.record(probes as u64);
         self.fill_l2(line, completion.request.core);
         // Wake the waiting cores; each core is woken once regardless of how
-        // many of its µops merged into the entry.
-        let mut cores: Vec<CoreId> = Vec::with_capacity(entry.target_count());
+        // many of its µops merged into the entry. The core list rides inside
+        // the `CoreFill` event, which hands its (cleared) vector back to
+        // `core_list_pool` once delivered — so in steady state completions
+        // recycle warmed-up buffers instead of allocating.
+        let mut cores: Vec<CoreId> = self.core_list_pool.pop().unwrap_or_default();
         for t in entry.targets() {
             if !cores.contains(&t.core) {
                 cores.push(t.core);
@@ -1141,6 +1145,8 @@ impl System {
             let delay =
                 Cycles::new(probes.saturating_sub(1) as u64) + self.path_latency + Cycles::new(1);
             self.schedule(self.now + delay, EventKind::CoreFill { line, cores });
+        } else if self.core_list_pool.len() < CORE_LIST_POOL_CAP {
+            self.core_list_pool.push(cores);
         }
     }
 

@@ -186,6 +186,7 @@ impl MemoryController {
     /// and retry.
     pub fn enqueue(&mut self, request: MemRequest) -> Result<(), ConfigError> {
         if request.location.mc != self.id {
+            // simlint::allow(H001, reason = "cold error path: a misrouted request is a caller bug, never taken in steady state")
             return Err(ConfigError::new(format!(
                 "request for {} routed to {}",
                 request.location.mc, self.id

@@ -1,20 +1,42 @@
-//! The workspace scanner: file walking, rule dispatch, pragma and
-//! baseline suppression, and report assembly.
+//! The workspace scanner: file walking, rule dispatch, call-graph
+//! construction, pragma and baseline suppression, and report assembly.
+//!
+//! The scan runs in phases: (1) every `crates/*/src/**/*.rs` file is
+//! lexed and the per-file rules (D/P/N, M001, X001) produce *raw*
+//! findings; (2) a workspace call graph is built over all files and the
+//! L/H/R rules add theirs; (3) pragma suppression runs centrally over
+//! the combined set, which also lets X002 flag pragmas that no longer
+//! suppress anything; (4) the baseline filters what remains.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
 use crate::baseline::Baseline;
+use crate::callgraph::CallGraph;
 use crate::docs::MetricDocs;
 use crate::rules::{self, Finding, Registration, KERNEL_CRATES};
 use crate::scenario_docs;
 use crate::source::SourceFile;
+use crate::wsrules::{self, WsContext};
 
 /// Scanner options.
 #[derive(Clone, Debug, Default)]
 pub struct Options {
     /// Baseline file path; `None` uses `<root>/simlint.baseline` if present.
     pub baseline: Option<PathBuf>,
+}
+
+/// Call-graph coverage numbers for the report's `graph` section.
+#[derive(Clone, Debug, Default)]
+pub struct GraphSummary {
+    /// Indexed function definitions.
+    pub nodes: usize,
+    /// Resolved call edges.
+    pub edges: usize,
+    /// Files that contributed at least one definition.
+    pub files_with_symbols: usize,
+    /// Qualified names of the hot-path roots found in this workspace.
+    pub roots: Vec<String>,
 }
 
 /// Result of a workspace scan.
@@ -24,6 +46,8 @@ pub struct Report {
     pub root: PathBuf,
     /// Number of Rust files scanned.
     pub files_scanned: usize,
+    /// Call-graph coverage.
+    pub graph: GraphSummary,
     /// Unsuppressed findings, sorted by (file, line, rule).
     pub findings: Vec<Finding>,
     /// Findings suppressed by in-source pragmas.
@@ -43,8 +67,10 @@ impl Report {
             ));
         }
         out.push_str(&format!(
-            "simlint: {} file(s) scanned, {} finding(s), {} suppressed by pragma, {} by baseline\n",
+            "simlint: {} file(s) scanned, call graph {} node(s) / {} edge(s), {} finding(s), {} suppressed by pragma, {} by baseline\n",
             self.files_scanned,
+            self.graph.nodes,
+            self.graph.edges,
             self.findings.len(),
             self.suppressed_by_pragma,
             self.suppressed_by_baseline
@@ -53,14 +79,25 @@ impl Report {
     }
 
     /// Renders the report as machine-readable JSON
-    /// (`stacksim-simlint/1` schema).
+    /// (`stacksim-simlint/2` schema).
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\n");
-        out.push_str("  \"schema\": \"stacksim-simlint/1\",\n");
+        out.push_str("  \"schema\": \"stacksim-simlint/2\",\n");
         out.push_str(&format!(
             "  \"files_scanned\": {},\n  \"suppressed_by_pragma\": {},\n  \"suppressed_by_baseline\": {},\n",
             self.files_scanned, self.suppressed_by_pragma, self.suppressed_by_baseline
         ));
+        out.push_str(&format!(
+            "  \"graph\": {{\"nodes\": {}, \"edges\": {}, \"files_with_symbols\": {}, \"roots\": [",
+            self.graph.nodes, self.graph.edges, self.graph.files_with_symbols
+        ));
+        for (i, r) in self.graph.roots.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&json_str(r));
+        }
+        out.push_str("]},\n");
         out.push_str("  \"findings\": [");
         for (i, f) in self.findings.iter().enumerate() {
             if i > 0 {
@@ -122,9 +159,11 @@ pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
 ///
 /// Walks `crates/*/src/**/*.rs` in sorted order (so output is
 /// deterministic across platforms), applies the D/P/N rules to kernel
-/// crates, collects metric registrations everywhere, cross-checks them
-/// against `docs/METRICS.md`, then filters findings through in-source
-/// pragmas and the baseline file.
+/// crates, builds the call graph over every file and runs the L/H/R
+/// workspace rules, cross-checks metric registrations against
+/// `docs/METRICS.md` and the panic inventory against `docs/PANICS.md`,
+/// then filters findings through in-source pragmas (flagging stale ones
+/// as X002) and the baseline file.
 ///
 /// # Errors
 ///
@@ -142,10 +181,11 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
         Err(_) => None,
     };
 
-    let mut findings = Vec::new();
+    // Phase 1: parse every file and run the per-file rules, keeping the
+    // findings raw (unsuppressed) and the parsed files for the graph.
+    let mut raw: Vec<Finding> = Vec::new();
+    let mut files: Vec<(String, SourceFile)> = Vec::new();
     let mut regs: Vec<Registration> = Vec::new();
-    let mut suppressed_by_pragma = 0usize;
-    let mut files_scanned = 0usize;
 
     for crate_dir in sorted_dirs(&crates_dir)? {
         let crate_name = crate_dir
@@ -166,42 +206,47 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
                 .replace('\\', "/");
             let text =
                 fs::read_to_string(&path).map_err(|e| format!("read {}: {e}", path.display()))?;
-            files_scanned += 1;
             let file = SourceFile::parse(&rel, &text);
-            let raw = rules::check_file(&file, kernel, &mut regs);
-            for f in raw {
-                if f.rule != "X001" && file.pragma_for(f.line, &f.rule).is_some() {
-                    suppressed_by_pragma += 1;
-                } else {
-                    findings.push(f);
-                }
-            }
-            // Rule M001 needs the docs index; check this file's
-            // registrations now so pragmas on the same line apply.
-            if let Some(docs) = &docs {
-                let file_regs: Vec<&Registration> = regs.iter().filter(|r| r.file == rel).collect();
-                for r in file_regs {
-                    if !docs.documents(&r.name) {
-                        let f = Finding {
-                            file: rel.clone(),
-                            line: r.line,
-                            rule: "M001".to_string(),
-                            message: format!(
-                                "metric `{}` is registered here but not documented in docs/METRICS.md",
-                                r.name
-                            ),
-                            snippet: file.line_text(r.line).to_string(),
-                        };
-                        if file.pragma_for(f.line, "M001").is_some() {
-                            suppressed_by_pragma += 1;
-                        } else {
-                            findings.push(f);
-                        }
-                    }
-                }
+            raw.extend(rules::check_file(&file, kernel, &mut regs));
+            files.push((crate_name.clone(), file));
+        }
+    }
+    let files_scanned = files.len();
+
+    // Rule M001: registered metrics must be documented.
+    if let Some(docs) = &docs {
+        for r in &regs {
+            if !docs.documents(&r.name) {
+                let snippet = files
+                    .iter()
+                    .find(|(_, f)| f.path == r.file)
+                    .map(|(_, f)| f.line_text(r.line).to_string())
+                    .unwrap_or_default();
+                raw.push(Finding {
+                    file: r.file.clone(),
+                    line: r.line,
+                    rule: "M001".to_string(),
+                    message: format!(
+                        "metric `{}` is registered here but not documented in docs/METRICS.md",
+                        r.name
+                    ),
+                    snippet,
+                });
             }
         }
     }
+
+    // Phase 2: the call graph and the workspace rules.
+    let file_refs: Vec<(String, &SourceFile)> = files.iter().map(|(k, f)| (k.clone(), f)).collect();
+    let graph = CallGraph::build(&file_refs);
+    let panic_docs = fs::read_to_string(root.join("docs/PANICS.md")).ok();
+    let ctx = WsContext {
+        graph: &graph,
+        files: &files,
+        panic_docs: panic_docs.as_deref(),
+        panic_docs_path: "docs/PANICS.md",
+    };
+    let roots = wsrules::check_workspace(&ctx, &mut raw);
 
     // Rule M002: documented inventory entries must exist in code.
     if let Some(docs) = &docs {
@@ -213,7 +258,7 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
         for entry in &docs.inventory {
             let l = rules::leaf(&entry.name);
             if !regs.iter().any(|r| rules::leaf(&r.name) == l) {
-                findings.push(Finding {
+                raw.push(Finding {
                     file: doc_rel.clone(),
                     line: entry.line,
                     rule: "M002".to_string(),
@@ -229,9 +274,63 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
 
     // Rules S001/S002: the scenario-schema reference must match the
     // parser's ACCEPTED_KEYS table in both directions.
-    check_scenario_docs(root, &mut findings);
+    check_scenario_docs(root, &mut raw);
 
-    // Baseline suppression, then deterministic ordering.
+    // Phase 3: central pragma suppression, then X002 for pragmas that
+    // suppressed nothing.
+    let mut suppressed_by_pragma = 0usize;
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in &raw {
+        let suppressed = f.rule != "X001"
+            && files
+                .iter()
+                .find(|(_, sf)| sf.path == f.file)
+                .is_some_and(|(_, sf)| sf.pragma_for(f.line, &f.rule).is_some());
+        if suppressed {
+            suppressed_by_pragma += 1;
+        } else {
+            findings.push(f.clone());
+        }
+    }
+    for (_, sf) in &files {
+        for p in &sf.pragmas {
+            // Malformed pragmas are X001's job; X002 pragmas never go
+            // stale themselves (they'd recurse).
+            if p.reason.is_empty() || p.rule == "X002" {
+                continue;
+            }
+            let used = raw
+                .iter()
+                .any(|f| f.rule == p.rule && f.file == sf.path && f.line == p.target_line);
+            if used {
+                continue;
+            }
+            // An X002 pragma on the stale pragma's own line (trailing
+            // form) or targeting the same code line (standalone form)
+            // acknowledges the stale pragma deliberately.
+            let acknowledged = sf.pragmas.iter().any(|q| {
+                q.rule == "X002"
+                    && !q.reason.is_empty()
+                    && (q.line == p.line || q.target_line == p.target_line)
+            });
+            if acknowledged {
+                suppressed_by_pragma += 1;
+                continue;
+            }
+            findings.push(Finding {
+                file: sf.path.clone(),
+                line: p.line,
+                rule: "X002".to_string(),
+                message: format!(
+                    "simlint::allow({}) pragma suppresses nothing: {} does not fire on its target line — remove the stale pragma",
+                    p.rule, p.rule
+                ),
+                snippet: sf.line_text(p.line).to_string(),
+            });
+        }
+    }
+
+    // Phase 4: baseline suppression, then deterministic ordering.
     let mut suppressed_by_baseline = 0usize;
     findings.retain(|f| {
         if baseline.matches(f) {
@@ -248,6 +347,12 @@ pub fn scan(root: &Path, opts: &Options) -> Result<Report, String> {
     Ok(Report {
         root: root.to_path_buf(),
         files_scanned,
+        graph: GraphSummary {
+            nodes: graph.fns.len(),
+            edges: graph.edge_count(),
+            files_with_symbols: graph.files_with_symbols,
+            roots,
+        },
         findings,
         suppressed_by_pragma,
         suppressed_by_baseline,

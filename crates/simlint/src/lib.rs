@@ -10,10 +10,13 @@
 //! statically on every commit.
 //!
 //! The tool is self-contained: a lightweight Rust [`lexer`], a per-file
-//! rule engine ([`rules`]), a `docs/METRICS.md` cross-check ([`docs`]),
-//! in-source pragmas ([`source`]) and a baseline file ([`baseline`]),
-//! assembled by [`engine::scan`]. Rule ids, rationale and the pragma
-//! syntax are documented in `docs/LINTS.md`.
+//! rule engine ([`rules`]), a workspace symbol index and conservative
+//! call graph ([`callgraph`]) feeding the lock-discipline /
+//! hot-path-purity / panic-reachability rules ([`wsrules`]), a
+//! `docs/METRICS.md` cross-check ([`docs`]), in-source pragmas
+//! ([`source`]) and a baseline file ([`baseline`]), assembled by
+//! [`engine::scan`]. Rule ids, rationale and the pragma syntax are
+//! documented in `docs/LINTS.md`.
 //!
 //! # Examples
 //!
@@ -31,12 +34,14 @@
 //! ```
 
 pub mod baseline;
+pub mod callgraph;
 pub mod docs;
 pub mod engine;
 pub mod lexer;
 pub mod rules;
 pub mod scenario_docs;
 pub mod source;
+pub mod wsrules;
 
-pub use engine::{find_workspace_root, scan, Options, Report};
+pub use engine::{find_workspace_root, scan, GraphSummary, Options, Report};
 pub use rules::{Finding, KERNEL_CRATES, RULES};

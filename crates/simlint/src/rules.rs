@@ -65,8 +65,37 @@ pub const RULES: &[(&str, &str)] = &[
         "scenario key documented in docs/SCENARIOS.md but not accepted by the parser",
     ),
     (
+        "L001",
+        "lock order inconsistent with another site (deadlock cycle through the call graph)",
+    ),
+    (
+        "L002",
+        "lock guard held across file or network I/O on some call path",
+    ),
+    (
+        "L003",
+        "reachable re-acquisition of the same lock while its guard is held (self-deadlock)",
+    ),
+    (
+        "H001",
+        "heap allocation reachable from a tick-loop root (System::tick and friends)",
+    ),
+    ("H002", "clone() reachable from a tick-loop root"),
+    (
+        "R001",
+        "public API can transitively panic but is not documented in docs/PANICS.md",
+    ),
+    (
+        "R002",
+        "docs/PANICS.md row names an API the analyzer no longer finds a panic path for",
+    ),
+    (
         "X001",
         "malformed simlint::allow pragma (missing rule id or reason)",
+    ),
+    (
+        "X002",
+        "simlint::allow pragma whose rule no longer fires on its target line (stale pragma)",
     ),
 ];
 

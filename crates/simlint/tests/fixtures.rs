@@ -24,30 +24,63 @@ fn every_rule_fires_on_its_injected_violation() {
     assert_eq!(
         rules,
         [
-            "D001", "D002", "D003", "M001", "M001", "M002", "N001", "P001", "P001", "P002", "P003",
-            "P004", "X001"
+            "D001", "D002", "D003", "H001", "H002", "L001", "L001", "L002", "L003", "M001", "M001",
+            "M002", "N001", "P001", "P001", "P002", "P003", "P004", "R001", "R002", "X001", "X002"
         ],
         "unexpected finding set:\n{}",
         report.to_text()
     );
-    // Each D/P/N violation has a pragma'd twin on the next line that
-    // must be suppressed, and rule M001's pragma support is covered by
-    // the workspace's own pragmas.
-    assert_eq!(report.suppressed_by_pragma, 8);
+    // Each violation has a pragma'd twin that must be suppressed (L001's
+    // twin is a second lock pair, X002's an acknowledged stale pragma);
+    // rule M001's pragma support is covered by the workspace's own
+    // pragmas, and R002 has no twin — pragmas only live in Rust source.
+    assert_eq!(report.suppressed_by_pragma, 16);
     assert_eq!(report.suppressed_by_baseline, 0);
-    assert_eq!(report.files_scanned, 2);
+    assert_eq!(report.files_scanned, 4);
+}
+
+#[test]
+fn graph_summary_covers_the_fixture_workspace() {
+    let report = scan(&Options::default());
+    let graph = &report.graph;
+    assert!(graph.nodes > 0 && graph.edges > 0);
+    // lib.rs + hot.rs + locksvc contribute symbols; util does too.
+    assert_eq!(graph.files_with_symbols, 4);
+    assert!(
+        graph.roots.iter().any(|r| r == "dram::System::tick"),
+        "fixture tick root not found: {:?}",
+        graph.roots
+    );
+}
+
+#[test]
+fn only_filter_restricts_the_report() {
+    let report = scan(&Options::default());
+    let locks: Vec<_> = report
+        .findings
+        .iter()
+        .filter(|f| f.rule.starts_with('L'))
+        .collect();
+    assert_eq!(
+        locks.len(),
+        4,
+        "L001 x2 + L002 + L003:\n{}",
+        report.to_text()
+    );
+    assert!(locks.iter().all(|f| f.file == "crates/locksvc/src/lib.rs"));
 }
 
 #[test]
 fn kernel_rules_do_not_apply_outside_kernel_crates() {
     let report = scan(&Options::default());
-    // util/src/lib.rs has an unwrap() but is not a kernel crate: its
-    // only findings are metric-drift ones.
+    // util/src/lib.rs has unwrap()s but is not a kernel crate: no D/P/N
+    // findings there — only metric drift and the workspace-wide rule
+    // families (panic inventory, pragma hygiene).
     assert!(report
         .findings
         .iter()
         .filter(|f| f.file == "crates/util/src/lib.rs")
-        .all(|f| f.rule == "M001"));
+        .all(|f| matches!(f.rule.as_str(), "M001" | "R001" | "X002")));
 }
 
 #[test]

@@ -1,0 +1,26 @@
+//! Fixture hot-path file: a `System::tick` root whose callee allocates
+//! (H001) and clones (H002), each with a pragma-suppressed twin. Only
+//! lexed by simlint's integration tests; never compiled.
+
+pub struct System {
+    buf: Vec<u64>,
+}
+
+impl System {
+    pub fn tick(&mut self) {
+        self.step();
+    }
+
+    fn step(&mut self) {
+        let _v: Vec<u64> = Vec::new();
+        let _w: Vec<u64> = Vec::new(); // simlint::allow(H001, reason = "fixture twin")
+        let _c = self.buf.clone();
+        let _d = self.buf.clone(); // simlint::allow(H002, reason = "fixture twin")
+    }
+
+    pub fn with_capacity(n: usize) -> System {
+        System {
+            buf: Vec::with_capacity(n),
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Fixture lock-discipline crate: L001/L002/L003 violations, each with
+//! a pragma-suppressed twin. Only lexed by simlint's integration tests;
+//! never compiled.
+use std::sync::Mutex;
+
+static ALPHA: Mutex<u64> = Mutex::new(0);
+static BETA: Mutex<u64> = Mutex::new(0);
+static DELTA: Mutex<u64> = Mutex::new(0);
+static EPSILON: Mutex<u64> = Mutex::new(0);
+static LOG: Mutex<u64> = Mutex::new(0);
+static QUIET: Mutex<u64> = Mutex::new(0);
+static GAMMA: Mutex<u64> = Mutex::new(0);
+static THETA: Mutex<u64> = Mutex::new(0);
+
+pub fn ab_order() {
+    let _a = ALPHA.lock();
+    let _b = BETA.lock();
+}
+
+pub fn ba_order() {
+    let _b = BETA.lock();
+    let _a = ALPHA.lock();
+}
+
+pub fn cd_order() {
+    let _c = DELTA.lock(); // simlint::allow(L001, reason = "fixture twin")
+    let _d = EPSILON.lock();
+}
+
+pub fn dc_order() {
+    let _d = EPSILON.lock(); // simlint::allow(L001, reason = "fixture twin")
+    let _c = DELTA.lock();
+}
+
+pub fn log_under_lock(path: &str) {
+    let _g = LOG.lock();
+    let _text = fs::read_to_string(path);
+}
+
+pub fn quiet_under_lock(path: &str) {
+    let _g = QUIET.lock(); // simlint::allow(L002, reason = "fixture twin")
+    let _text = fs::read_to_string(path);
+}
+
+pub fn reacquires() {
+    let _g = GAMMA.lock();
+    gamma_helper();
+}
+
+fn gamma_helper() {
+    let _g = GAMMA.lock();
+}
+
+pub fn reacquires_quietly() {
+    let _g = THETA.lock(); // simlint::allow(L003, reason = "fixture twin")
+    theta_helper();
+}
+
+fn theta_helper() {
+    let _g = THETA.lock();
+}
+
+pub fn scoped_is_fine() {
+    let guard = ALPHA.lock();
+    drop(guard);
+    let _b = BETA.lock();
+}

@@ -1,20 +1,25 @@
 //! The workspace must lint clean: every determinism, panic-surface,
-//! narrowing and metric-drift finding is either fixed or carries a
-//! reasoned `simlint::allow` pragma. This is the same gate CI runs via
-//! the `simlint` binary.
+//! narrowing, metric-drift, lock-discipline, hot-path-purity,
+//! panic-inventory and pragma-hygiene finding is either fixed or
+//! carries a reasoned `simlint::allow` pragma. This is the same gate CI
+//! runs via the `simlint` binary.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use stacksim_simlint::{engine, Options};
 
-#[test]
-fn workspace_has_no_unsuppressed_findings() {
-    let root = Path::new(env!("CARGO_MANIFEST_DIR"))
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
         .ancestors()
         .nth(2)
         .expect("crates/simlint sits two levels under the workspace root")
-        .to_path_buf();
-    let report = engine::scan(&root, &Options::default()).expect("workspace scan succeeds");
+        .to_path_buf()
+}
+
+#[test]
+fn workspace_has_no_unsuppressed_findings() {
+    let report =
+        engine::scan(&workspace_root(), &Options::default()).expect("workspace scan succeeds");
     assert!(
         report.findings.is_empty(),
         "workspace must be simlint-clean (fix or pragma with a reason):\n{}",
@@ -23,4 +28,45 @@ fn workspace_has_no_unsuppressed_findings() {
     // Sanity: the scan actually visited the workspace, and the pragma
     // budget only moves deliberately.
     assert!(report.files_scanned > 50, "suspiciously few files scanned");
+}
+
+#[test]
+fn workspace_call_graph_covers_every_source_file() {
+    let report =
+        engine::scan(&workspace_root(), &Options::default()).expect("workspace scan succeeds");
+    let graph = &report.graph;
+    assert!(graph.nodes > 500, "suspiciously small symbol index");
+    assert!(graph.edges > graph.nodes, "call graph lost its edges");
+    // A handful of scanned files are type/const-only modules with no
+    // functions; everything else must contribute symbols. A big drop
+    // here means the indexer has gone blind to whole files.
+    assert!(
+        graph.files_with_symbols <= report.files_scanned
+            && graph.files_with_symbols * 10 >= report.files_scanned * 8,
+        "call-graph file coverage collapsed: {} of {} files contributed symbols",
+        graph.files_with_symbols,
+        report.files_scanned
+    );
+}
+
+#[test]
+fn workspace_hot_roots_are_present() {
+    let report =
+        engine::scan(&workspace_root(), &Options::default()).expect("workspace scan succeeds");
+    // The tick-loop entry points the H rules hang off. If one is
+    // renamed, update wsrules::HOT_ROOTS in the same change — silently
+    // losing a root would disable hot-path enforcement for its subtree.
+    for root in [
+        "core::System::tick",
+        "core::System::mc_slice",
+        "core::System::fast_forward_to",
+        "cpu::Core::cycle",
+        "memctrl::MemoryController::tick",
+    ] {
+        assert!(
+            report.graph.roots.iter().any(|r| r == root),
+            "hot root {root} not found; got {:?}",
+            report.graph.roots
+        );
+    }
 }
